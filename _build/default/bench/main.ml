@@ -1,0 +1,422 @@
+(* The benchmark harness: one experiment per table/figure of the paper
+   plus the ablations called out in DESIGN.md §8.
+
+     dune exec bench/main.exe               — run everything
+     dune exec bench/main.exe -- table2     — one experiment
+     dune exec bench/main.exe -- --bechamel — host-time Bechamel suite
+
+   Paper reference values are printed beside every measurement; absolute
+   agreement is not expected (the substrate is a simulator, not the
+   authors' testbed), the shape is what must hold. *)
+
+let hr title =
+  Printf.printf "\n==== %s %s\n" title
+    (String.make (max 1 (66 - String.length title)) '=')
+
+(* --- E1: Table 1 ----------------------------------------------------------- *)
+
+let paper_table1 =
+  [
+    ("File Intensive 1", 2.96); ("File Intensive 2", 2.97);
+    ("Graphics Low", 0.91); ("Graphics Medium", 0.87);
+    ("Graphics High", 0.71); ("PM Tasking Medium", 0.82);
+    ("PM Tasking High", 1.02);
+  ]
+
+let fresh_wpos_api () = Workloads.Api.of_wpos (Wpos.boot ())
+
+let fresh_native_api () =
+  (* OS/2 Warp on a 16 MB Pentium *)
+  let m = Machine.create Machine.Config.pentium_133 in
+  Workloads.Api.of_monolithic (Monolithic.boot m ~fs_format:`Hpfs ())
+
+let table1 () =
+  hr "E1 / Table 1: OS/2 performance, WPOS-to-native elapsed-time ratio";
+  Printf.printf "%-20s %-24s %14s %14s %7s %7s\n" "Test" "Application content"
+    "WPOS cycles" "native cycles" "ratio" "paper";
+  let rows =
+    List.map
+      (fun spec ->
+        let row =
+          Workloads.Table1.compare_systems ~wpos:(fresh_wpos_api ())
+            ~native:(fresh_native_api ()) spec
+        in
+        let paper = List.assoc spec.Workloads.Table1.id paper_table1 in
+        Printf.printf "%-20s %-24s %14d %14d %7.2f %7.2f\n%!"
+          row.Workloads.Table1.row_id spec.Workloads.Table1.app
+          row.Workloads.Table1.wpos_cycles row.Workloads.Table1.native_cycles
+          row.Workloads.Table1.ratio paper;
+        row)
+      Workloads.Table1.all
+  in
+  Printf.printf "%-20s %-24s %14s %14s %7.2f %7.2f\n" "Overall" "" "" ""
+    (Workloads.Table1.overall rows)
+    1.21
+
+(* --- E2: Table 2 ------------------------------------------------------------ *)
+
+let table2 () =
+  hr "E2 / Table 2: trap versus RPC (Pentium performance counters)";
+  let trap, rpc = Workloads.Micro.table2 () in
+  let open Workloads.Micro in
+  Printf.printf "%-14s %12s %12s %12s %8s\n" "" "instructions" "cycles"
+    "bus cycles" "CPI";
+  let line (r : table2_row) =
+    Printf.printf "%-14s %12.0f %12.0f %12.0f %8.2f\n" r.t2_label
+      r.t2_instructions r.t2_cycles r.t2_bus_cycles r.t2_cpi
+  in
+  line trap;
+  line rpc;
+  Printf.printf "%-14s %12.2f %12.2f %12.2f %8.2f\n" "ratio"
+    (rpc.t2_instructions /. trap.t2_instructions)
+    (rpc.t2_cycles /. trap.t2_cycles)
+    (rpc.t2_bus_cycles /. trap.t2_bus_cycles)
+    (rpc.t2_cpi /. trap.t2_cpi);
+  Printf.printf
+    "paper:         trap 465 / 970 / 218 / 2.0; RPC 1317 / 5163 / 1849 / 3.9;\n\
+    \               ratios 2.83 / 5.32 / 8.48 / 1.95\n"
+
+(* --- E3: the 2-10x IPC improvement ------------------------------------------ *)
+
+let figure_ipc () =
+  hr "E3: message passing, Mach 3.0 mach_msg vs the IBM RPC rework";
+  let sizes = [ 0; 32; 128; 512; 1024; 4096; 16384; 65536 ] in
+  let points = Workloads.Micro.ipc_sweep ~sizes () in
+  Printf.printf "%10s %18s %18s %12s\n" "bytes" "mach_msg cycles"
+    "IBM RPC cycles" "improvement";
+  List.iter
+    (fun p ->
+      let open Workloads.Micro in
+      Printf.printf "%10d %18.0f %18.0f %11.2fx\n" p.sw_bytes
+        p.sw_mach_ipc_cycles p.sw_ibm_rpc_cycles p.sw_improvement)
+    points;
+  Printf.printf
+    "paper: \"a two to ten times improvement in message-passing performance\n\
+    \       with the improvement's magnitude depending primarily on the\n\
+    \       number of bytes transmitted\"\n"
+
+(* --- E4: Figure 1 ------------------------------------------------------------- *)
+
+let figure1 () =
+  hr "E4 / Figure 1: the IBM Microkernel and Workplace OS structure";
+  let w = Wpos.boot () in
+  (* put some personality applications on top so the top layer is live *)
+  let api = Workloads.Api.of_wpos w in
+  api.Workloads.Api.spawn ~name:"works.exe" (fun api ->
+      api.Workloads.Api.compute ~units:10);
+  api.Workloads.Api.spawn ~name:"klondike.exe" (fun api ->
+      api.Workloads.Api.draw ~x:10 ~y:10 ~w:71 ~h:96);
+  (match w.Wpos.mvm with
+  | Some mvm ->
+      let vdm = Personalities.Mvm.create_vdm mvm ~name:"dos-box" in
+      Personalities.Mvm.spawn_program mvm vdm ~name:"autoexec"
+        [ Personalities.Mvm.G_compute 2000; Personalities.Mvm.G_io_port 0x3f8 ]
+  | None -> ());
+  Wpos.run w;
+  Format.printf "%a@." Wpos.pp_figure1 w;
+  (* name-space view of the same structure *)
+  let ns = Wpos.name_service w in
+  let db = Mk_services.Name_service.db ns in
+  Printf.printf "name space: /servers = %s; /volumes = %s\n"
+    (String.concat ", " (Mk_services.Name_db.list_children db ~path:"/servers"))
+    (String.concat ", " (Mk_services.Name_db.list_children db ~path:"/volumes"))
+
+(* --- E5: the factor of 3 ------------------------------------------------------- *)
+
+let fileserver_factor () =
+  hr "E5: file service via RPC file server vs in-kernel (the 'factor of 3')";
+  let f = Workloads.Micro.fileserver_factor () in
+  let open Workloads.Micro in
+  Printf.printf
+    "file-server RPC : %8.0f cycles/op\n\
+     in-kernel trap  : %8.0f cycles/op\n\
+     factor          : %8.2fx   (paper: \"about a factor of 3\")\n"
+    f.fx_rpc_cycles_per_op f.fx_trap_cycles_per_op f.fx_factor
+
+(* --- E6: fine-grained objects ---------------------------------------------------- *)
+
+let finegrain () =
+  hr "E6: fine-grained (Taligent) vs coarse (MK++) object networking";
+  let run style =
+    let m = Machine.create Machine.Config.pentium_133 in
+    let k = Mach.Kernel.boot m in
+    let net = Netserver.create k ~style in
+    let app = Mach.Kernel.task_create k ~name:"app" () in
+    let echo = Mach.Kernel.task_create k ~name:"echo" () in
+    let datagrams = 200 in
+    let cycles = ref 0 in
+    ignore
+      (Mach.Kernel.thread_spawn k echo ~name:"echo" (fun () ->
+           match Netserver.udp_socket net ~port:7 with
+           | Error e -> failwith e
+           | Ok s ->
+               for _ = 1 to datagrams do
+                 let src, bytes = Netserver.udp_recv net s in
+                 Netserver.udp_send net s ~dst_port:src ~bytes
+               done)
+        : Mach.Ktypes.thread);
+    ignore
+      (Mach.Kernel.thread_spawn k app ~name:"client" (fun () ->
+           match Netserver.udp_socket net ~port:2000 with
+           | Error e -> failwith e
+           | Ok s ->
+               let t0 = Machine.now m in
+               for _ = 1 to datagrams do
+                 Netserver.udp_send net s ~dst_port:7 ~bytes:256;
+                 ignore (Netserver.udp_recv net s)
+               done;
+               cycles := (Machine.now m - t0) / datagrams)
+        : Mach.Ktypes.thread);
+    Mach.Kernel.run k;
+    ( !cycles,
+      Finegrain.vcalls (Netserver.objects net),
+      Finegrain.memory_footprint_bytes (Netserver.objects net) )
+  in
+  let fc, fv, fm = run Finegrain.Fine_grained in
+  let cc, cv, cm = run Finegrain.Coarse in
+  Printf.printf "%-22s %16s %12s %16s\n" "" "cycles/datagram" "dispatches"
+    "runtime bytes";
+  Printf.printf "%-22s %16d %12d %16d\n" "fine-grained (shipped)" fc fv fm;
+  Printf.printf "%-22s %16d %12d %16d\n" "coarse (MK++ style)" cc cv cm;
+  Printf.printf
+    "slowdown %.2fx, dispatch inflation %.1fx, memory inflation %.1fx\n"
+    (float_of_int fc /. float_of_int cc)
+    (float_of_int fv /. float_of_int cv)
+    (float_of_int fm /. float_of_int cm);
+  Printf.printf
+    "paper: \"a very large number of very short virtual methods ... slowed the\n\
+    \       system down ... C++ runtimes ... consumed considerable amounts of memory\"\n"
+
+(* --- E7: two memory managers ------------------------------------------------------ *)
+
+let memfootprint () =
+  hr "E7: OS/2 commitment-oriented memory over the page-oriented kernel VM";
+  let m = Machine.create Machine.Config.ppc604_133 in
+  let services = Mk_services.Bootstrap.boot m in
+  let k = services.Mk_services.Bootstrap.kernel in
+  let sys = k.Mach.Kernel.sys in
+  (* the same allocation trace both ways: a spread of object sizes, only
+     half of each object ever touched *)
+  let trace = List.init 40 (fun i -> 700 + (i * 1337 mod 20000)) in
+  let os2_task = Mach.Kernel.task_create k ~name:"os2app" () in
+  let os2_mem = Personalities.Os2_memory.create k os2_task in
+  let lazy_task = Mach.Kernel.task_create k ~name:"pnapp" () in
+  let done_ = ref false in
+  ignore
+    (Mach.Kernel.thread_spawn k lazy_task ~name:"driver" (fun () ->
+         List.iter
+           (fun bytes ->
+             (* OS/2 path: committed eagerly, byte bookkeeping on top *)
+             (match Personalities.Os2_memory.dos_alloc_mem os2_mem ~bytes with
+             | Ok addr ->
+                 Mach.Vm.touch sys os2_task ~addr ~write:true
+                   ~bytes:(max 1 (bytes / 2)) ()
+             | Error _ -> ());
+             (* kernel-lazy path: pages appear only when touched *)
+             let addr = Mach.Vm.allocate sys lazy_task ~bytes () in
+             Mach.Vm.touch sys lazy_task ~addr ~write:true
+               ~bytes:(max 1 (bytes / 2)) ())
+           trace;
+         done_ := true)
+      : Mach.Ktypes.thread);
+  Mach.Kernel.run k;
+  assert !done_;
+  let os2_bytes =
+    Personalities.Os2_memory.os2_committed_bytes os2_mem
+    + Personalities.Os2_memory.bookkeeping_bytes os2_mem
+  in
+  let lazy_bytes = Mach.Vm.committed_bytes lazy_task in
+  let requested = List.fold_left ( + ) 0 trace in
+  Printf.printf
+    "requested by the application : %8d bytes\n\
+     kernel-lazy resident         : %8d bytes\n\
+     OS/2 committed + bookkeeping : %8d bytes\n\
+     footprint inflation          : %8.2fx  (paper: \"greatly increased the\n\
+    \                                         memory footprint\")\n"
+    requested lazy_bytes os2_bytes
+    (float_of_int os2_bytes /. float_of_int lazy_bytes)
+
+(* --- E8: driver architectures ------------------------------------------------------- *)
+
+let drivers () =
+  hr "E8 (ablation): the same disk work under three driver architectures";
+  let run arch =
+    let m = Machine.create Machine.Config.pentium_133 in
+    let k = Mach.Kernel.boot m in
+    let rm = Drivers.Resource_manager.create k in
+    let d =
+      match Drivers.Disk_driver.start k rm ~arch with
+      | Ok d -> d
+      | Error e -> failwith e
+    in
+    let app = Mach.Kernel.task_create k ~name:"app" () in
+    let requests = 50 in
+    let cycles = ref 0 in
+    ignore
+      (Mach.Kernel.thread_spawn k app ~name:"reader" (fun () ->
+           ignore (Drivers.Disk_driver.read_blocks d ~block:0 ~count:4);
+           let t0 = Machine.now m in
+           for i = 1 to requests do
+             ignore
+               (Drivers.Disk_driver.read_blocks d ~block:(i * 8 mod 1024)
+                  ~count:4)
+           done;
+           cycles := (Machine.now m - t0) / requests)
+        : Mach.Ktypes.thread);
+    Mach.Kernel.run k;
+    (!cycles, Drivers.Disk_driver.interrupts_taken d)
+  in
+  let uc, ui = run Drivers.Disk_driver.User_level in
+  let kc, ki = run Drivers.Disk_driver.Kernel_bsd in
+  let oc, oi = run Drivers.Disk_driver.Ooddm in
+  (* elapsed time is dominated by media time; the architecture shows in
+     the CPU overhead beyond it *)
+  let g = Machine.Disk.default_geometry in
+  let media =
+    g.Machine.Disk.seek_cycles + (4 * g.Machine.Disk.transfer_cycles_per_block)
+  in
+  Printf.printf "%-22s %16s %12s %14s\n" "" "cycles/request" "interrupts"
+    "CPU overhead";
+  Printf.printf "%-22s %16d %12d %14d\n" "user-level (initial)" uc ui (uc - media);
+  Printf.printf "%-22s %16d %12d %14d\n" "in-kernel BSD-style" kc ki (kc - media);
+  Printf.printf "%-22s %16d %12d %14d\n" "OODDM (fine objects)" oc oi (oc - media);
+  Printf.printf
+    "CPU overhead vs in-kernel: user-level %.2fx, OODDM %.2fx\n\
+     (media time %d cycles/request dominates all three end to end)\n"
+    (float_of_int (uc - media) /. float_of_int (kc - media))
+    (float_of_int (oc - media) /. float_of_int (kc - media))
+    media
+
+(* --- E9: naming ---------------------------------------------------------------------- *)
+
+let nameservice () =
+  hr "E9 (ablation): X.500-style name service vs the Release 2 simple one";
+  let ops = 200 in
+  let x500 =
+    let m = Machine.create Machine.Config.pentium_133 in
+    let b = Mk_services.Bootstrap.boot m in
+    let ns = Mk_services.Bootstrap.name_service_exn b in
+    let k = b.Mk_services.Bootstrap.kernel in
+    let app = Mach.Kernel.task_create k ~name:"app" () in
+    let cycles = ref 0 in
+    ignore
+      (Mach.Kernel.thread_spawn k app ~name:"app" (fun () ->
+           let sys = k.Mach.Kernel.sys in
+           let p = Mach.Port.allocate sys ~receiver:app ~name:"p" in
+           for i = 1 to 20 do
+             ignore
+               (Mk_services.Name_service.bind ns
+                  ~path:(Printf.sprintf "/servers/devices/dev%02d" i)
+                  ~attributes:[ ("class", "char") ]
+                  ~target:p ())
+           done;
+           let t0 = Machine.now m in
+           for i = 1 to ops do
+             ignore
+               (Mk_services.Name_service.resolve_port ns
+                  ~path:
+                    (Printf.sprintf "/servers/devices/dev%02d" ((i mod 20) + 1)))
+           done;
+           cycles := (Machine.now m - t0) / ops)
+        : Mach.Ktypes.thread);
+    Mach.Kernel.run k;
+    !cycles
+  in
+  let simple =
+    let m = Machine.create Machine.Config.pentium_133 in
+    let b =
+      Mk_services.Bootstrap.boot ~naming:Mk_services.Bootstrap.Simple_naming m
+    in
+    let names = Option.get b.Mk_services.Bootstrap.simple_names in
+    let k = b.Mk_services.Bootstrap.kernel in
+    let app = Mach.Kernel.task_create k ~name:"app" () in
+    let cycles = ref 0 in
+    ignore
+      (Mach.Kernel.thread_spawn k app ~name:"app" (fun () ->
+           let sys = k.Mach.Kernel.sys in
+           let p = Mach.Port.allocate sys ~receiver:app ~name:"p" in
+           for i = 1 to 20 do
+             ignore
+               (Mk_services.Name_simple.register names
+                  ~name:(Printf.sprintf "dev%02d" i) p)
+           done;
+           let t0 = Machine.now m in
+           for i = 1 to ops do
+             ignore
+               (Mk_services.Name_simple.lookup names
+                  ~name:(Printf.sprintf "dev%02d" ((i mod 20) + 1)))
+           done;
+           cycles := (Machine.now m - t0) / ops)
+        : Mach.Ktypes.thread);
+    Mach.Kernel.run k;
+    !cycles
+  in
+  Printf.printf
+    "X.500-style : %7d cycles/lookup (RPC + parse + walk + attributes)\n\
+     simple      : %7d cycles/lookup (in-library flat table)\n\
+     ratio       : %7.1fx  (why Release 2 added the simple service)\n"
+    x500 simple
+    (float_of_int x500 /. float_of_int simple)
+
+(* --- harness --------------------------------------------------------------------------- *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("figure-ipc", figure_ipc);
+    ("figure1", figure1);
+    ("fileserver-factor", fileserver_factor);
+    ("finegrain", finegrain);
+    ("memfootprint", memfootprint);
+    ("drivers", drivers);
+    ("nameservice", nameservice);
+  ]
+
+(* host-time measurements of the experiment cores, one Bechamel test per
+   table/figure *)
+let bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let quick name f = Test.make ~name (Staged.stage f) in
+  let test =
+    Test.make_grouped ~name:"wpos-repro"
+      [
+        quick "table2" (fun () ->
+            ignore (Workloads.Micro.table2 ~iters:200 ()));
+        quick "figure-ipc:1k" (fun () ->
+            ignore (Workloads.Micro.ipc_sweep ~iters:50 ~sizes:[ 1024 ] ()));
+        quick "fileserver-factor" (fun () ->
+            ignore (Workloads.Micro.fileserver_factor ~ops:50 ()));
+        quick "table1:file-intensive-1" (fun () ->
+            let spec = List.nth Workloads.Table1.all 0 in
+            ignore (Workloads.Table1.run (fresh_native_api ()) spec));
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns_per_run ] ->
+          Printf.printf "%-32s %12.0f ns/run (host time)\n" name ns_per_run
+      | Some _ | None -> Printf.printf "%-32s (no estimate)\n" name)
+    results
+
+let () =
+  let args = Array.to_list Sys.argv in
+  match args with
+  | _ :: "--bechamel" :: _ -> bechamel ()
+  | _ :: name :: _ -> (
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+  | _ -> List.iter (fun (_, f) -> f ()) experiments

@@ -1,0 +1,71 @@
+(* Calibration probe for Table 2: measures the thread_self trap and a
+   32-byte RPC in steady state and prints the counter readings next to
+   the paper's numbers. *)
+
+let () =
+  let m = Machine.create Machine.Config.pentium_133 in
+  let k = Mach.Kernel.boot m in
+  let sys = k.Mach.Kernel.sys in
+  let client =
+    Mach.Kernel.task_create k ~name:"client" ~personality:"bench" ()
+  in
+  let server =
+    Mach.Kernel.task_create k ~name:"server" ~personality:"bench" ()
+  in
+  let port = Mach.Port.allocate sys ~receiver:server ~name:"svc" in
+  let _srv =
+    Mach.Kernel.thread_spawn k server ~name:"srv" (fun () ->
+        Mach.Rpc.serve sys port (fun _req -> Mach.Ktypes.simple_message ()))
+  in
+  let trap_result = ref Machine.Perf.zero in
+  let rpc_result = ref Machine.Perf.zero in
+  let iters = 2000 in
+  let _cl =
+    Mach.Kernel.thread_spawn k client ~name:"cl" (fun () ->
+        (* warm *)
+        for _ = 1 to 200 do
+          ignore (Mach.Trap.thread_self sys)
+        done;
+        let t0 = Machine.Perf.snapshot (Machine.Cpu.perf m.Machine.cpu) in
+        for _ = 1 to iters do
+          ignore (Mach.Trap.thread_self sys)
+        done;
+        let t1 = Machine.Perf.snapshot (Machine.Cpu.perf m.Machine.cpu) in
+        trap_result := Machine.Perf.diff t1 t0;
+        (* warm RPC *)
+        for _ = 1 to 200 do
+          ignore
+            (Mach.Rpc.call sys port
+               (Mach.Ktypes.simple_message ~inline_bytes:32 ()))
+        done;
+        let r0 = Machine.Perf.snapshot (Machine.Cpu.perf m.Machine.cpu) in
+        for _ = 1 to iters do
+          ignore
+            (Mach.Rpc.call sys port
+               (Mach.Ktypes.simple_message ~inline_bytes:32 ()))
+        done;
+        let r1 = Machine.Perf.snapshot (Machine.Cpu.perf m.Machine.cpu) in
+        rpc_result := Machine.Perf.diff r1 r0;
+        Mach.Port.destroy sys port)
+  in
+  Mach.Kernel.run k;
+  let per s =
+    let open Machine.Perf in
+    ( float_of_int s.instructions /. float_of_int iters,
+      float_of_int s.cycles /. float_of_int iters,
+      float_of_int s.bus_cycles /. float_of_int iters,
+      cpi s,
+      float_of_int s.icache_misses /. float_of_int iters,
+      float_of_int s.tlb_misses /. float_of_int iters )
+  in
+  let ti, tc, tb, tcpi, tim, ttm = per !trap_result in
+  let ri, rc, rb, rcpi, rim, rtm = per !rpc_result in
+  Printf.printf "%-14s %10s %10s %10s %6s %8s %8s\n" "" "inst" "cycles"
+    "bus" "CPI" "I$miss" "TLBmiss";
+  Printf.printf "%-14s %10.0f %10.0f %10.0f %6.2f %8.1f %8.1f\n"
+    "thread_self" ti tc tb tcpi tim ttm;
+  Printf.printf "%-14s %10.0f %10.0f %10.0f %6.2f %8.1f %8.1f\n"
+    "32-byte RPC" ri rc rb rcpi rim rtm;
+  Printf.printf "%-14s %10.2f %10.2f %10.2f %6.2f\n" "ratio" (ri /. ti)
+    (rc /. tc) (rb /. tb) (rcpi /. tcpi);
+  Printf.printf "paper:  trap 465/970/218 cpi 2.0 ; rpc 1317/5163/1849 cpi 3.9 ; ratios 2.83/5.32/8.48/1.95\n"

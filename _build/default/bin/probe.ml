@@ -1,0 +1,13 @@
+let () =
+  let m = Machine.create Machine.Config.pentium_133 in
+  let mono = Monolithic.boot m ~fs_format:`Hpfs () in
+  let api = Workloads.Api.of_monolithic mono in
+  let spec = List.nth Workloads.Table1.all 0 in
+  let t0 = Machine.now m in
+  let c = Workloads.Table1.run api spec in
+  Printf.printf "elapsed %d (run says %d), disk served %d, disk busy %b\n"
+    (Machine.now m - t0) c
+    (Machine.Disk.requests_served m.Machine.disk)
+    (Machine.Disk.busy m.Machine.disk);
+  let p = Machine.Perf.snapshot (Machine.Cpu.perf m.Machine.cpu) in
+  Format.printf "%a@." Machine.Perf.pp p

@@ -1,0 +1,37 @@
+(* Boot Workplace OS and print the Figure 1 system inventory, the
+   physical layout and the name space.
+
+     dune exec bin/wpos_boot.exe            -- the default (PPC/64MB) config
+     dune exec bin/wpos_boot.exe -- pentium -- the Table 2 machine *)
+
+let () =
+  let config =
+    match Array.to_list Sys.argv with
+    | _ :: "pentium" :: _ ->
+        { Wpos.default_config with
+          Wpos.machine_config = Machine.Config.pentium_133 }
+    | _ -> Wpos.default_config
+  in
+  let w = Wpos.boot ~config () in
+  (* a touch of life in each personality *)
+  let api = Workloads.Api.of_wpos w in
+  api.Workloads.Api.spawn ~name:"works.exe" (fun api ->
+      api.Workloads.Api.compute ~units:50);
+  (match w.Wpos.mvm with
+  | Some mvm ->
+      let vdm = Personalities.Mvm.create_vdm mvm ~name:"dos-box" in
+      Personalities.Mvm.spawn_program mvm vdm ~name:"command.com"
+        [ Personalities.Mvm.G_compute 1000 ]
+  | None -> ());
+  Wpos.run w;
+  Format.printf "%a@." Wpos.pp_figure1 w;
+  print_newline ();
+  Format.printf "%a@." Machine.pp_inventory w.Wpos.machine;
+  print_newline ();
+  let db = Mk_services.Name_service.db (Wpos.name_service w) in
+  List.iter
+    (fun top ->
+      Printf.printf "/%s: %s\n" top
+        (String.concat ", "
+           (Mk_services.Name_db.list_children db ~path:("/" ^ top))))
+    [ "servers"; "volumes" ]

@@ -1,0 +1,1 @@
+examples/driver_models.ml: Drivers List Mach Machine Option Printf

@@ -1,0 +1,1 @@
+examples/file_server_tour.ml: Bytes File_server Fileserver Fs_types List Mach Printf Result Vfs Wpos

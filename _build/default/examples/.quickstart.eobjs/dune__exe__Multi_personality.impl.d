@@ -1,0 +1,1 @@
+examples/multi_personality.ml: Bytes Fileserver Format List Mach Mk_services Netserver Personalities Printf String Wpos

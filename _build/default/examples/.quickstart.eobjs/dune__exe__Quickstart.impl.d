@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Fileserver Fmt Mach Machine Personalities Printf Wpos

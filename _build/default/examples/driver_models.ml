@@ -1,0 +1,71 @@
+(* The three device-driver architectures the project went through, doing
+   identical work, plus the hardware resource manager's request/yield/
+   grant protocol.
+
+     dune exec examples/driver_models.exe *)
+
+let () =
+  Printf.printf "%-24s %14s %14s %12s\n" "architecture" "cycles/req"
+    "CPU overhead" "interrupts";
+  let media =
+    let g = Machine.Disk.default_geometry in
+    g.Machine.Disk.seek_cycles + (4 * g.Machine.Disk.transfer_cycles_per_block)
+  in
+  List.iter
+    (fun (label, arch) ->
+      let m = Machine.create Machine.Config.pentium_133 in
+      let k = Mach.Kernel.boot m in
+      let rm = Drivers.Resource_manager.create k in
+      let d =
+        match Drivers.Disk_driver.start k rm ~arch with
+        | Ok d -> d
+        | Error e -> failwith e
+      in
+      let app = Mach.Kernel.task_create k ~name:"app" () in
+      let per_req = ref 0 in
+      ignore
+        (Mach.Kernel.thread_spawn k app ~name:"reader" (fun () ->
+             ignore (Drivers.Disk_driver.read_blocks d ~block:0 ~count:4);
+             let t0 = Machine.now m in
+             for i = 1 to 24 do
+               ignore
+                 (Drivers.Disk_driver.read_blocks d ~block:(i * 16) ~count:4)
+             done;
+             per_req := (Machine.now m - t0) / 24)
+          : Mach.Ktypes.thread);
+      Mach.Kernel.run k;
+      Printf.printf "%-24s %14d %14d %12d\n" label !per_req (!per_req - media)
+        (Drivers.Disk_driver.interrupts_taken d))
+    [
+      ("user-level + reflection", Drivers.Disk_driver.User_level);
+      ("in-kernel BSD-style", Drivers.Disk_driver.Kernel_bsd);
+      ("OODDM fine objects", Drivers.Disk_driver.Ooddm);
+    ];
+
+  (* the resource manager arbitrating a conflict *)
+  print_newline ();
+  let m = Machine.create Machine.Config.pentium_133 in
+  let k = Mach.Kernel.boot m in
+  let rm = Drivers.Resource_manager.create k in
+  let sound_grant =
+    Drivers.Resource_manager.request rm ~driver:"sound"
+      (Drivers.Resource_manager.Irq_line 5)
+      ~on_yield:(fun () -> true)  (* polite: yields when asked *)
+      ()
+  in
+  (match sound_grant with
+  | Ok _ -> Printf.printf "sound granted irq 5\n"
+  | Error e -> Printf.printf "sound: %s\n" e);
+  (match
+     Drivers.Resource_manager.request rm ~driver:"scanner"
+       (Drivers.Resource_manager.Irq_line 5)
+       ()
+   with
+  | Ok _ ->
+      Printf.printf "scanner requested irq 5: sound yielded, scanner granted\n"
+  | Error e -> Printf.printf "scanner: %s\n" e);
+  Printf.printf "irq 5 holder: %s; yields requested: %d; grants issued: %d\n"
+    (Option.value ~default:"none"
+       (Drivers.Resource_manager.holder rm (Drivers.Resource_manager.Irq_line 5)))
+    (Drivers.Resource_manager.yields_requested rm)
+    (Drivers.Resource_manager.grants_issued rm)

@@ -1,0 +1,84 @@
+(* Multiple operating-system personalities running concurrently on one
+   microkernel — the project's headline goal.  An OS/2 program, a DOS
+   box (MVM, with the PowerPC block translator), and a PN-native server
+   all share the machine, the file server and the single rooted name
+   space.
+
+     dune exec examples/multi_personality.exe *)
+
+let () =
+  let w = Wpos.boot () in
+  let kernel = w.Wpos.kernel in
+  let os2 = w.Wpos.os2 in
+  let fs = w.Wpos.file_server in
+  let log = ref [] in
+  let say fmt = Printf.ksprintf (fun s -> log := s :: !log) fmt in
+
+  (* 1. an OS/2 process writing through doscalls *)
+  let _p =
+    Personalities.Os2.create_process os2 ~name:"report.exe" ~entry:(fun p ->
+        match
+          Personalities.Os2.dos_open os2 p ~path:"/os2/report.txt"
+            ~create:true ()
+        with
+        | Ok h ->
+            ignore
+              (Personalities.Os2.dos_write os2 p h
+                 (Bytes.of_string "quarterly numbers"));
+            Personalities.Os2.dos_close os2 p h;
+            say "os2: report.txt written"
+        | Error _ -> say "os2: write failed")
+  in
+
+  (* 2. a DOS program in an MVM virtual machine: compute bursts hit the
+     translator, INT 21h calls reach the same file server *)
+  (match w.Wpos.mvm with
+  | Some mvm ->
+      let vdm = Personalities.Mvm.create_vdm mvm ~name:"dosbox" in
+      Personalities.Mvm.spawn_program mvm vdm ~name:"lotus.exe"
+        Personalities.Mvm.
+          [
+            G_compute 5000; G_int21_write 2048; G_compute 3000;
+            G_io_port 0x3da; G_dpmi_switch; G_compute 2000;
+            G_int21_read 2048;
+          ];
+      say "mvm: dos program queued"
+  | None -> say "mvm: disabled");
+
+  (* 3. a personality-neutral task talking to the networking service *)
+  let pn_task = Mach.Kernel.task_create kernel ~name:"pn-daemon" () in
+  ignore
+    (Mach.Kernel.thread_spawn kernel pn_task ~name:"udp-echo" (fun () ->
+         let net = w.Wpos.net in
+         match Netserver.udp_socket net ~port:7 with
+         | Error e -> say "pn: %s" e
+         | Ok s ->
+             let src, n = Netserver.udp_recv net s in
+             Netserver.udp_send net s ~dst_port:src ~bytes:n;
+             say "pn: echoed %d bytes" n)
+      : Mach.Ktypes.thread);
+  ignore
+    (Mach.Kernel.thread_spawn kernel pn_task ~name:"udp-client" (fun () ->
+         let net = w.Wpos.net in
+         match Netserver.udp_socket net ~port:9000 with
+         | Error e -> say "pn: %s" e
+         | Ok s ->
+             Netserver.udp_send net s ~dst_port:7 ~bytes:128;
+             ignore (Netserver.udp_recv net s))
+      : Mach.Ktypes.thread);
+
+  Wpos.run w;
+
+  List.iter print_endline (List.rev !log);
+  (match w.Wpos.mvm with
+  | Some mvm -> Printf.printf "mvm: %d traps reflected to the VDM libraries\n"
+                  (Personalities.Mvm.traps_reflected mvm)
+  | None -> ());
+
+  (* one rooted tree of names spanning everything *)
+  let db = Mk_services.Name_service.db (Wpos.name_service w) in
+  Printf.printf "name space under /servers: %s\n"
+    (String.concat ", " (Mk_services.Name_db.list_children db ~path:"/servers"));
+  Printf.printf "file server served %d requests across personalities\n"
+    (Fileserver.File_server.requests_served fs);
+  Format.printf "%a@." Wpos.pp_figure1 w

@@ -1,0 +1,69 @@
+(* Quickstart: boot Workplace OS, run an OS/2 program that uses the file
+   server and draws on the screen, and print what happened.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* the default configuration is the paper's WPOS machine: a 133 MHz
+     PowerPC 604 with 64 MB *)
+  let w = Wpos.boot () in
+  Printf.printf "booted: %s\n"
+    (Fmt.str "%a" Machine.Config.pp w.Wpos.machine.Machine.config);
+
+  let os2 = w.Wpos.os2 in
+  let fs = w.Wpos.file_server in
+  let sem = Fileserver.Vfs.os2_semantics in
+
+  (* an OS/2 process: a microkernel task + doscalls shared libraries *)
+  let _process =
+    Personalities.Os2.create_process os2 ~name:"hello.exe" ~entry:(fun p ->
+        (* write a file through doscalls -> RPC -> file server -> HPFS *)
+        (match
+           Personalities.Os2.dos_open os2 p ~path:"/os2/hello.txt"
+             ~create:true ()
+         with
+        | Ok h ->
+            (match
+               Personalities.Os2.dos_write os2 p h
+                 (Bytes.of_string "hello from the OS/2 personality")
+             with
+            | Ok n -> Printf.printf "wrote %d bytes via the file server\n" n
+            | Error e ->
+                Printf.printf "write failed: %s\n"
+                  (Fileserver.Fs_types.fs_error_to_string e));
+            Personalities.Os2.dos_close os2 p h
+        | Error e ->
+            Printf.printf "open failed: %s\n"
+              (Fileserver.Fs_types.fs_error_to_string e));
+        (* draw through Presentation Manager: pure user level *)
+        let pm = w.Wpos.pm in
+        let win = Personalities.Pm.win_create pm p ~x:100 ~y:80 ~w:200 ~h:120 in
+        Personalities.Pm.gpi_fill pm win ~pixel:'*')
+  in
+  Wpos.run w;
+
+  (* verify through an independent path: a personality-neutral task using
+     the client library directly *)
+  let checker = Mach.Kernel.task_create w.Wpos.kernel ~name:"checker" () in
+  ignore
+    (Mach.Kernel.thread_spawn w.Wpos.kernel checker ~name:"check" (fun () ->
+         match
+           Fileserver.File_server.Client.stat fs sem ~path:"/os2/hello.txt"
+         with
+         | Ok st ->
+             Printf.printf "file server reports %d bytes on disk\n"
+               st.Fileserver.Fs_types.st_size
+         | Error e ->
+             Printf.printf "stat failed: %s\n"
+               (Fileserver.Fs_types.fs_error_to_string e))
+      : Mach.Ktypes.thread);
+  Wpos.run w;
+  Printf.printf "pixels drawn: %d\n"
+    (Machine.Framebuffer.pixels_written
+       w.Wpos.machine.Machine.framebuffer);
+  Printf.printf "elapsed simulated time: %d cycles (%.2f ms at %d MHz)\n"
+    (Machine.now w.Wpos.machine)
+    (float_of_int (Machine.now w.Wpos.machine)
+    /. float_of_int w.Wpos.machine.Machine.config.Machine.Config.cpu_mhz
+    /. 1000.)
+    w.Wpos.machine.Machine.config.Machine.Config.cpu_mhz

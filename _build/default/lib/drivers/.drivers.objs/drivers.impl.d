@@ -1,0 +1,1 @@
+lib/drivers/drivers.ml: Disk_driver Display_driver Resource_manager

@@ -1,0 +1,1 @@
+lib/drivers/disk_driver.ml: Bytes Finegrain Mach Machine Resource_manager Result

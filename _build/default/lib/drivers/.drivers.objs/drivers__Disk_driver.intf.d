@@ -1,0 +1,1 @@
+lib/drivers/disk_driver.mli: Mach Resource_manager

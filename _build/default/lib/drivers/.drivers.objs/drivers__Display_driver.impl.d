@@ -1,0 +1,1 @@
+lib/drivers/display_driver.ml: Mach Machine Resource_manager

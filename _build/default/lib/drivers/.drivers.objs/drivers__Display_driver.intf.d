@@ -1,0 +1,1 @@
+lib/drivers/display_driver.mli: Mach Machine Resource_manager

@@ -1,0 +1,1 @@
+lib/drivers/resource_manager.mli: Format Mach

@@ -1,0 +1,7 @@
+(** Device-driver architectures: the hardware resource manager with its
+    request/yield/grant protocol, and the same disk/display drivers under
+    the user-level, in-kernel BSD-style and Taligent OODDM models. *)
+
+module Resource_manager = Resource_manager
+module Disk_driver = Disk_driver
+module Display_driver = Display_driver

@@ -1,0 +1,1 @@
+lib/fileserver/fileserver.ml: Block_cache Extfs Fat File_server Fs_types Hpfs Jfs Vfs

@@ -1,0 +1,1 @@
+lib/fileserver/block_cache.ml: Bytes Hashtbl Mach Machine Option Printf

@@ -1,0 +1,1 @@
+lib/fileserver/block_cache.mli: Mach Machine

@@ -1,0 +1,1 @@
+lib/fileserver/extfs.ml: Block_cache Buffer Bytes Char Fs_types List Machine Option String

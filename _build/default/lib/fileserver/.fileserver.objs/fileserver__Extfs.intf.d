@@ -1,0 +1,1 @@
+lib/fileserver/extfs.mli: Block_cache Fs_types Machine

@@ -1,0 +1,1 @@
+lib/fileserver/fat.ml: Array Block_cache Bytes Char Fs_types Hashtbl List Machine String

@@ -1,0 +1,1 @@
+lib/fileserver/fat.mli: Block_cache Fs_types Machine

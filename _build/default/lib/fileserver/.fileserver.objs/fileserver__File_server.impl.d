@@ -1,0 +1,1 @@
+lib/fileserver/file_server.ml: Bytes Fs_types Hashtbl Mach Mk_services Printf String Vfs

@@ -1,0 +1,1 @@
+lib/fileserver/file_server.mli: Fs_types Mach Mk_services Vfs

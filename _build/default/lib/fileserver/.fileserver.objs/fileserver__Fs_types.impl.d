@@ -1,0 +1,1 @@
+lib/fileserver/fs_types.ml: Result

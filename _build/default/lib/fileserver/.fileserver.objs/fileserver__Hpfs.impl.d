@@ -1,0 +1,1 @@
+lib/fileserver/hpfs.ml: Extfs

@@ -1,0 +1,1 @@
+lib/fileserver/hpfs.mli: Block_cache Extfs Fs_types Machine

@@ -1,0 +1,1 @@
+lib/fileserver/jfs.ml: Extfs

@@ -1,0 +1,1 @@
+lib/fileserver/jfs.mli: Block_cache Extfs Fs_types Machine

@@ -1,0 +1,1 @@
+lib/fileserver/vfs.ml: Fat Fs_types List Printf String

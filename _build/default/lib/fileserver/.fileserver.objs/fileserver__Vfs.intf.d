@@ -1,0 +1,1 @@
+lib/fileserver/vfs.mli: Fs_types

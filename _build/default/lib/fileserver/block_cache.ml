@@ -1,0 +1,152 @@
+type slot = { mutable data : bytes; mutable dirty : bool; mutable stamp : int }
+
+type t = {
+  kernel : Mach.Kernel.t;
+  disk : Machine.Disk.t;
+  capacity : int;
+  slots : (int, slot) Hashtbl.t;
+  buf_region : Machine.Layout.region;  (* cache memory, for data costing *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;
+}
+
+let create (kernel : Mach.Kernel.t) disk ?(capacity = 256) () =
+  let layout = kernel.Mach.Kernel.machine.Machine.layout in
+  let bs = (Machine.Disk.geometry disk).Machine.Disk.block_size in
+  let name =
+    Printf.sprintf "block-cache:%s" (Machine.Disk.name disk)
+  in
+  let buf_region =
+    match Machine.Layout.find layout name with
+    | Some r -> r
+    | None ->
+        Machine.Layout.alloc layout ~name ~kind:Machine.Layout.Data
+          ~size:(capacity * bs)
+  in
+  {
+    kernel;
+    disk;
+    capacity;
+    slots = Hashtbl.create (capacity * 2);
+    buf_region;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    writebacks = 0;
+  }
+
+let block_size t = (Machine.Disk.geometry t.disk).Machine.Disk.block_size
+
+(* the hash-probe itself: a touch of the cache's index structure *)
+let charge_lookup t =
+  Machine.execute t.kernel.Mach.Kernel.machine
+    [
+      Machine.Footprint.load
+        ~addr:(t.buf_region.Machine.Layout.base + 16) ~bytes:32;
+    ]
+
+let data_addr t block =
+  t.buf_region.Machine.Layout.base + (block mod t.capacity * block_size t)
+
+let charge_data t block ~write =
+  let addr = data_addr t block in
+  let op =
+    if write then Machine.Footprint.store ~addr ~bytes:(block_size t)
+    else Machine.Footprint.load ~addr ~bytes:(block_size t)
+  in
+  Machine.execute t.kernel.Mach.Kernel.machine [ op ]
+
+let in_thread (t : t) =
+  Option.is_some t.kernel.Mach.Kernel.sys.Mach.Sched.current
+
+let evict_if_full t =
+  if Hashtbl.length t.slots >= t.capacity then begin
+    let victim = ref None in
+    Hashtbl.iter
+      (fun block slot ->
+        match !victim with
+        | Some (_, s) when s.stamp <= slot.stamp -> ()
+        | _ -> victim := Some (block, slot))
+      t.slots;
+    match !victim with
+    | None -> ()
+    | Some (block, slot) ->
+        if slot.dirty then begin
+          t.writebacks <- t.writebacks + 1;
+          Machine.Disk.write t.disk ~block (Bytes.copy slot.data) (fun () -> ())
+        end;
+        Hashtbl.remove t.slots block
+  end
+
+let disk_read_blocking t block =
+  if in_thread t then begin
+    let sys = t.kernel.Mach.Kernel.sys in
+    let th = Mach.Sched.self () in
+    let result = ref None in
+    Machine.Disk.read t.disk ~block ~count:1 (fun data ->
+        result := Some data;
+        Mach.Sched.wake sys th);
+    let rec wait () =
+      match !result with
+      | Some data -> data
+      | None ->
+          ignore (Mach.Sched.block "disk-read" : Mach.Ktypes.kern_return);
+          wait ()
+    in
+    wait ()
+  end
+  else Machine.Disk.read_now t.disk ~block ~count:1
+
+let read t block =
+  charge_lookup t;
+  match Hashtbl.find_opt t.slots block with
+  | Some slot ->
+      t.hits <- t.hits + 1;
+      t.tick <- t.tick + 1;
+      slot.stamp <- t.tick;
+      charge_data t block ~write:false;
+      Bytes.copy slot.data
+  | None ->
+      t.misses <- t.misses + 1;
+      let data = disk_read_blocking t block in
+      evict_if_full t;
+      t.tick <- t.tick + 1;
+      Hashtbl.replace t.slots block { data = Bytes.copy data; dirty = false; stamp = t.tick };
+      charge_data t block ~write:false;
+      data
+
+let write t block data =
+  if Bytes.length data <> block_size t then
+    invalid_arg "Block_cache.write: bad block length";
+  charge_lookup t;
+  charge_data t block ~write:true;
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.slots block with
+  | Some slot ->
+      t.hits <- t.hits + 1;
+      slot.data <- Bytes.copy data;
+      slot.dirty <- true;
+      slot.stamp <- t.tick
+  | None ->
+      t.misses <- t.misses + 1;
+      evict_if_full t;
+      Hashtbl.replace t.slots block
+        { data = Bytes.copy data; dirty = true; stamp = t.tick }
+
+let flush t =
+  Hashtbl.iter
+    (fun block slot ->
+      if slot.dirty then begin
+        slot.dirty <- false;
+        t.writebacks <- t.writebacks + 1;
+        if in_thread t then
+          Machine.Disk.write t.disk ~block (Bytes.copy slot.data) (fun () -> ())
+        else Machine.Disk.write_now t.disk ~block (Bytes.copy slot.data)
+      end)
+    t.slots
+
+let hits t = t.hits
+let misses t = t.misses
+let writebacks t = t.writebacks

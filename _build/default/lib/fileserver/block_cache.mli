@@ -1,0 +1,27 @@
+(** Write-back block cache over the simulated disk.
+
+    Hits charge a short code path plus the data traffic; misses submit a
+    disk request and block the calling thread until the transfer
+    completes.  Outside thread context (mkfs-style tools at boot) the
+    cache falls through to zero-cost synchronous disk access. *)
+
+type t
+
+val create : Mach.Kernel.t -> Machine.Disk.t -> ?capacity:int -> unit -> t
+(** [capacity] is in blocks (default 256 = 128 KiB). *)
+
+val read : t -> int -> bytes
+(** A fresh copy of the block's contents. *)
+
+val write : t -> int -> bytes -> unit
+(** Install new contents (dirty until evicted/flushed).
+    @raise Invalid_argument unless exactly one block long. *)
+
+val flush : t -> unit
+(** Queue write-back of every dirty block (fire-and-forget: the disk
+    services them in order, delaying subsequent misses). *)
+
+val block_size : t -> int
+val hits : t -> int
+val misses : t -> int
+val writebacks : t -> int

@@ -1,0 +1,521 @@
+open Fs_types
+
+(* On-disk layout (512-byte blocks, offsets relative to [start]):
+     block 0          superblock
+     bitmap           one bit per data block
+     inode table      64-byte inodes
+     journal          (journalled configs) ring of record blocks
+     data             extents live here
+   Inode (64 bytes):
+     0      flags: bit0 used, bit1 directory
+     4..7   size (LE32)
+     8..55  six extents of (start LE32, len LE32), block numbers relative
+            to data_start
+   Directory data: a sequence of entries
+     [2B total entry length][4B inode][2B name length][name bytes]
+   terminated by a zero entry length. *)
+
+let block_size = 512
+let inode_size = 64
+let max_extents = 6
+let magic = "EXT1"
+
+type config = {
+  cfg_format : string;
+  cfg_max_name : int;
+  cfg_case_sensitive : bool;
+  cfg_journalled : bool;
+}
+
+type geom = {
+  start : int;
+  total : int;
+  bitmap_start : int;
+  bitmap_blocks : int;
+  itable_start : int;
+  itable_blocks : int;
+  inodes : int;
+  journal_start : int;
+  journal_blocks : int;
+  data_start : int;
+  data_blocks : int;
+}
+
+type t = {
+  cache : Block_cache.t;
+  cfg : config;
+  g : geom;
+  mutable journal_head : int;
+}
+
+(* journal write counters per cache, for observability *)
+let journal_counters : (Block_cache.t * int ref) list ref = ref []
+
+let journal_counter cache =
+  match List.find_opt (fun (c, _) -> c == cache) !journal_counters with
+  | Some (_, r) -> r
+  | None ->
+      let r = ref 0 in
+      journal_counters := (cache, r) :: !journal_counters;
+      r
+
+let journal_writes cache = !(journal_counter cache)
+
+let get16 b off = Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+
+let set16 b off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff))
+
+let get32 b off = get16 b off lor (get16 b (off + 2) lsl 16)
+
+let set32 b off v =
+  set16 b off (v land 0xffff);
+  set16 b (off + 2) ((v lsr 16) land 0xffff)
+
+(* --- geometry ----------------------------------------------------------- *)
+
+let geom_of cfg ~start ~blocks ~inodes =
+  let bitmap_blocks = (blocks + (block_size * 8) - 1) / (block_size * 8) in
+  let itable_blocks = (inodes * inode_size + block_size - 1) / block_size in
+  let journal_blocks = if cfg.cfg_journalled then 64 else 0 in
+  let data_start = 1 + bitmap_blocks + itable_blocks + journal_blocks in
+  {
+    start;
+    total = blocks;
+    bitmap_start = 1;
+    bitmap_blocks;
+    itable_start = 1 + bitmap_blocks;
+    itable_blocks;
+    inodes;
+    journal_start = 1 + bitmap_blocks + itable_blocks;
+    journal_blocks;
+    data_start;
+    data_blocks = blocks - data_start;
+  }
+
+(* --- metadata writes (journalled) --------------------------------------- *)
+
+let journal_append t =
+  if t.cfg.cfg_journalled && t.g.journal_blocks > 0 then begin
+    let slot = t.journal_head mod t.g.journal_blocks in
+    t.journal_head <- t.journal_head + 1;
+    incr (journal_counter t.cache);
+    let rec_block = t.g.start + t.g.journal_start + slot in
+    let b = Bytes.make block_size '\000' in
+    set32 b 0 t.journal_head;
+    Block_cache.write t.cache rec_block b
+  end
+
+let meta_write t block data =
+  journal_append t;
+  Block_cache.write t.cache block data
+
+(* --- bitmap -------------------------------------------------------------- *)
+
+let bitmap_locate t data_block =
+  let bit = data_block in
+  let block = t.g.start + t.g.bitmap_start + (bit / (block_size * 8)) in
+  let byte = bit / 8 mod block_size in
+  let mask = 1 lsl (bit mod 8) in
+  (block, byte, mask)
+
+let block_used t data_block =
+  let block, byte, mask = bitmap_locate t data_block in
+  let b = Block_cache.read t.cache block in
+  Char.code (Bytes.get b byte) land mask <> 0
+
+let set_block t data_block used =
+  let block, byte, mask = bitmap_locate t data_block in
+  let b = Block_cache.read t.cache block in
+  let v = Char.code (Bytes.get b byte) in
+  let v = if used then v lor mask else v land lnot mask in
+  Bytes.set b byte (Char.chr (v land 0xff));
+  meta_write t block b
+
+(* first free data block at or after [from] *)
+let find_free t ~from =
+  let rec scan i =
+    if i >= t.g.data_blocks then None
+    else if not (block_used t i) then Some i
+    else scan (i + 1)
+  in
+  match scan from with Some i -> Some i | None -> if from > 0 then scan 0 else None
+
+(* --- inodes -------------------------------------------------------------- *)
+
+type inode = {
+  ino : int;
+  mutable i_used : bool;
+  mutable i_dir : bool;
+  mutable i_size : int;
+  mutable i_extents : (int * int) list;  (* (start, len), data-relative *)
+}
+
+let inode_location t ino =
+  let byte = ino * inode_size in
+  (t.g.start + t.g.itable_start + (byte / block_size), byte mod block_size)
+
+let read_inode t ino =
+  if ino < 0 || ino >= t.g.inodes then Error E_bad_handle
+  else begin
+    let block, off = inode_location t ino in
+    let b = Block_cache.read t.cache block in
+    let flags = get32 b off in
+    let extents = ref [] in
+    for i = max_extents - 1 downto 0 do
+      let s = get32 b (off + 8 + (i * 8)) in
+      let l = get32 b (off + 12 + (i * 8)) in
+      if l > 0 then extents := (s, l) :: !extents
+    done;
+    Ok
+      {
+        ino;
+        i_used = flags land 1 <> 0;
+        i_dir = flags land 2 <> 0;
+        i_size = get32 b (off + 4);
+        i_extents = !extents;
+      }
+  end
+
+let write_inode t (i : inode) =
+  let block, off = inode_location t i.ino in
+  let b = Block_cache.read t.cache block in
+  set32 b off ((if i.i_used then 1 else 0) lor if i.i_dir then 2 else 0);
+  set32 b (off + 4) i.i_size;
+  List.iteri
+    (fun idx (s, l) ->
+      set32 b (off + 8 + (idx * 8)) s;
+      set32 b (off + 12 + (idx * 8)) l)
+    i.i_extents;
+  for idx = List.length i.i_extents to max_extents - 1 do
+    set32 b (off + 8 + (idx * 8)) 0;
+    set32 b (off + 12 + (idx * 8)) 0
+  done;
+  meta_write t block b
+
+let alloc_inode t ~dir =
+  let rec scan ino =
+    if ino >= t.g.inodes then Error E_no_space
+    else
+      match read_inode t ino with
+      | Error e -> Error e
+      | Ok i ->
+          if not i.i_used then begin
+            i.i_used <- true;
+            i.i_dir <- dir;
+            i.i_size <- 0;
+            i.i_extents <- [];
+            write_inode t i;
+            Ok i
+          end
+          else scan (ino + 1)
+  in
+  scan 0
+
+(* grow the inode by one data block; extends the last extent when the
+   next block is adjacent, otherwise opens a new extent *)
+let grow_one t (i : inode) =
+  let from =
+    match List.rev i.i_extents with (s, l) :: _ -> s + l | [] -> 0
+  in
+  match find_free t ~from with
+  | None -> Error E_no_space
+  | Some blk ->
+      set_block t blk true;
+      let rec extend = function
+        | [] -> Some [ (blk, 1) ]
+        | [ (s, l) ] when s + l = blk -> Some [ (s, l + 1) ]
+        | [ last ] ->
+            if List.length i.i_extents >= max_extents then None
+            else Some [ last; (blk, 1) ]
+        | e :: rest -> Option.map (fun r -> e :: r) (extend rest)
+      in
+      (match extend i.i_extents with
+      | None ->
+          set_block t blk false;
+          Error E_no_space  (* extent table exhausted: fragmentation *)
+      | Some extents ->
+          i.i_extents <- extents;
+          write_inode t i;
+          Ok ())
+
+let nth_block t (i : inode) n =
+  let rec walk n = function
+    | [] -> None
+    | (s, l) :: rest -> if n < l then Some (s + n) else walk (n - l) rest
+  in
+  Option.map (fun d -> t.g.start + t.g.data_start + d) (walk n i.i_extents)
+
+let blocks_held (i : inode) =
+  List.fold_left (fun acc (_, l) -> acc + l) 0 i.i_extents
+
+let free_inode t (i : inode) =
+  List.iter
+    (fun (s, l) ->
+      for b = s to s + l - 1 do
+        set_block t b false
+      done)
+    i.i_extents;
+  i.i_used <- false;
+  i.i_dir <- false;
+  i.i_size <- 0;
+  i.i_extents <- [];
+  write_inode t i
+
+(* --- file data ----------------------------------------------------------- *)
+
+let read_data t (i : inode) ~off ~len =
+  let len = max 0 (min len (i.i_size - off)) in
+  let out = Bytes.make len '\000' in
+  let rec copy pos =
+    if pos < len then begin
+      let fpos = off + pos in
+      match nth_block t i (fpos / block_size) with
+      | None -> ()  (* hole *)
+      | Some block ->
+          let b = Block_cache.read t.cache block in
+          let boff = fpos mod block_size in
+          let n = min (block_size - boff) (len - pos) in
+          Bytes.blit b boff out pos n;
+          copy (pos + n)
+    end
+  in
+  copy 0;
+  out
+
+let write_data t (i : inode) ~off data =
+  let len = Bytes.length data in
+  let needed = (off + len + block_size - 1) / block_size in
+  let rec ensure () =
+    if blocks_held i >= needed then Ok ()
+    else
+      match grow_one t i with Ok () -> ensure () | Error e -> Error e
+  in
+  let* () = ensure () in
+  let rec copy pos =
+    if pos < len then begin
+      let fpos = off + pos in
+      match nth_block t i (fpos / block_size) with
+      | None -> assert false
+      | Some block ->
+          let boff = fpos mod block_size in
+          let n = min (block_size - boff) (len - pos) in
+          let b =
+            if n = block_size then Bytes.make block_size '\000'
+            else Block_cache.read t.cache block
+          in
+          Bytes.blit data pos b boff n;
+          Block_cache.write t.cache block b;
+          copy (pos + n)
+    end
+  in
+  copy 0;
+  if off + len > i.i_size then begin
+    i.i_size <- off + len;
+    write_inode t i
+  end;
+  Ok len
+
+(* --- directories ---------------------------------------------------------- *)
+
+let canon t name =
+  if t.cfg.cfg_case_sensitive then name else String.lowercase_ascii name
+
+let valid_name t name =
+  if name = "" || String.contains name '/' || String.contains name '\000' then
+    Error E_bad_name
+  else if String.length name > t.cfg.cfg_max_name then Error E_name_too_long
+  else Ok name
+
+let dir_entries t (i : inode) =
+  let data = read_data t i ~off:0 ~len:i.i_size in
+  let rec parse off acc =
+    if off + 8 > Bytes.length data then List.rev acc
+    else
+      let total = get16 data off in
+      if total = 0 then List.rev acc
+      else
+        let ino = get32 data (off + 2) in
+        let nlen = get16 data (off + 6) in
+        let name = Bytes.sub_string data (off + 8) nlen in
+        parse (off + total) ((name, ino) :: acc)
+  in
+  parse 0 []
+
+let write_entries t (i : inode) entries =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, ino) ->
+      let nlen = String.length name in
+      let total = 8 + nlen in
+      let b = Bytes.make total '\000' in
+      set16 b 0 total;
+      set32 b 2 ino;
+      set16 b 6 nlen;
+      Bytes.blit_string name 0 b 8 nlen;
+      Buffer.add_bytes buf b)
+    entries;
+  Buffer.add_string buf "\000\000\000\000\000\000\000\000";
+  let data = Buffer.to_bytes buf in
+  journal_append t;
+  let* (_ : int) = write_data t i ~off:0 data in
+  i.i_size <- Bytes.length data;
+  write_inode t i;
+  Ok ()
+
+let find_in_dir t (i : inode) name =
+  let cname = canon t name in
+  List.find_opt (fun (n, _) -> canon t n = cname) (dir_entries t i)
+
+(* --- mkfs / mount ---------------------------------------------------------- *)
+
+let default_blocks = 8192
+let default_inodes = 512
+
+let mkfs disk cfg ?(start = 0) ?(blocks = default_blocks)
+    ?(inodes = default_inodes) () =
+  let g = geom_of cfg ~start ~blocks ~inodes in
+  let sb = Bytes.make block_size '\000' in
+  Bytes.blit_string magic 0 sb 0 4;
+  set32 sb 4 blocks;
+  set32 sb 8 inodes;
+  Machine.Disk.write_now disk ~block:start sb;
+  let zero = Bytes.make block_size '\000' in
+  for b = 1 to g.data_start - 1 do
+    Machine.Disk.write_now disk ~block:(start + b) zero
+  done;
+  (* inode 0: the root directory, initially empty *)
+  let root = Bytes.make block_size '\000' in
+  set32 root 0 3;  (* used + dir *)
+  Machine.Disk.write_now disk ~block:(start + g.itable_start) root
+
+let ensure_inode t ino ~want_dir =
+  let* i = read_inode t ino in
+  if not i.i_used then Error E_bad_handle
+  else
+    match want_dir with
+    | Some true when not i.i_dir -> Error E_not_dir
+    | Some false when i.i_dir -> Error E_is_dir
+    | Some _ | None -> Ok i
+
+let ops t =
+  let root = 0 in
+  {
+    pfs_limits =
+      {
+        fl_format = t.cfg.cfg_format;
+        fl_max_name = t.cfg.cfg_max_name;
+        fl_case_sensitive = t.cfg.cfg_case_sensitive;
+        fl_preserves_case = true;
+        fl_eight_dot_three = false;
+        fl_journalled = t.cfg.cfg_journalled;
+      };
+    pfs_root = root;
+    pfs_lookup =
+      (fun ~dir name ->
+        let* name = valid_name t name in
+        let* d = ensure_inode t dir ~want_dir:(Some true) in
+        match find_in_dir t d name with
+        | Some (_, ino) -> Ok ino
+        | None -> Error E_not_found);
+    pfs_create =
+      (fun ~dir name ~is_dir ->
+        let* name = valid_name t name in
+        let* d = ensure_inode t dir ~want_dir:(Some true) in
+        match find_in_dir t d name with
+        | Some _ -> Error E_exists
+        | None ->
+            let* i = alloc_inode t ~dir:is_dir in
+            let* () = write_entries t d (dir_entries t d @ [ (name, i.ino) ]) in
+            Ok i.ino);
+    pfs_remove =
+      (fun ~dir name ->
+        let* name = valid_name t name in
+        let* d = ensure_inode t dir ~want_dir:(Some true) in
+        match find_in_dir t d name with
+        | None -> Error E_not_found
+        | Some (ename, ino) ->
+            let* i = ensure_inode t ino ~want_dir:None in
+            let* () =
+              if i.i_dir && dir_entries t i <> [] then Error E_dir_not_empty
+              else Ok ()
+            in
+            free_inode t i;
+            write_entries t d
+              (List.filter (fun (n, _) -> n <> ename) (dir_entries t d)));
+    pfs_readdir =
+      (fun ~dir ->
+        let* d = ensure_inode t dir ~want_dir:(Some true) in
+        Ok (List.sort compare (List.map fst (dir_entries t d))));
+    pfs_stat =
+      (fun ino ->
+        let* i = ensure_inode t ino ~want_dir:None in
+        Ok
+          {
+            st_id = ino;
+            st_size = i.i_size;
+            st_is_dir = i.i_dir;
+            st_blocks = blocks_held i;
+          });
+    pfs_read =
+      (fun ino ~off ~len ->
+        let* i = ensure_inode t ino ~want_dir:(Some false) in
+        Ok (read_data t i ~off ~len));
+    pfs_write =
+      (fun ino ~off data ->
+        let* i = ensure_inode t ino ~want_dir:(Some false) in
+        write_data t i ~off data);
+    pfs_truncate =
+      (fun ino ~len ->
+        let* i = ensure_inode t ino ~want_dir:(Some false) in
+        if len > i.i_size then Error E_no_space
+        else begin
+          i.i_size <- len;
+          write_inode t i;
+          Ok ()
+        end);
+    pfs_rename =
+      (fun ~src_dir name ~dst_dir new_name ->
+        let* name = valid_name t name in
+        let* new_name = valid_name t new_name in
+        let* sd = ensure_inode t src_dir ~want_dir:(Some true) in
+        match find_in_dir t sd name with
+        | None -> Error E_not_found
+        | Some (ename, ino) ->
+            let* dd = ensure_inode t dst_dir ~want_dir:(Some true) in
+            (match find_in_dir t dd new_name with
+            | Some _ -> Error E_exists
+            | None ->
+                if src_dir = dst_dir then
+                  write_entries t sd
+                    (List.map
+                       (fun (n, x) ->
+                         if n = ename then (new_name, x) else (n, x))
+                       (dir_entries t sd))
+                else
+                  let* () =
+                    write_entries t sd
+                      (List.filter (fun (n, _) -> n <> ename) (dir_entries t sd))
+                  in
+                  write_entries t dd (dir_entries t dd @ [ (new_name, ino) ])));
+    pfs_sync = (fun () -> Block_cache.flush t.cache);
+    pfs_free_blocks =
+      (fun () ->
+        let free = ref 0 in
+        for b = 0 to t.g.data_blocks - 1 do
+          if not (block_used t b) then incr free
+        done;
+        !free);
+  }
+
+let mount cache cfg ?(start = 0) () =
+  let sb = Block_cache.read cache start in
+  if Bytes.sub_string sb 0 4 <> magic then
+    Error (E_io ("not a " ^ cfg.cfg_format ^ " volume"))
+  else begin
+    let blocks = get32 sb 4 in
+    let inodes = get32 sb 8 in
+    let g = geom_of cfg ~start ~blocks ~inodes in
+    Ok (ops { cache; cfg; g; journal_head = 0 })
+  end

@@ -1,0 +1,35 @@
+(** Extent/inode file-system core.
+
+    The shared machinery behind the {!Hpfs} and {!Jfs} formats: a
+    superblock, a data-block allocation bitmap, a fixed inode table whose
+    inodes hold up to six extents, directories stored as ordinary file
+    data, and (optionally) a metadata journal — every metadata block
+    write is preceded by a journal-record write, which is the cost and
+    robustness difference JFS brings.
+
+    Format-specific behaviour (name length, case rules, journalling) is
+    injected through {!config}; the two public formats are thin wrappers
+    choosing a config. *)
+
+open Fs_types
+
+type config = {
+  cfg_format : string;
+  cfg_max_name : int;
+  cfg_case_sensitive : bool;
+  cfg_journalled : bool;
+}
+
+val mkfs :
+  Machine.Disk.t -> config -> ?start:int -> ?blocks:int -> ?inodes:int ->
+  unit -> unit
+
+val mount : Block_cache.t -> config -> ?start:int -> unit -> (pfs, fs_error) result
+
+val max_extents : int
+(** Extents per inode — exceeding this under fragmentation yields
+    [E_no_space], a genuine format constraint. *)
+
+val journal_writes : Block_cache.t -> int
+(** Journal-record writes observed through this cache (for tests and the
+    driver ablation). *)

@@ -1,0 +1,21 @@
+(** The FAT physical file system — OS/2's legacy on-disk format.
+
+    A genuine FAT layout on the simulated disk: boot sector, a 16-bit
+    file-allocation table, a fixed root directory of 32-byte entries and
+    single-block clusters.  The format's constraints surface exactly as
+    the paper describes: names are 8.3 only ([E_name_too_long] /
+    [E_bad_name] otherwise — "no good way to jam long file names into the
+    OS/2 FAT file format"), case is folded, and there is no journal. *)
+
+open Fs_types
+
+val mkfs : Machine.Disk.t -> ?start:int -> ?blocks:int -> unit -> unit
+(** Write a fresh FAT structure over a disk extent (zero simulated cost:
+    an offline tool). *)
+
+val mount : Block_cache.t -> ?start:int -> unit -> (pfs, fs_error) result
+(** Mount a previously {!mkfs}ed extent. *)
+
+val valid_name : string -> (string, fs_error) result
+(** 8.3 validation and upcasing, exposed for tests and for the vnode
+    layer's semantic checks. *)

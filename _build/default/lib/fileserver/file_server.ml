@@ -1,0 +1,369 @@
+open Fs_types
+open Mach.Ktypes
+
+type open_file = {
+  of_port : port;  (* one port per open file *)
+  of_pfs : pfs;
+  of_id : file_id;
+  mutable of_pos : int;
+  mutable of_mapped : bool;
+}
+
+type t = {
+  kernel : Mach.Kernel.t;
+  runtime : Mk_services.Runtime.t;
+  fs_task : task;
+  fs_port : port;
+  fs_vfs : Vfs.t;
+  opens : (int, open_file) Hashtbl.t;  (* keyed by the file port's id *)
+  buffer_obj : vm_object;  (* shared mapped-read buffer *)
+  mutable served : int;
+  mutable m_pageins : int;
+  mutable m_pageouts : int;
+}
+
+type payload +=
+  | FS_open of { o_sem : Vfs.semantics; o_path : string; o_create : bool }
+  | FS_close of int
+  | FS_read of { r_handle : int; r_bytes : int }
+  | FS_read_mapped of { rm_handle : int; rm_bytes : int }
+  | FS_write of { w_handle : int; w_bytes : bytes }
+  | FS_seek of { s_handle : int; s_pos : int }
+  | FS_path_op of { p_sem : Vfs.semantics; p_op : string; p_path : string; p_path2 : string }
+  | FS_sync
+  | FS_r_handle of int
+  | FS_r_data of bytes
+  | FS_r_len of int
+  | FS_r_stat of stat
+  | FS_r_names of string list
+  | FS_r_unit
+  | FS_r_err of fs_error
+
+(* request selectors, for stubs *)
+let op_open = 10
+let op_close = 11
+let op_read = 12
+let op_read_mapped = 13
+let op_write = 14
+let op_seek = 15
+let op_path = 16
+let op_sync = 17
+
+let charge t ~offset ~bytes =
+  Mach.Ktext.exec_in t.kernel.Mach.Kernel.ktext t.fs_task.text ~offset ~bytes
+
+(* the per-operation server work beyond the physical file system: vnode
+   lookup, open-file table, union-semantics checks *)
+let charge_vnode t = charge t ~offset:0x800 ~bytes:640
+let charge_open_table t = charge t ~offset:0xc00 ~bytes:256
+let charge_union t = charge t ~offset:0x1000 ~bytes:448
+
+let handle_lookup t h =
+  match Hashtbl.find_opt t.opens h with
+  | Some f when not f.of_port.dead -> Ok f
+  | Some _ | None -> Error E_bad_handle
+
+let do_open t sem path create =
+  charge_vnode t;
+  charge_union t;
+  let resolved =
+    match Vfs.resolve t.fs_vfs sem ~path with
+    | Ok x -> Ok x
+    | Error E_not_found when create -> (
+        match Vfs.create_file t.fs_vfs sem ~path with
+        | Ok _id -> Vfs.resolve t.fs_vfs sem ~path
+        | Error e -> Error e)
+    | Error e -> Error e
+  in
+  match resolved with
+  | Error e -> FS_r_err e
+  | Ok (pfs, id) -> (
+      match pfs.pfs_stat id with
+      | Error e -> FS_r_err e
+      | Ok st when st.st_is_dir -> FS_r_err E_is_dir
+      | Ok _ ->
+          charge_open_table t;
+          let sys = t.kernel.Mach.Kernel.sys in
+          let fport =
+            Mach.Port.allocate sys ~receiver:t.fs_task
+              ~name:(Printf.sprintf "file:%s" path)
+          in
+          Hashtbl.replace t.opens fport.port_id
+            { of_port = fport; of_pfs = pfs; of_id = id; of_pos = 0;
+              of_mapped = false };
+          FS_r_handle fport.port_id)
+
+let do_path_op t sem op path path2 =
+  charge_vnode t;
+  charge_union t;
+  match op with
+  | "stat" -> (
+      match Vfs.stat t.fs_vfs sem ~path with
+      | Ok st -> FS_r_stat st
+      | Error e -> FS_r_err e)
+  | "mkdir" -> (
+      match Vfs.mkdir t.fs_vfs sem ~path with
+      | Ok (_ : file_id) -> FS_r_unit
+      | Error e -> FS_r_err e)
+  | "readdir" -> (
+      match Vfs.readdir t.fs_vfs sem ~path with
+      | Ok names -> FS_r_names names
+      | Error e -> FS_r_err e)
+  | "unlink" -> (
+      match Vfs.unlink t.fs_vfs sem ~path with
+      | Ok () -> FS_r_unit
+      | Error e -> FS_r_err e)
+  | "rename" -> (
+      match Vfs.rename t.fs_vfs sem ~src:path ~dst:path2 with
+      | Ok () -> FS_r_unit
+      | Error e -> FS_r_err e)
+  | _ -> FS_r_err (E_io ("unknown op " ^ op))
+
+let handle t (msg : message) : message_builder =
+  t.served <- t.served + 1;
+  let reply ?(bytes = 32) payload =
+    simple_message ~op:msg.msg_op ~inline_bytes:bytes ~payload ()
+  in
+  match msg.msg_payload with
+  | FS_open { o_sem; o_path; o_create } ->
+      reply (do_open t o_sem o_path o_create)
+  | FS_close h -> (
+      charge_open_table t;
+      match handle_lookup t h with
+      | Ok f ->
+          Hashtbl.remove t.opens h;
+          Mach.Port.destroy t.kernel.Mach.Kernel.sys f.of_port;
+          reply FS_r_unit
+      | Error e -> reply (FS_r_err e))
+  | FS_read { r_handle; r_bytes } -> (
+      charge_open_table t;
+      match handle_lookup t r_handle with
+      | Error e -> reply (FS_r_err e)
+      | Ok f -> (
+          match f.of_pfs.pfs_read f.of_id ~off:f.of_pos ~len:r_bytes with
+          | Ok data ->
+              f.of_pos <- f.of_pos + Bytes.length data;
+              (* reply copies the data back inline *)
+              reply ~bytes:(Bytes.length data + 32) (FS_r_data data)
+          | Error e -> reply (FS_r_err e)))
+  | FS_read_mapped { rm_handle; rm_bytes } -> (
+      charge_open_table t;
+      match handle_lookup t rm_handle with
+      | Error e -> reply (FS_r_err e)
+      | Ok f -> (
+          match f.of_pfs.pfs_read f.of_id ~off:f.of_pos ~len:rm_bytes with
+          | Ok data ->
+              f.of_pos <- f.of_pos + Bytes.length data;
+              (* the data stays in the shared buffer object: map it into
+                 the client on first use instead of copying *)
+              let sys = t.kernel.Mach.Kernel.sys in
+              (if not f.of_mapped then begin
+                 f.of_mapped <- true;
+                 match msg.msg_sender with
+                 | Some client ->
+                     ignore
+                       (Mach.Vm.map_object sys client t.buffer_obj
+                          ~bytes:(64 * 1024) ~prot:prot_ro ()
+                         : int)
+                 | None -> ()
+               end);
+              reply (FS_r_len (Bytes.length data))
+          | Error e -> reply (FS_r_err e)))
+  | FS_write { w_handle; w_bytes } -> (
+      charge_open_table t;
+      match handle_lookup t w_handle with
+      | Error e -> reply (FS_r_err e)
+      | Ok f -> (
+          match f.of_pfs.pfs_write f.of_id ~off:f.of_pos w_bytes with
+          | Ok n ->
+              f.of_pos <- f.of_pos + n;
+              reply (FS_r_len n)
+          | Error e -> reply (FS_r_err e)))
+  | FS_seek { s_handle; s_pos } -> (
+      charge_open_table t;
+      match handle_lookup t s_handle with
+      | Ok f ->
+          f.of_pos <- max 0 s_pos;
+          reply FS_r_unit
+      | Error e -> reply (FS_r_err e))
+  | FS_path_op { p_sem; p_op; p_path; p_path2 } ->
+      reply (do_path_op t p_sem p_op p_path p_path2)
+  | FS_sync ->
+      Vfs.sync t.fs_vfs;
+      reply FS_r_unit
+  | _ -> reply (FS_r_err (E_io "bad request"))
+
+let start (kernel : Mach.Kernel.t) runtime fs_vfs ?(server_threads = 1) () =
+  let sys = kernel.Mach.Kernel.sys in
+  Mach.Sched.with_uncharged sys (fun () ->
+      let fs_task =
+        Mach.Kernel.task_create kernel ~name:"file-server" ~personality:"pn"
+          ~text_bytes:(64 * 1024) ~data_bytes:(32 * 1024) ()
+      in
+      Mk_services.Runtime.attach runtime fs_task;
+      let fs_port = Mach.Port.allocate sys ~receiver:fs_task ~name:"file-service" in
+      let buffer_obj =
+        Mach.Vm.object_create sys ~tag:"fs-shared-buffers" ~bytes:(64 * 1024) ()
+      in
+      let t =
+        {
+          kernel;
+          runtime;
+          fs_task;
+          fs_port;
+          fs_vfs;
+          opens = Hashtbl.create 32;
+          buffer_obj;
+          served = 0;
+          m_pageins = 0;
+          m_pageouts = 0;
+        }
+      in
+      for i = 1 to server_threads do
+        ignore
+          (Mach.Kernel.thread_spawn kernel fs_task
+             ~name:(Printf.sprintf "fs-serve-%d" i) (fun () ->
+               Mach.Rpc.serve sys t.fs_port (handle t))
+            : thread)
+      done;
+      t)
+
+let port t = t.fs_port
+let task t = t.fs_task
+let vfs t = t.fs_vfs
+let open_files t = Hashtbl.length t.opens
+let requests_served t = t.served
+
+(* The file server as an external memory manager: a mapped file's pages
+   are read from (and written back to) the physical file system on
+   demand.  The cost of each page-in/out is the server's vnode work plus
+   whatever disk traffic the block cache needs. *)
+let map_file t sem task ~path =
+  charge_vnode t;
+  match Vfs.resolve t.fs_vfs sem ~path with
+  | Error e -> Error e
+  | Ok (pfs, id) -> (
+      match pfs.pfs_stat id with
+      | Error e -> Error e
+      | Ok st when st.st_is_dir -> Error E_is_dir
+      | Ok st ->
+          let sys = t.kernel.Mach.Kernel.sys in
+          let size = max page_size (pages_of_bytes st.st_size * page_size) in
+          let backing =
+            {
+              bs_name = "file:" ^ path;
+              bs_page_in =
+                (fun _obj idx k ->
+                  t.m_pageins <- t.m_pageins + 1;
+                  charge_vnode t;
+                  ignore
+                    (pfs.pfs_read id ~off:(idx * page_size) ~len:page_size);
+                  k ());
+              bs_page_out =
+                (fun _obj idx k ->
+                  t.m_pageouts <- t.m_pageouts + 1;
+                  charge_vnode t;
+                  ignore
+                    (pfs.pfs_write id ~off:(idx * page_size)
+                       (Bytes.make page_size '\000'));
+                  k ());
+            }
+          in
+          let obj =
+            Mach.Vm.object_create sys ~backing ~tag:("map:" ^ path)
+              ~bytes:size ()
+          in
+          let addr = Mach.Vm.map_object sys task obj ~bytes:size () in
+          Ok (addr, st.st_size))
+
+let mapped_pageins t = t.m_pageins
+let mapped_pageouts t = t.m_pageouts
+
+module Client = struct
+  type handle = int
+
+  let rpc t ~op ~bytes payload =
+    let sys = t.kernel.Mach.Kernel.sys in
+    match Mach.Rpc.call sys t.fs_port (simple_message ~op ~inline_bytes:bytes ~payload ()) with
+    | Ok reply -> reply.msg_payload
+    | Error err -> FS_r_err (E_io (kern_return_to_string err))
+
+  let open_ t sem ~path ?(create = false) () =
+    match
+      rpc t ~op:op_open
+        ~bytes:(64 + String.length path)
+        (FS_open { o_sem = sem; o_path = path; o_create = create })
+    with
+    | FS_r_handle h -> Ok h
+    | FS_r_err e -> Error e
+    | _ -> Error (E_io "bad reply")
+
+  let close t h = ignore (rpc t ~op:op_close ~bytes:32 (FS_close h))
+
+  let read t h ~bytes =
+    match
+      rpc t ~op:op_read ~bytes:40 (FS_read { r_handle = h; r_bytes = bytes })
+    with
+    | FS_r_data data -> Ok data
+    | FS_r_err e -> Error e
+    | _ -> Error (E_io "bad reply")
+
+  let read_mapped t h ~bytes =
+    match
+      rpc t ~op:op_read_mapped ~bytes:40
+        (FS_read_mapped { rm_handle = h; rm_bytes = bytes })
+    with
+    | FS_r_len n -> Ok n
+    | FS_r_err e -> Error e
+    | _ -> Error (E_io "bad reply")
+
+  let write t h data =
+    match
+      rpc t ~op:op_write
+        ~bytes:(Bytes.length data + 40)
+        (FS_write { w_handle = h; w_bytes = data })
+    with
+    | FS_r_len n -> Ok n
+    | FS_r_err e -> Error e
+    | _ -> Error (E_io "bad reply")
+
+  let seek t h ~pos =
+    ignore (rpc t ~op:op_seek ~bytes:40 (FS_seek { s_handle = h; s_pos = pos }))
+
+  let path_op t sem op ~path ?(path2 = "") () =
+    rpc t ~op:op_path
+      ~bytes:(64 + String.length path + String.length path2)
+      (FS_path_op { p_sem = sem; p_op = op; p_path = path; p_path2 = path2 })
+
+  let stat t sem ~path =
+    match path_op t sem "stat" ~path () with
+    | FS_r_stat st -> Ok st
+    | FS_r_err e -> Error e
+    | _ -> Error (E_io "bad reply")
+
+  let mkdir t sem ~path =
+    match path_op t sem "mkdir" ~path () with
+    | FS_r_unit -> Ok ()
+    | FS_r_err e -> Error e
+    | _ -> Error (E_io "bad reply")
+
+  let readdir t sem ~path =
+    match path_op t sem "readdir" ~path () with
+    | FS_r_names names -> Ok names
+    | FS_r_err e -> Error e
+    | _ -> Error (E_io "bad reply")
+
+  let unlink t sem ~path =
+    match path_op t sem "unlink" ~path () with
+    | FS_r_unit -> Ok ()
+    | FS_r_err e -> Error e
+    | _ -> Error (E_io "bad reply")
+
+  let rename t sem ~src ~dst =
+    match path_op t sem "rename" ~path:src ~path2:dst () with
+    | FS_r_unit -> Ok ()
+    | FS_r_err e -> Error e
+    | _ -> Error (E_io "bad reply")
+
+  let sync t = ignore (rpc t ~op:op_sync ~bytes:32 FS_sync)
+end

@@ -1,0 +1,69 @@
+(** The personality-neutral file server.
+
+    A separate user-level task exposing generic file services over
+    {!Mach.Rpc}, with the traits the paper calls out: an extended vnode
+    architecture underneath ({!Vfs} over FAT/HPFS/JFS), heavy use of
+    ports to manage open files (one port per open file), and
+    mapped-buffer data sharing with clients as an alternative to copying
+    reads.
+
+    {!Client} is the stub library personalities link against; its calls
+    run from the calling thread's task and block for the RPC round trip
+    (and any disk I/O the server performs). *)
+
+open Fs_types
+
+type t
+
+val start :
+  Mach.Kernel.t -> Mk_services.Runtime.t -> Vfs.t -> ?server_threads:int ->
+  unit -> t
+(** Create the file-server task and its service thread(s). *)
+
+val port : t -> Mach.Ktypes.port
+val task : t -> Mach.Ktypes.task
+val vfs : t -> Vfs.t
+val open_files : t -> int
+val requests_served : t -> int
+
+val map_file :
+  t -> Vfs.semantics -> Mach.Ktypes.task -> path:string ->
+  (int * int, fs_error) result
+(** Memory-map a file into the task: the returned [(address, size)] range
+    is backed by the file server acting as the file's external pager —
+    first touch of each page performs the (simulated) file read, dirty
+    evictions write back through the file system.  The "aggressive memory
+    mapping techniques to buffer file data" of the paper's file server. *)
+
+val mapped_pageins : t -> int
+val mapped_pageouts : t -> int
+
+module Client : sig
+  type handle
+
+  val open_ :
+    t -> Vfs.semantics -> path:string -> ?create:bool -> unit ->
+    (handle, fs_error) result
+  (** Opening returns a dedicated port for the file; the server deposits
+      a send right in the caller's port space. *)
+
+  val close : t -> handle -> unit
+  val read : t -> handle -> bytes:int -> (bytes, fs_error) result
+  (** Copying read at the handle's position (advances it). *)
+
+  val read_mapped : t -> handle -> bytes:int -> (int, fs_error) result
+  (** Mapped-buffer read: the first call maps the server's buffer object
+      into the client (one map operation); subsequent reads avoid the
+      data copy.  Returns bytes made available. *)
+
+  val write : t -> handle -> bytes -> (int, fs_error) result
+  val seek : t -> handle -> pos:int -> unit
+  val stat : t -> Vfs.semantics -> path:string -> (stat, fs_error) result
+  val mkdir : t -> Vfs.semantics -> path:string -> (unit, fs_error) result
+  val readdir :
+    t -> Vfs.semantics -> path:string -> (string list, fs_error) result
+  val unlink : t -> Vfs.semantics -> path:string -> (unit, fs_error) result
+  val rename :
+    t -> Vfs.semantics -> src:string -> dst:string -> (unit, fs_error) result
+  val sync : t -> unit
+end

@@ -1,0 +1,14 @@
+(** The shared-service file server and its substrate: a write-back block
+    cache, three physical file systems with genuine on-disk layouts
+    (FAT, HPFS-like, journalled JFS-like), the vnode/union-semantics
+    layer, and the RPC file server with port-per-open-file and
+    mapped-buffer reads. *)
+
+module Fs_types = Fs_types
+module Block_cache = Block_cache
+module Fat = Fat
+module Extfs = Extfs
+module Hpfs = Hpfs
+module Jfs = Jfs
+module Vfs = Vfs
+module File_server = File_server

@@ -1,0 +1,71 @@
+(* Common file-system types shared by the physical file systems, the
+   vnode layer and the file server. *)
+
+type fs_error =
+  | E_not_found
+  | E_exists
+  | E_no_space
+  | E_name_too_long
+  | E_bad_name
+  | E_not_dir
+  | E_is_dir
+  | E_dir_not_empty
+  | E_bad_handle
+  | E_read_only
+  | E_io of string
+
+let fs_error_to_string = function
+  | E_not_found -> "not found"
+  | E_exists -> "exists"
+  | E_no_space -> "no space"
+  | E_name_too_long -> "name too long"
+  | E_bad_name -> "bad name"
+  | E_not_dir -> "not a directory"
+  | E_is_dir -> "is a directory"
+  | E_dir_not_empty -> "directory not empty"
+  | E_bad_handle -> "bad handle"
+  | E_read_only -> "read-only"
+  | E_io s -> "I/O error: " ^ s
+
+type file_id = int
+
+type stat = {
+  st_id : file_id;
+  st_size : int;
+  st_is_dir : bool;
+  st_blocks : int;
+}
+
+(* Semantics profile of a physical file system: the constraints the
+   on-disk format imposes on the logical layer (the paper's point about
+   FAT's 8.3 names). *)
+type format_limits = {
+  fl_format : string;
+  fl_max_name : int;
+  fl_case_sensitive : bool;
+  fl_preserves_case : bool;
+  fl_eight_dot_three : bool;
+  fl_journalled : bool;
+}
+
+(* The physical-file-system operations record — the extended vnode
+   architecture's per-format plug. *)
+type pfs = {
+  pfs_limits : format_limits;
+  pfs_root : file_id;
+  pfs_lookup : dir:file_id -> string -> (file_id, fs_error) result;
+  pfs_create : dir:file_id -> string -> is_dir:bool -> (file_id, fs_error) result;
+  pfs_remove : dir:file_id -> string -> (unit, fs_error) result;
+  pfs_readdir : dir:file_id -> (string list, fs_error) result;
+  pfs_stat : file_id -> (stat, fs_error) result;
+  pfs_read : file_id -> off:int -> len:int -> (bytes, fs_error) result;
+  pfs_write : file_id -> off:int -> bytes -> (int, fs_error) result;
+  pfs_truncate : file_id -> len:int -> (unit, fs_error) result;
+  pfs_rename :
+    src_dir:file_id -> string -> dst_dir:file_id -> string ->
+    (unit, fs_error) result;
+  pfs_sync : unit -> unit;
+  pfs_free_blocks : unit -> int;
+}
+
+let ( let* ) = Result.bind

@@ -1,0 +1,10 @@
+let config =
+  {
+    Extfs.cfg_format = "hpfs";
+    cfg_max_name = 254;
+    cfg_case_sensitive = false;
+    cfg_journalled = false;
+  }
+
+let mkfs disk ?start ?blocks () = Extfs.mkfs disk config ?start ?blocks ()
+let mount cache ?start () = Extfs.mount cache config ?start ()

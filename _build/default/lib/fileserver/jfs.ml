@@ -1,0 +1,10 @@
+let config =
+  {
+    Extfs.cfg_format = "jfs";
+    cfg_max_name = 255;
+    cfg_case_sensitive = true;
+    cfg_journalled = true;
+  }
+
+let mkfs disk ?start ?blocks () = Extfs.mkfs disk config ?start ?blocks ()
+let mount cache ?start () = Extfs.mount cache config ?start ()

@@ -1,0 +1,11 @@
+(** The JFS-like physical file system (AIX's journalled format).
+
+    Long names, case-sensitive, and a metadata journal: every metadata
+    block write is preceded by a journal-record write, trading extra I/O
+    for crash consistency. *)
+
+open Fs_types
+
+val config : Extfs.config
+val mkfs : Machine.Disk.t -> ?start:int -> ?blocks:int -> unit -> unit
+val mount : Block_cache.t -> ?start:int -> unit -> (pfs, fs_error) result

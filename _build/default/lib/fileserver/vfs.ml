@@ -1,0 +1,123 @@
+open Fs_types
+
+type semantics = {
+  sem_name : string;
+  sem_case_sensitive : bool;
+  sem_long_names : bool;
+}
+
+let os2_semantics =
+  { sem_name = "os2"; sem_case_sensitive = false; sem_long_names = true }
+
+let unix_semantics =
+  { sem_name = "unix"; sem_case_sensitive = true; sem_long_names = true }
+
+let talos_semantics =
+  { sem_name = "talos"; sem_case_sensitive = true; sem_long_names = true }
+
+type t = {
+  mutable mount_table : (string * pfs) list;
+  mutable compromise_count : int;
+}
+
+let create () = { mount_table = []; compromise_count = 0 }
+
+let components path =
+  List.filter (fun c -> c <> "") (String.split_on_char '/' path)
+
+let mount t ~at pfs =
+  match components at with
+  | [ point ] ->
+      if List.mem_assoc point t.mount_table then
+        Error (Printf.sprintf "mount point %S in use" at)
+      else begin
+        t.mount_table <- (point, pfs) :: t.mount_table;
+        Ok ()
+      end
+  | _ -> Error "mount point must be a single top-level component"
+
+let mounts t =
+  List.rev_map
+    (fun (point, pfs) -> ("/" ^ point, pfs.pfs_limits.fl_format))
+    t.mount_table
+
+let compromise t = t.compromise_count <- t.compromise_count + 1
+let compromises t = t.compromise_count
+
+let check_name t sem (limits : format_limits) name =
+  if String.length name > limits.fl_max_name then Error E_name_too_long
+  else if limits.fl_eight_dot_three && not sem.sem_long_names then
+    (* both sides speak 8.3: let the format validate *)
+    Ok name
+  else begin
+    (* a case-sensitive client on a case-folding format loses case
+       distinctions: a compromise with no consistent answer *)
+    if sem.sem_case_sensitive && not limits.fl_case_sensitive then
+      compromise t;
+    (* a long-name client on FAT simply cannot store the name *)
+    if limits.fl_eight_dot_three then
+      match Fat.valid_name name with
+      | Ok _ -> Ok name
+      | Error e -> Error e
+    else Ok name
+  end
+
+let find_mount t path =
+  match components path with
+  | [] -> Error E_not_found
+  | point :: rest -> (
+      match List.assoc_opt point t.mount_table with
+      | Some pfs -> Ok (pfs, rest)
+      | None -> Error E_not_found)
+
+let walk t sem pfs parts =
+  let rec go dir = function
+    | [] -> Ok dir
+    | name :: rest ->
+        let* name = check_name t sem pfs.pfs_limits name in
+        let* next = pfs.pfs_lookup ~dir name in
+        go next rest
+  in
+  go pfs.pfs_root parts
+
+let resolve t sem ~path =
+  let* pfs, parts = find_mount t path in
+  let* id = walk t sem pfs parts in
+  Ok (pfs, id)
+
+let resolve_parent t sem ~path =
+  let* pfs, parts = find_mount t path in
+  match List.rev parts with
+  | [] -> Error E_bad_name
+  | leaf :: rev_parents ->
+      let* dir = walk t sem pfs (List.rev rev_parents) in
+      let* leaf = check_name t sem pfs.pfs_limits leaf in
+      Ok (pfs, dir, leaf)
+
+let stat t sem ~path =
+  let* pfs, id = resolve t sem ~path in
+  pfs.pfs_stat id
+
+let mkdir t sem ~path =
+  let* pfs, dir, leaf = resolve_parent t sem ~path in
+  pfs.pfs_create ~dir leaf ~is_dir:true
+
+let create_file t sem ~path =
+  let* pfs, dir, leaf = resolve_parent t sem ~path in
+  pfs.pfs_create ~dir leaf ~is_dir:false
+
+let unlink t sem ~path =
+  let* pfs, dir, leaf = resolve_parent t sem ~path in
+  pfs.pfs_remove ~dir leaf
+
+let readdir t sem ~path =
+  let* pfs, id = resolve t sem ~path in
+  pfs.pfs_readdir ~dir:id
+
+let rename t sem ~src ~dst =
+  let* src_pfs, src_dir, src_leaf = resolve_parent t sem ~path:src in
+  let* dst_pfs, dst_dir, dst_leaf = resolve_parent t sem ~path:dst in
+  if src_pfs != dst_pfs then Error (E_io "cross-mount rename")
+  else src_pfs.pfs_rename ~src_dir src_leaf ~dst_dir dst_leaf
+
+let sync t = List.iter (fun (_, pfs) -> pfs.pfs_sync ()) t.mount_table

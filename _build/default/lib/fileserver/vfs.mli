@@ -1,0 +1,63 @@
+(** The vnode layer: mount table, path walking, and the union-semantics
+    checks.
+
+    The personality-neutral file server "had to implement the union of
+    the TalOS, the OS/2 and the UNIX file system semantics"; this module
+    is where that union lives.  Each call carries the client
+    personality's {!semantics}; the layer reconciles them with the
+    mounted format's {!Fs_types.format_limits}, folding case, rejecting
+    over-long names on FAT, and counting every {e compromise} — the
+    places where no consistent answer exists and the implementation
+    picks one (measured by tests and discussed in DESIGN.md §5). *)
+
+open Fs_types
+
+type t
+
+type semantics = {
+  sem_name : string;
+  sem_case_sensitive : bool;
+  sem_long_names : bool;
+}
+
+val os2_semantics : semantics
+val unix_semantics : semantics
+val talos_semantics : semantics
+
+val create : unit -> t
+
+val mount : t -> at:string -> pfs -> (unit, string) result
+(** Mount points are single top-level components, e.g. ["/c"]. *)
+
+val mounts : t -> (string * string) list
+(** [(mount point, format)] pairs. *)
+
+val resolve :
+  t -> semantics -> path:string -> (pfs * file_id, fs_error) result
+(** Walk the path through the mount table and directories. *)
+
+val resolve_parent :
+  t -> semantics -> path:string ->
+  (pfs * file_id * string, fs_error) result
+(** Resolve all but the last component; returns the parent directory and
+    the leaf name (semantic checks applied to the leaf). *)
+
+val check_name :
+  t -> semantics -> format_limits -> string -> (string, fs_error) result
+(** Reconcile a leaf name with the target format under the client's
+    semantics: may fold case (counting a compromise when the client is
+    case-sensitive), and rejects names the format cannot store. *)
+
+val compromises : t -> int
+(** Number of semantic compromises taken so far. *)
+
+val stat : t -> semantics -> path:string -> (stat, fs_error) result
+val mkdir : t -> semantics -> path:string -> (file_id, fs_error) result
+val create_file : t -> semantics -> path:string -> (file_id, fs_error) result
+val unlink : t -> semantics -> path:string -> (unit, fs_error) result
+val readdir : t -> semantics -> path:string -> (string list, fs_error) result
+val rename :
+  t -> semantics -> src:string -> dst:string -> (unit, fs_error) result
+(** Source and destination must be on the same mount. *)
+
+val sync : t -> unit

@@ -1,0 +1,1 @@
+lib/mach/mach.ml: Clock Host Io Ipc Kernel Ktext Ktypes Port Rpc Sched Sync Trap Vm

@@ -1,0 +1,1 @@
+lib/mach/clock.ml: Ktext Ktypes Machine Sched

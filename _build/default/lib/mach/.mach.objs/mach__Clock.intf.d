@@ -1,0 +1,1 @@
+lib/mach/clock.mli: Ktypes Sched

@@ -1,0 +1,1 @@
+lib/mach/host.ml: Ktext Ktypes List Machine Sched

@@ -1,0 +1,1 @@
+lib/mach/host.mli: Ktypes Sched

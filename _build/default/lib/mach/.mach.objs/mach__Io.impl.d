@@ -1,0 +1,1 @@
+lib/mach/io.ml: Hashtbl Ktext Ktypes List Machine Sched Vm

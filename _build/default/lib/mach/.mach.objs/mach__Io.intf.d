@@ -1,0 +1,1 @@
+lib/mach/io.mli: Ktypes Machine Sched

@@ -1,0 +1,1 @@
+lib/mach/ipc.ml: Ktext Ktypes List Machine Option Port Queue Sched Vm

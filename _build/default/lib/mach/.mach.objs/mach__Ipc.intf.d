@@ -1,0 +1,1 @@
+lib/mach/ipc.mli: Ktypes Sched

@@ -1,0 +1,1 @@
+lib/mach/kernel.ml: Format Io Ktext Ktypes List Machine Sched Vm

@@ -1,0 +1,1 @@
+lib/mach/kernel.mli: Format Io Ktext Ktypes Machine Sched

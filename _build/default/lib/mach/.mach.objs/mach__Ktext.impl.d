@@ -1,0 +1,1 @@
+lib/mach/ktext.ml: List Machine Option

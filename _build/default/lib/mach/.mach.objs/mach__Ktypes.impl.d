@@ -1,0 +1,1 @@
+lib/mach/ktypes.ml: Effect Hashtbl Machine Queue

@@ -1,0 +1,1 @@
+lib/mach/port.ml: Hashtbl Ktext Ktypes Option Queue Sched

@@ -1,0 +1,1 @@
+lib/mach/port.mli: Ktypes Sched

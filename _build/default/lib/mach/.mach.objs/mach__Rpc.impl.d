@@ -1,0 +1,1 @@
+lib/mach/rpc.ml: Ktext Ktypes List Machine Option Queue Sched

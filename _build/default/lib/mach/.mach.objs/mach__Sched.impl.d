@@ -1,0 +1,1 @@
+lib/mach/sched.ml: Effect Fun Hashtbl Ktext Ktypes List Machine Queue

@@ -1,0 +1,1 @@
+lib/mach/sched.mli: Ktext Ktypes Machine Queue

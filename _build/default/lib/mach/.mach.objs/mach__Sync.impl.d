@@ -1,0 +1,1 @@
+lib/mach/sync.ml: Ktext Ktypes Machine Option Queue Sched

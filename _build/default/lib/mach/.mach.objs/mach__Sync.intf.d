@@ -1,0 +1,1 @@
+lib/mach/sync.mli: Ktypes Sched

@@ -1,0 +1,1 @@
+lib/mach/trap.ml: Ktext Ktypes Port Sched

@@ -1,0 +1,1 @@
+lib/mach/trap.mli: Ktypes Sched

@@ -1,0 +1,1 @@
+lib/mach/vm.ml: Hashtbl Ktext Ktypes List Machine Queue Sched

@@ -1,0 +1,1 @@
+lib/mach/vm.mli: Ktypes Sched

@@ -1,0 +1,67 @@
+open Ktypes
+
+type timer = { mutable cancelled : bool; mutable fired : int }
+
+let get_time (sys : Sched.t) =
+  (match sys.current with
+  | Some th ->
+      let k = sys.ktext in
+      Ktext.exec_in k th.t_task.text ~offset:0x100 ~bytes:144;
+      Ktext.exec k ~frame:th.stack_base
+        [ Ktext.trap_entry k; Ktext.timer_service k; Ktext.trap_exit k ]
+  | None -> ());
+  Machine.now sys.machine
+
+let sleep_for (sys : Sched.t) ~cycles =
+  let th = Sched.self () in
+  let k = sys.ktext in
+  Ktext.exec_in k th.t_task.text ~offset:0x100 ~bytes:144;
+  Ktext.exec k ~frame:th.stack_base
+    [ Ktext.trap_entry k; Ktext.timer_service k ];
+  Machine.Event_queue.schedule sys.machine.Machine.events
+    ~at:(Machine.now sys.machine + max 1 cycles)
+    (fun () ->
+      Ktext.exec sys.ktext [ Ktext.irq_entry sys.ktext; Ktext.timer_service sys.ktext ];
+      Sched.wake sys th);
+  let r = Sched.block "sleep" in
+  Ktext.exec k ~frame:th.stack_base [ Ktext.trap_exit k ];
+  r
+
+let arm_oneshot (sys : Sched.t) ~after f =
+  let t = { cancelled = false; fired = 0 } in
+  Machine.Event_queue.schedule sys.machine.Machine.events
+    ~at:(Machine.now sys.machine + max 1 after)
+    (fun () ->
+      if not t.cancelled then begin
+        Ktext.exec sys.ktext
+          [ Ktext.irq_entry sys.ktext; Ktext.timer_service sys.ktext ];
+        t.fired <- t.fired + 1;
+        f ()
+      end);
+  t
+
+let arm_periodic (sys : Sched.t) ~every ?count f =
+  let t = { cancelled = false; fired = 0 } in
+  let every = max 1 every in
+  let rec arm () =
+    Machine.Event_queue.schedule sys.machine.Machine.events
+      ~at:(Machine.now sys.machine + every)
+      (fun () ->
+        if
+          (not t.cancelled)
+          && match count with Some c -> t.fired < c | None -> true
+        then begin
+          Ktext.exec sys.ktext
+            [ Ktext.irq_entry sys.ktext; Ktext.timer_service sys.ktext ];
+          t.fired <- t.fired + 1;
+          f ();
+          (match count with
+          | Some c when t.fired >= c -> ()
+          | Some _ | None -> arm ())
+        end)
+  in
+  arm ();
+  t
+
+let cancel t = t.cancelled <- true
+let fired t = t.fired

@@ -1,0 +1,26 @@
+(** Clocks and timers.
+
+    Mach 3.0's time management "was very limited"; the IBM Microkernel
+    added a comprehensive component.  Here: a readable cycle clock,
+    blocking sleeps, one-shot and periodic timers driven by the machine's
+    event queue, each expiry charging the timer-interrupt path. *)
+
+open Ktypes
+
+type timer
+
+val get_time : Sched.t -> int
+(** Current time in cycles; a cheap trap. *)
+
+val sleep_for : Sched.t -> cycles:int -> kern_return
+(** Block the calling thread for the given number of cycles. *)
+
+val arm_oneshot : Sched.t -> after:int -> (unit -> unit) -> timer
+(** Fire the callback once, [after] cycles from now (interrupt context:
+    the callback must not block). *)
+
+val arm_periodic : Sched.t -> every:int -> ?count:int -> (unit -> unit) -> timer
+(** Fire every [every] cycles, [count] times (default: forever). *)
+
+val cancel : timer -> unit
+val fired : timer -> int

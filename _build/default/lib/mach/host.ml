@@ -1,0 +1,42 @@
+open Ktypes
+
+type processor_set = { ps_name : string; mutable ps_tasks : task list }
+
+type host_info = {
+  host_name : string;
+  processors : int;
+  memory_bytes : int;
+  cpu_mhz : int;
+}
+
+(* default sets are per scheduler instance, keyed physically *)
+let default_sets : (Sched.t * processor_set) list ref = ref []
+
+let host_info (sys : Sched.t) =
+  let c = sys.machine.Machine.config in
+  {
+    host_name = c.Machine.Config.name;
+    processors = 1;
+    memory_bytes = c.Machine.Config.memory_bytes;
+    cpu_mhz = c.Machine.Config.cpu_mhz;
+  }
+
+let default_pset (sys : Sched.t) =
+  match List.find_opt (fun (s, _) -> s == sys) !default_sets with
+  | Some (_, ps) -> ps
+  | None ->
+      let ps = { ps_name = "default"; ps_tasks = [] } in
+      default_sets := (sys, ps) :: !default_sets;
+      ps
+
+let pset_create (sys : Sched.t) ~name =
+  Ktext.exec sys.ktext [ Ktext.sync_fast sys.ktext ];
+  { ps_name = name; ps_tasks = [] }
+
+let pset_name ps = ps.ps_name
+
+let assign_task (sys : Sched.t) ps task =
+  Ktext.exec sys.ktext [ Ktext.sync_fast sys.ktext ];
+  if not (List.memq task ps.ps_tasks) then ps.ps_tasks <- task :: ps.ps_tasks
+
+let pset_tasks ps = ps.ps_tasks

@@ -1,0 +1,172 @@
+open Ktypes
+
+let default_buf task = task.data.Machine.Layout.base + 0x3800
+
+let wake_one (sys : Sched.t) q =
+  let rec loop () =
+    match Queue.take_opt q with
+    | None -> ()
+    | Some th -> (
+        match th.state with
+        | Th_blocked _ -> Sched.wake sys th
+        | Th_runnable | Th_running | Th_terminated -> loop ())
+  in
+  loop ()
+
+let user_entry (sys : Sched.t) task frame =
+  let k = sys.ktext in
+  Ktext.exec_in k task.text ~offset:0x100 ~bytes:144;
+  Ktext.exec k ~frame
+    [ Ktext.trap_entry k; Ktext.syscall_dispatch k; Ktext.mach_msg_entry k ]
+
+let user_exit (sys : Sched.t) frame =
+  let k = sys.ktext in
+  Ktext.exec k ~frame [ Ktext.mach_msg_exit k; Ktext.trap_exit k ]
+
+let send (sys : Sched.t) port ?reply_to (mb : message_builder) =
+  let th = Sched.self () in
+  let sender = th.t_task in
+  let frame = th.stack_base in
+  user_entry sys sender frame;
+  if port.dead then begin
+    user_exit sys frame;
+    Kern_port_dead
+  end
+  else begin
+    let k = sys.ktext in
+    (* copy the inline body into a kernel buffer *)
+    Ktext.exec k ~frame [ Ktext.msg_copyin k ];
+    let kbuf = Ktext.buffer_alloc k ~bytes:(max 64 mb.mb_inline_bytes) in
+    let src = Option.value ~default:(default_buf sender) mb.mb_inline_src in
+    Ktext.copy k ~src ~dst:kbuf ~bytes:mb.mb_inline_bytes;
+    (* transfer rights one by one *)
+    List.iter
+      (fun (_right : port * right) ->
+        Ktext.exec k ~frame [ Ktext.right_transfer k ])
+      mb.mb_rights;
+    (match reply_to with
+    | Some _ -> Ktext.exec k ~frame [ Ktext.right_transfer k ]
+    | None -> ());
+    let msg =
+      {
+        msg_op = mb.mb_op;
+        msg_inline_bytes = mb.mb_inline_bytes;
+        msg_payload = mb.mb_payload;
+        msg_reply_to = reply_to;
+        msg_ool =
+          List.map
+            (fun (addr, bytes) -> { ool_addr = addr; ool_bytes = bytes; ool_copied = false })
+            mb.mb_ool;
+        msg_rights = mb.mb_rights;
+        msg_kbuf = kbuf;
+        msg_sender = Some sender;
+      }
+    in
+    (* block while the queue is full (classic mach_msg behaviour) *)
+    let rec wait_for_room () =
+      if port.dead then Kern_port_dead
+      else if Queue.length port.msg_queue >= port.q_limit then begin
+        Queue.add th port.waiting_senders;
+        match Sched.block "msg-send-queue-full" with
+        | Kern_success -> wait_for_room ()
+        | err -> err
+      end
+      else Kern_success
+    in
+    match wait_for_room () with
+    | Kern_success ->
+        Ktext.exec k ~frame [ Ktext.msg_enqueue k ];
+        Queue.add msg port.msg_queue;
+        wake_one sys port.waiting_receivers;
+        user_exit sys frame;
+        Kern_success
+    | err ->
+        user_exit sys frame;
+        err
+  end
+
+let receive (sys : Sched.t) port =
+  let th = Sched.self () in
+  let receiver = th.t_task in
+  let frame = th.stack_base in
+  user_entry sys receiver frame;
+  let k = sys.ktext in
+  Ktext.exec k ~frame [ Ktext.receive_path k ];
+  let rec get () =
+    match Queue.take_opt port.msg_queue with
+    | Some msg -> Ok msg
+    | None ->
+        if port.dead then Error Kern_port_dead
+        else begin
+          Queue.add th port.waiting_receivers;
+          match Sched.block "msg-receive" with
+          | Kern_success -> get ()
+          | err -> Error err
+        end
+  in
+  match get () with
+  | Error err ->
+      user_exit sys frame;
+      Error err
+  | Ok msg ->
+      Ktext.exec k ~frame [ Ktext.msg_dequeue k; Ktext.msg_copyout k ];
+      Ktext.copy k ~src:msg.msg_kbuf ~dst:(default_buf receiver)
+        ~bytes:msg.msg_inline_bytes;
+      List.iter
+        (fun (_right : port * right) ->
+          Ktext.exec k ~frame [ Ktext.right_transfer k ])
+        msg.msg_rights;
+      (* out-of-line data arrives as a lazy copy-on-write mapping *)
+      let msg =
+        match msg.msg_sender with
+        | Some sender when msg.msg_ool <> [] ->
+            let ool =
+              List.map
+                (fun r ->
+                  let addr =
+                    Vm.virtual_copy sys ~src_task:sender ~addr:r.ool_addr
+                      ~bytes:r.ool_bytes ~dst_task:receiver
+                  in
+                  { r with ool_addr = addr })
+                msg.msg_ool
+            in
+            { msg with msg_ool = ool }
+        | Some _ | None -> msg
+      in
+      wake_one sys port.waiting_senders;
+      user_exit sys frame;
+      Ok msg
+
+let call (sys : Sched.t) port mb =
+  let th = Sched.self () in
+  let client = th.t_task in
+  let k = sys.ktext in
+  (* per-interaction reply-port management, as the paper laments *)
+  let reply_port = Port.allocate sys ~receiver:client ~name:"reply" in
+  Ktext.exec k ~frame:th.stack_base [ Ktext.reply_port_setup k ];
+  let result =
+    match send sys port ~reply_to:reply_port mb with
+    | Kern_success -> receive sys reply_port
+    | err -> Error err
+  in
+  Port.destroy sys reply_port;
+  result
+
+let serve_one (sys : Sched.t) port handler =
+  match receive sys port with
+  | Error err -> err
+  | Ok msg -> (
+      let reply = handler msg in
+      match msg.msg_reply_to with
+      | Some rp -> send sys rp reply
+      | None -> Kern_success)
+
+let serve (sys : Sched.t) port handler =
+  let rec loop () =
+    match serve_one sys port handler with
+    | Kern_success -> loop ()
+    | Kern_port_dead | _ -> ()
+  in
+  loop ()
+
+let queued port = Queue.length port.msg_queue

@@ -1,0 +1,34 @@
+(** The Mach 3.0 IPC implementation ([mach_msg]).
+
+    Queued, asynchronous message passing with reply ports: a send copies
+    the inline body into a kernel buffer, transfers port rights, sets up
+    copy-on-write shadows for out-of-line regions, and enqueues; a
+    receive dequeues and copies out.  A client/server interaction is two
+    full messages plus reply-port management.  This is the code the IBM
+    project rewrote into {!Rpc}; both are kept so the 2–10× improvement
+    claim can be measured (experiment E3). *)
+
+open Ktypes
+
+val send :
+  Sched.t -> port -> ?reply_to:port -> message_builder -> kern_return
+(** Asynchronous send from the current thread's task.  Blocks while the
+    destination queue is full. *)
+
+val receive : Sched.t -> port -> (message, kern_return) result
+(** Blocking receive into the current thread's task.  Charges copy-out of
+    the inline body and maps out-of-line regions copy-on-write (their copy
+    cost lands on first touch, per Mach's virtual-copy strategy). *)
+
+val call : Sched.t -> port -> message_builder -> (message, kern_return) result
+(** The classic client round trip: allocate a reply port, send the
+    request carrying it, receive on the reply port, tear it down. *)
+
+val serve_one : Sched.t -> port -> (message -> message_builder) -> kern_return
+(** Server side of one interaction: receive a request, run the handler,
+    send its result to the request's reply port. *)
+
+val serve : Sched.t -> port -> (message -> message_builder) -> unit
+(** [serve_one] forever (until the port dies). *)
+
+val queued : port -> int

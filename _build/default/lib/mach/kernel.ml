@@ -1,0 +1,32 @@
+open Ktypes
+
+type t = {
+  machine : Machine.t;
+  ktext : Ktext.t;
+  sys : Sched.t;
+  io : Io.t;
+}
+
+let boot machine =
+  let ktext = Ktext.create machine in
+  let sys = Sched.create machine ktext in
+  let io = Io.create sys in
+  { machine; ktext; sys; io }
+
+let run t = Sched.run t.sys
+let run_until t pred = Sched.run_until t.sys pred
+
+let task_create t ~name ?personality ?text_bytes ?data_bytes () =
+  Sched.task_create t.sys ~name ?personality ?text_bytes ?data_bytes ()
+
+let thread_spawn t task ~name body = Sched.thread_spawn t.sys task ~name body
+let tasks t = List.rev t.sys.Sched.tasks
+
+let pp_tasks ppf t =
+  let pp_task ppf task =
+    Format.fprintf ppf "task %-24s personality=%-6s threads=%d entries=%d"
+      task.task_name task.personality
+      (List.length task.threads)
+      (Vm.entry_count task)
+  in
+  Format.fprintf ppf "@[<v>%a@]" (Format.pp_print_list pp_task) (tasks t)

@@ -1,0 +1,334 @@
+type dloc =
+  | Kdata of int  (* offset into the kernel data region *)
+  | Frame of int  (* offset from the current kernel stack frame *)
+
+type chunk = {
+  ck_region : [ `Core | `Ipc ];
+  ck_offset : int;
+  ck_bytes : int;
+  ck_loads : (dloc * int) list;
+  ck_stores : (dloc * int) list;
+}
+
+type t = {
+  machine : Machine.t;
+  text : Machine.Layout.region;
+  ipc_text : Machine.Layout.region;
+  data : Machine.Layout.region;
+  buffers : Machine.Layout.region;
+  scratch_frame : int;
+  mutable buf_next : int;
+}
+
+let create (m : Machine.t) =
+  let alloc name kind size = Machine.Layout.alloc m.layout ~name ~kind ~size in
+  let text = alloc "kernel.text" Machine.Layout.Code (64 * 1024) in
+  let ipc_text = alloc "kernel.ipc-text" Machine.Layout.Code (48 * 1024) in
+  let data = alloc "kernel.data" Machine.Layout.Data (64 * 1024) in
+  let buffers = alloc "kernel.msg-buffers" Machine.Layout.Data (64 * 1024) in
+  {
+    machine = m;
+    text;
+    ipc_text;
+    data;
+    buffers;
+    scratch_frame = data.Machine.Layout.base + (60 * 1024);
+    buf_next = 0;
+  }
+
+let machine t = t.machine
+let text t = t.text
+let ipc_text t = t.ipc_text
+let data t = t.data
+
+let chunk ?(region = `Core) ~offset ~bytes ?(loads = []) ?(stores = []) () =
+  { ck_region = region; ck_offset = offset; ck_bytes = bytes;
+    ck_loads = loads; ck_stores = stores }
+
+let chunk_bytes c = c.ck_bytes
+
+(* --- Chunk table ------------------------------------------------------ *)
+(* Offsets are within the owning text region; the core region and the
+   ipc region are page-aligned, so (offset mod 4096) determines I-cache
+   set placement on the 8 KB 2-way Pentium cache. *)
+
+(* Trap path: chosen so its pieces occupy disjoint set ranges — the hot
+   trap path of a tuned kernel stays cache-resident. *)
+let c_trap_entry =
+  chunk ~offset:0x0100 ~bytes:560
+    ~stores:[ (Frame 0, 128) ]  (* push register frame *)
+    ~loads:[ (Kdata 0x040, 16) ] ()
+
+let c_syscall_dispatch =
+  chunk ~offset:0x0c00 ~bytes:192 ~loads:[ (Kdata 0x080, 32) ] ()
+
+let c_thread_self_service =
+  chunk ~offset:0x0800 ~bytes:560
+    ~loads:[ (Kdata 0x100, 32) ]
+    ~stores:[ (Frame 128, 96) ] ()
+
+let c_generic_service =
+  chunk ~offset:0x0a30 ~bytes:448
+    ~loads:[ (Kdata 0x140, 64) ]
+    ~stores:[ (Frame 128, 32) ] ()
+
+let c_trap_exit =
+  chunk ~offset:0x0400 ~bytes:416 ~loads:[ (Frame 0, 128) ] ()
+
+(* IBM RPC path: the rework's lighter kernel entry plus send/reply
+   bodies.  Offsets deliberately alias user stubs and each other mod
+   4 KB (0x1100 = 0x100, 0x1400/0x1500 = 0x400/0x500, 0x2400 = 0x400),
+   the way an unlaid-out kernel link map falls out; this is the source
+   of the RPC path's steady-state I-cache misses. *)
+let c_rpc_entry =
+  chunk ~offset:0x1100 ~bytes:384 ~stores:[ (Frame 0, 96) ]
+    ~loads:[ (Kdata 0x040, 16) ] ()
+
+let c_rpc_send =
+  chunk ~offset:0x1500 ~bytes:512
+    ~loads:[ (Kdata 0x200, 96) ]
+    ~stores:[ (Kdata 0x240, 256); (Frame 160, 64) ] ()
+
+let c_rpc_reply =
+  chunk ~offset:0x1400 ~bytes:448
+    ~loads:[ (Kdata 0x240, 96) ]
+    ~stores:[ (Kdata 0x280, 192) ] ()
+
+let c_cap_translate =
+  chunk ~offset:0x1f00 ~bytes:160 ~loads:[ (Kdata 0x300, 64) ] ()
+
+let c_rpc_handoff =
+  chunk ~offset:0x1c00 ~bytes:288
+    ~loads:[ (Kdata 0x340, 32) ]
+    ~stores:[ (Kdata 0x360, 96) ] ()
+
+(* Scheduler and switch machinery. *)
+let c_sched_pick =
+  chunk ~offset:0x2100 ~bytes:192 ~loads:[ (Kdata 0x400, 96) ] ()
+
+let c_context_switch =
+  chunk ~offset:0x2400 ~bytes:288
+    ~stores:[ (Frame 0, 224) ]  (* save outgoing register state *)
+    ~loads:[ (Frame 256, 224) ]  (* load incoming state *) ()
+
+let c_pmap_switch =
+  chunk ~offset:0x2900 ~bytes:160 ~loads:[ (Kdata 0x480, 32) ] ()
+
+(* VM paths. *)
+let c_vm_fault =
+  chunk ~offset:0x3000 ~bytes:1280
+    ~loads:[ (Kdata 0x500, 128) ]
+    ~stores:[ (Kdata 0x580, 64); (Frame 0, 64) ] ()
+
+let c_vm_map_enter =
+  chunk ~offset:0x3800 ~bytes:512
+    ~loads:[ (Kdata 0x600, 64) ]
+    ~stores:[ (Kdata 0x640, 64) ] ()
+
+let c_vm_page_insert =
+  chunk ~offset:0x3a00 ~bytes:256 ~stores:[ (Kdata 0x680, 32) ] ()
+
+let c_pageout =
+  chunk ~offset:0x3e00 ~bytes:640
+    ~loads:[ (Kdata 0x6c0, 96) ]
+    ~stores:[ (Kdata 0x700, 64) ] ()
+
+(* Interrupts, I/O, timers, synchronizers. *)
+let c_irq_entry =
+  chunk ~offset:0x4100 ~bytes:384 ~stores:[ (Frame 0, 96) ] ()
+
+let c_irq_reflect =
+  chunk ~offset:0x4300 ~bytes:512
+    ~loads:[ (Kdata 0x740, 32) ]
+    ~stores:[ (Kdata 0x760, 32) ] ()
+
+let c_dma_setup =
+  chunk ~offset:0x4600 ~bytes:448
+    ~loads:[ (Kdata 0x7a0, 32) ]
+    ~stores:[ (Kdata 0x7c0, 48) ] ()
+
+let c_timer_service =
+  chunk ~offset:0x4900 ~bytes:384
+    ~loads:[ (Kdata 0x800, 48) ]
+    ~stores:[ (Kdata 0x820, 16) ] ()
+
+let c_sync_fast =
+  chunk ~offset:0x4b00 ~bytes:224
+    ~loads:[ (Kdata 0x840, 16) ]
+    ~stores:[ (Kdata 0x850, 16) ] ()
+
+let c_sync_block =
+  chunk ~offset:0x4d00 ~bytes:320
+    ~loads:[ (Kdata 0x860, 32) ]
+    ~stores:[ (Kdata 0x880, 32) ] ()
+
+(* The copy loop: one fetch of the loop body per 32-byte line moved. *)
+let c_copy_loop = chunk ~offset:0x2300 ~bytes:32 ()
+
+(* The user-level system-call stub shape (lives in each task's text; the
+   offset here is within *that* region). *)
+let c_user_stub =
+  chunk ~offset:0x0100 ~bytes:128 ~stores:[ (Frame 512, 64) ] ()
+
+(* --- Mach 3.0 mach_msg path (the code the rework deleted) ------------- *)
+(* Substantially larger text, heavier queue manipulation, and reply-port
+   management on every interaction. *)
+
+let ipc ~offset ~bytes ?(loads = []) ?(stores = []) () =
+  chunk ~region:`Ipc ~offset ~bytes ~loads ~stores ()
+
+let c_mach_msg_entry =
+  ipc ~offset:0x0100 ~bytes:2304
+    ~loads:[ (Kdata 0x900, 192) ]
+    ~stores:[ (Frame 0, 192); (Kdata 0x940, 96) ] ()
+
+let c_msg_copyin =
+  ipc ~offset:0x0c00 ~bytes:1536
+    ~loads:[ (Kdata 0x980, 96) ]
+    ~stores:[ (Kdata 0x9c0, 96) ] ()
+
+let c_right_transfer =
+  ipc ~offset:0x1400 ~bytes:1024
+    ~loads:[ (Kdata 0xa00, 96) ]
+    ~stores:[ (Kdata 0xa40, 96) ] ()
+
+let c_msg_enqueue =
+  ipc ~offset:0x1900 ~bytes:1280
+    ~loads:[ (Kdata 0xa80, 128) ]
+    ~stores:[ (Kdata 0xac0, 192) ] ()
+
+let c_reply_port_setup =
+  ipc ~offset:0x1f00 ~bytes:1152
+    ~loads:[ (Kdata 0xb00, 64) ]
+    ~stores:[ (Kdata 0xb40, 64) ] ()
+
+let c_msg_dequeue =
+  ipc ~offset:0x2500 ~bytes:1280
+    ~loads:[ (Kdata 0xac0, 128) ]
+    ~stores:[ (Kdata 0xa80, 64) ] ()
+
+let c_msg_copyout =
+  ipc ~offset:0x2b00 ~bytes:1536
+    ~loads:[ (Kdata 0x9c0, 96) ]
+    ~stores:[ (Kdata 0x980, 96) ] ()
+
+let c_receive_path =
+  ipc ~offset:0x3200 ~bytes:2048
+    ~loads:[ (Kdata 0xb80, 192) ]
+    ~stores:[ (Frame 0, 160); (Kdata 0xbc0, 96) ] ()
+
+let c_mach_msg_exit =
+  ipc ~offset:0x3b00 ~bytes:896 ~loads:[ (Frame 0, 192) ] ()
+
+let c_port_alloc =
+  ipc ~offset:0x4000 ~bytes:2048
+    ~loads:[ (Kdata 0xc00, 128) ]
+    ~stores:[ (Kdata 0xc40, 192) ] ()
+
+let c_port_dealloc =
+  ipc ~offset:0x4900 ~bytes:1536
+    ~loads:[ (Kdata 0xc40, 128) ]
+    ~stores:[ (Kdata 0xc00, 96) ] ()
+
+let c_virtual_copy_per_page =
+  ipc ~offset:0x4f00 ~bytes:1216
+    ~loads:[ (Kdata 0xc80, 96) ]
+    ~stores:[ (Kdata 0xcc0, 96) ] ()
+
+(* --- Execution --------------------------------------------------------- *)
+
+let region_of t = function `Core -> t.text | `Ipc -> t.ipc_text
+
+let resolve t ~frame = function
+  | Kdata off -> t.data.Machine.Layout.base + off
+  | Frame off -> frame + off
+
+let footprint_of_chunk t ~frame c =
+  let region = region_of t c.ck_region in
+  let data_ops f locs =
+    List.map (fun (loc, bytes) -> f ~addr:(resolve t ~frame loc) ~bytes) locs
+  in
+  Machine.Footprint.fetch region ~offset:c.ck_offset ~bytes:c.ck_bytes ()
+  :: (data_ops Machine.Footprint.load c.ck_loads
+     @ data_ops Machine.Footprint.store c.ck_stores)
+
+let exec t ?frame chunks =
+  let frame = Option.value ~default:t.scratch_frame frame in
+  List.iter
+    (fun c -> Machine.execute t.machine (footprint_of_chunk t ~frame c))
+    chunks
+
+let exec_n t ?frame n c =
+  for _ = 1 to max 0 n do
+    exec t ?frame [ c ]
+  done
+
+let copy t ~src ~dst ~bytes =
+  if bytes > 0 then begin
+    let lines = (bytes + 31) / 32 in
+    let loop_region = t.text in
+    let rec build i acc =
+      if i >= lines then List.rev acc
+      else
+        let off = i * 32 in
+        let n = min 32 (bytes - off) in
+        build (i + 1)
+          (Machine.Footprint.store ~addr:(dst + off) ~bytes:n
+          :: Machine.Footprint.load ~addr:(src + off) ~bytes:n
+          :: Machine.Footprint.fetch loop_region ~offset:c_copy_loop.ck_offset
+               ~bytes:c_copy_loop.ck_bytes ()
+          :: acc)
+    in
+    Machine.execute t.machine (build 0 [])
+  end
+
+let buffer_alloc t ~bytes =
+  let size = t.buffers.Machine.Layout.size in
+  let bytes = max 32 bytes in
+  if t.buf_next + bytes > size then t.buf_next <- 0;
+  let addr = t.buffers.Machine.Layout.base + t.buf_next in
+  t.buf_next <- t.buf_next + ((bytes + 31) / 32 * 32);
+  addr
+
+let exec_in t region ~offset ~bytes =
+  Machine.execute t.machine
+    [ Machine.Footprint.fetch region ~offset ~bytes () ]
+
+(* --- Accessors --------------------------------------------------------- *)
+
+let user_stub _ = c_user_stub
+let trap_entry _ = c_trap_entry
+let syscall_dispatch _ = c_syscall_dispatch
+let thread_self_service _ = c_thread_self_service
+let generic_service _ = c_generic_service
+let trap_exit _ = c_trap_exit
+let rpc_send _ = c_rpc_send
+let rpc_reply _ = c_rpc_reply
+let cap_translate _ = c_cap_translate
+let rpc_entry _ = c_rpc_entry
+let rpc_handoff _ = c_rpc_handoff
+let mach_msg_entry _ = c_mach_msg_entry
+let msg_copyin _ = c_msg_copyin
+let msg_copyout _ = c_msg_copyout
+let right_transfer _ = c_right_transfer
+let msg_enqueue _ = c_msg_enqueue
+let msg_dequeue _ = c_msg_dequeue
+let receive_path _ = c_receive_path
+let reply_port_setup _ = c_reply_port_setup
+let mach_msg_exit _ = c_mach_msg_exit
+let port_alloc_path _ = c_port_alloc
+let port_dealloc_path _ = c_port_dealloc
+let virtual_copy_per_page _ = c_virtual_copy_per_page
+let sched_pick _ = c_sched_pick
+let context_switch _ = c_context_switch
+let pmap_switch _ = c_pmap_switch
+let vm_fault_path _ = c_vm_fault
+let vm_map_enter _ = c_vm_map_enter
+let vm_page_insert _ = c_vm_page_insert
+let pageout_path _ = c_pageout
+let irq_entry _ = c_irq_entry
+let irq_reflect _ = c_irq_reflect
+let dma_setup _ = c_dma_setup
+let timer_service _ = c_timer_service
+let sync_fast _ = c_sync_fast
+let sync_block _ = c_sync_block

@@ -1,0 +1,114 @@
+(** Kernel code and data placement, and the cost chunks of every kernel
+    path.
+
+    Each kernel routine the simulation models — trap entry, the RPC send
+    path, the old [mach_msg] path, the scheduler, the VM fault handler —
+    is a [chunk]: a stretch of instruction bytes at a fixed offset inside
+    a kernel text region plus the data traffic it performs.  Executing a
+    path replays its chunks through the CPU model, so instruction counts,
+    cache behaviour and bus traffic arise from placement and size, not
+    from hard-coded results.
+
+    Chunk offsets are chosen the way a real (un-cache-coloured) kernel
+    link map falls out: page-aligned subsystems whose hot lines partially
+    alias in a small 2-way I-cache.  The short trap path is conflict-free;
+    the much longer RPC and [mach_msg] paths alias with user stubs and
+    with each other — which is exactly the paper's explanation for the
+    RPC CPI ("misses on the I-cache"). *)
+
+type t
+
+type chunk
+
+val create : Machine.t -> t
+
+val machine : t -> Machine.t
+
+val text : t -> Machine.Layout.region
+(** Core kernel text. *)
+
+val ipc_text : t -> Machine.Layout.region
+(** The Mach 3.0 [mach_msg] code. *)
+
+val data : t -> Machine.Layout.region
+(** Kernel data structures. *)
+
+val exec : t -> ?frame:int -> chunk list -> unit
+(** Replay the chunks; [frame] is the current kernel stack frame address
+    (defaults to a fixed scratch frame). *)
+
+val exec_n : t -> ?frame:int -> int -> chunk -> unit
+(** Replay one chunk [n] times (per-page loops and the like). *)
+
+val copy : t -> src:int -> dst:int -> bytes:int -> unit
+(** Physical data copy: executes the copy-loop code per 32-byte line plus
+    the load/store traffic.  The primitive behind the IBM RPC's
+    by-reference parameter passing. *)
+
+val buffer_alloc : t -> bytes:int -> int
+(** Address of a kernel message buffer (simple ring allocator). *)
+
+val chunk_bytes : chunk -> int
+
+(** {1 Trap path} *)
+
+val user_stub : t -> chunk
+(** The user-level system call stub; fetched from the *caller's* text
+    region, see {!exec_in}. *)
+
+val trap_entry : t -> chunk
+val syscall_dispatch : t -> chunk
+val thread_self_service : t -> chunk
+val generic_service : t -> chunk
+(** A typical in-kernel service routine body (used by the monolithic OS
+    and by kernel services other than [thread_self]). *)
+
+val trap_exit : t -> chunk
+
+(** {1 IBM RPC path} *)
+
+val rpc_entry : t -> chunk
+(** The rework's simplified kernel entry for RPC traps. *)
+
+val rpc_send : t -> chunk
+val rpc_reply : t -> chunk
+val cap_translate : t -> chunk
+val rpc_handoff : t -> chunk
+
+(** {1 Mach 3.0 mach_msg path} *)
+
+val mach_msg_entry : t -> chunk
+val msg_copyin : t -> chunk
+val msg_copyout : t -> chunk
+val right_transfer : t -> chunk
+val msg_enqueue : t -> chunk
+val msg_dequeue : t -> chunk
+val receive_path : t -> chunk
+val reply_port_setup : t -> chunk
+val mach_msg_exit : t -> chunk
+val port_alloc_path : t -> chunk
+val port_dealloc_path : t -> chunk
+val virtual_copy_per_page : t -> chunk
+(** Map-manipulation cost per page of out-of-line data (the Mach 3.0
+    virtual-copy strategy replaced by physical copy in the rework). *)
+
+(** {1 Scheduler, VM, interrupts, devices} *)
+
+val sched_pick : t -> chunk
+val context_switch : t -> chunk
+val pmap_switch : t -> chunk
+val vm_fault_path : t -> chunk
+val vm_map_enter : t -> chunk
+val vm_page_insert : t -> chunk
+val pageout_path : t -> chunk
+val irq_entry : t -> chunk
+val irq_reflect : t -> chunk
+val dma_setup : t -> chunk
+val timer_service : t -> chunk
+val sync_fast : t -> chunk
+val sync_block : t -> chunk
+
+val exec_in :
+  t -> Machine.Layout.region -> offset:int -> bytes:int -> unit
+(** Fetch a stretch of some other region's code (user stubs, server
+    loops) through the same CPU. *)

@@ -1,0 +1,17 @@
+(** The IBM Microkernel: Mach 3.0 facilities plus the additions the paper
+    describes (RPC rework, synchronizers, clocks and timers, I/O support,
+    coerced memory), executing against the {!Machine} cost model. *)
+
+module Ktypes = Ktypes
+module Ktext = Ktext
+module Sched = Sched
+module Port = Port
+module Vm = Vm
+module Ipc = Ipc
+module Rpc = Rpc
+module Sync = Sync
+module Clock = Clock
+module Io = Io
+module Host = Host
+module Trap = Trap
+module Kernel = Kernel

@@ -1,0 +1,81 @@
+open Ktypes
+
+let allocate (sys : Sched.t) ~receiver ~name =
+  Ktext.exec sys.ktext [ Ktext.port_alloc_path sys.ktext ];
+  let port =
+    {
+      port_id = sys.next_port_id;
+      pname = name;
+      dead = false;
+      receiver = Some receiver;
+      msg_queue = Queue.create ();
+      q_limit = 5;
+      waiting_receivers = Queue.create ();
+      waiting_senders = Queue.create ();
+      pending_calls = Queue.create ();
+      waiting_servers = Queue.create ();
+    }
+  in
+  sys.next_port_id <- sys.next_port_id + 1;
+  let entry = { re_port = port; re_right = Receive_right; re_refs = 1 } in
+  Hashtbl.replace receiver.namespace receiver.next_name entry;
+  receiver.next_name <- receiver.next_name + 1;
+  port
+
+let find_entry task port =
+  Hashtbl.fold
+    (fun name entry acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> if entry.re_port == port then Some (name, entry) else None)
+    task.namespace None
+
+let insert_right (sys : Sched.t) task port right =
+  Ktext.exec sys.ktext [ Ktext.cap_translate sys.ktext ];
+  match find_entry task port with
+  | Some (name, entry) ->
+      entry.re_refs <- entry.re_refs + 1;
+      (* a receive right subsumes a send right; never downgrade *)
+      if entry.re_right <> Receive_right then entry.re_right <- right;
+      name
+  | None ->
+      let name = task.next_name in
+      task.next_name <- task.next_name + 1;
+      Hashtbl.replace task.namespace name
+        { re_port = port; re_right = right; re_refs = 1 };
+      name
+
+let lookup task name = Hashtbl.find_opt task.namespace name
+
+let lookup_port task port =
+  Option.map fst (find_entry task port)
+
+let deallocate_right (sys : Sched.t) task name =
+  Ktext.exec sys.ktext [ Ktext.cap_translate sys.ktext ];
+  match Hashtbl.find_opt task.namespace name with
+  | None -> Kern_invalid_name
+  | Some entry ->
+      entry.re_refs <- entry.re_refs - 1;
+      if entry.re_refs <= 0 then Hashtbl.remove task.namespace name;
+      Kern_success
+
+let drain_wakeall sys q =
+  Queue.iter (fun th -> Sched.wake sys ~result:Kern_port_dead th) q;
+  Queue.clear q
+
+let destroy (sys : Sched.t) port =
+  if not port.dead then begin
+    Ktext.exec sys.ktext [ Ktext.port_dealloc_path sys.ktext ];
+    port.dead <- true;
+    port.receiver <- None;
+    Queue.clear port.msg_queue;
+    drain_wakeall sys port.waiting_receivers;
+    drain_wakeall sys port.waiting_senders;
+    drain_wakeall sys port.waiting_servers;
+    Queue.iter
+      (fun rx -> Sched.wake sys ~result:Kern_port_dead rx.rx_client)
+      port.pending_calls;
+    Queue.clear port.pending_calls
+  end
+
+let rights_held task = Hashtbl.length task.namespace

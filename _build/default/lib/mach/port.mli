@@ -1,0 +1,34 @@
+(** Ports and port rights.
+
+    Ports are the kernel's capabilities: right entries live in a task's
+    port space and name either the receive right (exactly one task) or
+    send rights.  Both IPC implementations (the Mach 3.0 [mach_msg] path
+    and the IBM RPC rework) move messages between ports; the name service
+    above the kernel exists precisely because these names are local to a
+    port space. *)
+
+open Ktypes
+
+val allocate : Sched.t -> receiver:task -> name:string -> port
+(** Create a port, depositing the receive right in [receiver]'s port
+    space.  Charges the port-allocation path. *)
+
+val insert_right : Sched.t -> task -> port -> right -> int
+(** Give [task] a right to [port]; returns the name in [task]'s space.
+    If the task already holds a right to the port the same name is
+    reused with a bumped reference count. *)
+
+val lookup : task -> int -> right_entry option
+(** Translate a name in the task's space. *)
+
+val lookup_port : task -> port -> int option
+(** Reverse lookup: the task's name for a port, if any. *)
+
+val deallocate_right : Sched.t -> task -> int -> kern_return
+
+val destroy : Sched.t -> port -> unit
+(** Mark the port dead and wake every blocked sender/receiver/server/
+    client with [Kern_port_dead]. *)
+
+val rights_held : task -> int
+(** Number of live right entries in the task's space. *)

@@ -1,0 +1,174 @@
+open Ktypes
+
+let default_buf task = task.data.Machine.Layout.base + 0x3800
+
+let wake_one (sys : Sched.t) q =
+  let rec loop () =
+    match Queue.take_opt q with
+    | None -> ()
+    | Some th -> (
+        match th.state with
+        | Th_blocked _ -> Sched.wake sys th
+        | Th_runnable | Th_running | Th_terminated -> loop ())
+  in
+  loop ()
+
+let copy_request (sys : Sched.t) port client (mb : message_builder) =
+  let k = sys.ktext in
+  match port.receiver with
+  | Some server_task ->
+      let src = Option.value ~default:(default_buf client) mb.mb_inline_src in
+      Ktext.copy k ~src ~dst:(default_buf server_task) ~bytes:mb.mb_inline_bytes;
+      (* by-reference large data: one physical copy, sender to receiver *)
+      List.iter
+        (fun (addr, bytes) ->
+          Ktext.copy k ~src:addr ~dst:(default_buf server_task) ~bytes)
+        mb.mb_ool
+  | None -> ()
+
+let call (sys : Sched.t) port ?reply_bytes:_ (mb : message_builder) =
+  let th = Sched.self () in
+  let client = th.t_task in
+  let frame = th.stack_base in
+  let k = sys.ktext in
+  (* client stub and the rework's light kernel entry *)
+  Ktext.exec_in k client.text ~offset:0x100 ~bytes:128;
+  Ktext.exec k ~frame
+    [ Ktext.rpc_entry k; Ktext.syscall_dispatch k; Ktext.rpc_send k;
+      Ktext.cap_translate k ];
+  if port.dead then begin
+    Ktext.exec k ~frame [ Ktext.trap_exit k ];
+    Error Kern_port_dead
+  end
+  else begin
+    copy_request sys port client mb;
+    List.iter
+      (fun (_r : port * right) -> Ktext.exec k ~frame [ Ktext.cap_translate k ])
+      mb.mb_rights;
+    let msg =
+      {
+        msg_op = mb.mb_op;
+        msg_inline_bytes = mb.mb_inline_bytes;
+        msg_payload = mb.mb_payload;
+        msg_reply_to = None;
+        msg_ool =
+          List.map
+            (fun (addr, bytes) ->
+              { ool_addr = addr; ool_bytes = bytes; ool_copied = true })
+            mb.mb_ool;
+        msg_rights = mb.mb_rights;
+        msg_kbuf = 0;
+        msg_sender = Some client;
+      }
+    in
+    let rx =
+      { rx_client = th; rx_request = msg; rx_reply = None; rx_server = None }
+    in
+    Queue.add rx port.pending_calls;
+    Ktext.exec k ~frame [ Ktext.rpc_handoff k ];
+    wake_one sys port.waiting_servers;
+    match Sched.block "rpc-call" with
+    | Kern_success -> (
+        (* resumed by the server's reply; return to user *)
+        Ktext.exec k ~frame [ Ktext.trap_exit k ];
+        match rx.rx_reply with
+        | Some reply -> Ok reply
+        | None -> Error Kern_aborted)
+    | err ->
+        Ktext.exec k ~frame [ Ktext.trap_exit k ];
+        Error err
+  end
+
+(* Dequeue a call, blocking while none is pending; charges the dequeue
+   handoff, the return to user and the demultiplexing stub. *)
+let dequeue (sys : Sched.t) port th frame =
+  let k = sys.ktext in
+  let server = th.t_task in
+  let rec get () =
+    match Queue.take_opt port.pending_calls with
+    | Some rx ->
+        rx.rx_server <- Some th;
+        Ktext.exec k ~frame [ Ktext.rpc_handoff k; Ktext.trap_exit k ];
+        Ktext.exec_in k server.text ~offset:0x140 ~bytes:192;
+        Ok rx
+    | None ->
+        if port.dead then begin
+          Ktext.exec k ~frame [ Ktext.trap_exit k ];
+          Error Kern_port_dead
+        end
+        else begin
+          Queue.add th port.waiting_servers;
+          match Sched.block "rpc-receive" with
+          | Kern_success -> get ()
+          | err ->
+              Ktext.exec k ~frame [ Ktext.trap_exit k ];
+              Error err
+        end
+  in
+  get ()
+
+let receive (sys : Sched.t) port =
+  let th = Sched.self () in
+  let server = th.t_task in
+  let frame = th.stack_base in
+  let k = sys.ktext in
+  (* server loop head and kernel entry *)
+  Ktext.exec_in k server.text ~offset:0x000 ~bytes:128;
+  Ktext.exec k ~frame [ Ktext.rpc_entry k; Ktext.syscall_dispatch k ];
+  dequeue sys port th frame
+
+let finish_reply (sys : Sched.t) rx (mb : message_builder) server =
+  let k = sys.ktext in
+  let client = rx.rx_client.t_task in
+  let src = Option.value ~default:(default_buf server) mb.mb_inline_src in
+  Ktext.copy k ~src ~dst:(default_buf client) ~bytes:mb.mb_inline_bytes;
+  rx.rx_reply <-
+    Some
+      {
+        msg_op = mb.mb_op;
+        msg_inline_bytes = mb.mb_inline_bytes;
+        msg_payload = mb.mb_payload;
+        msg_reply_to = None;
+        msg_ool = [];
+        msg_rights = mb.mb_rights;
+        msg_kbuf = 0;
+        msg_sender = Some server;
+      };
+  Sched.wake sys rx.rx_client
+
+let reply (sys : Sched.t) rx (mb : message_builder) =
+  let th = Sched.self () in
+  let server = th.t_task in
+  let frame = th.stack_base in
+  let k = sys.ktext in
+  Ktext.exec k ~frame
+    [ Ktext.rpc_entry k; Ktext.syscall_dispatch k; Ktext.rpc_reply k ];
+  finish_reply sys rx mb server;
+  Ktext.exec k ~frame [ Ktext.rpc_handoff k ]
+
+let reply_receive (sys : Sched.t) rx (mb : message_builder) port =
+  let th = Sched.self () in
+  let server = th.t_task in
+  let frame = th.stack_base in
+  let k = sys.ktext in
+  (* one kernel entry covers the reply and the next receive — the
+     combined primitive a synchronous-handoff kernel lives on *)
+  Ktext.exec k ~frame
+    [ Ktext.rpc_entry k; Ktext.syscall_dispatch k; Ktext.rpc_reply k ];
+  finish_reply sys rx mb server;
+  dequeue sys port th frame
+
+let serve (sys : Sched.t) port handler =
+  match receive sys port with
+  | Error _ -> ()
+  | Ok first ->
+      let rec loop rx =
+        let mb = handler rx.rx_request in
+        match reply_receive sys rx mb port with
+        | Ok next -> loop next
+        | Error _ -> ()
+      in
+      loop first
+
+let waiting_servers port = Queue.length port.waiting_servers
+let pending_calls port = Queue.length port.pending_calls

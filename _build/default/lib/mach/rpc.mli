@@ -1,0 +1,41 @@
+(** The IBM RPC rework of Mach IPC.
+
+    The changes the paper enumerates: no reply ports, synchronous
+    delivery and reply, threads block to send/receive, no message
+    queuing (calls queue as blocked threads, not buffered messages),
+    data too large for the message body passed by reference with a
+    single physical copy from sender to receiver, simplified stubs and
+    server loops, [mach_msg] removed.
+
+    A call hands off directly to a waiting server thread; the scheduler
+    charges the two address-space switches of the round trip, which is
+    where Table 2's bus-cycle and CPI story comes from. *)
+
+open Ktypes
+
+val call :
+  Sched.t -> port -> ?reply_bytes:int -> message_builder ->
+  (message, kern_return) result
+(** Synchronous call from the current thread: request crosses with one
+    physical copy, the caller blocks, the reply (of [reply_bytes] inline
+    size, default whatever the server builds) crosses back with one
+    copy. *)
+
+val receive : Sched.t -> port -> (rpc_exchange, kern_return) result
+(** Server side: block until a call arrives. *)
+
+val reply : Sched.t -> rpc_exchange -> message_builder -> unit
+(** Complete an exchange: copy the reply to the client and wake it. *)
+
+val reply_receive :
+  Sched.t -> rpc_exchange -> message_builder -> port ->
+  (rpc_exchange, kern_return) result
+(** Reply to one exchange and receive the next in a single kernel entry —
+    the primitive a synchronous-handoff server loop runs on. *)
+
+val serve : Sched.t -> port -> (message -> message_builder) -> unit
+(** Simple server loop: receive, handle, reply, forever (until the port
+    dies). *)
+
+val waiting_servers : port -> int
+val pending_calls : port -> int

@@ -1,0 +1,248 @@
+open Ktypes
+
+type t = {
+  machine : Machine.t;
+  ktext : Ktext.t;
+  runq : thread Queue.t;
+  mutable current : thread option;
+  mutable last_dispatched : thread option;
+  mutable next_task_id : int;
+  mutable next_thread_id : int;
+  mutable next_port_id : int;
+  mutable next_obj_id : int;
+  mutable next_map_id : int;
+  mutable tasks : task list;
+  mutable vnext : int;
+  mutable page_limit : int;
+  mutable pages_resident : int;
+  resident_fifo : (vm_object * int) Queue.t;
+  mutable default_backing : backing_store option;
+  mutable switches : int;
+  mutable charge_switches : bool;
+  mutable fault_count : int;
+  mutable pagein_count : int;
+  mutable pageout_count : int;
+}
+
+type _ Effect.t +=
+  | E_self : thread Effect.t
+  | E_block : string -> kern_return Effect.t
+  | E_yield : unit Effect.t
+
+let create machine ktext =
+  let used = Machine.Layout.used_bytes machine.Machine.layout in
+  let total = machine.Machine.config.Machine.Config.memory_bytes in
+  {
+    machine;
+    ktext;
+    runq = Queue.create ();
+    current = None;
+    last_dispatched = None;
+    next_task_id = 1;
+    next_thread_id = 1;
+    next_port_id = 1;
+    next_obj_id = 1;
+    next_map_id = 1;
+    tasks = [];
+    vnext = 0x4000_0000;
+    page_limit = (total - used) / page_size;
+    pages_resident = 0;
+    resident_fifo = Queue.create ();
+    default_backing = None;
+    switches = 0;
+    charge_switches = true;
+    fault_count = 0;
+    pagein_count = 0;
+    pageout_count = 0;
+  }
+
+let virtual_alloc t ~bytes =
+  let bytes = pages_of_bytes bytes * page_size in
+  let addr = t.vnext in
+  t.vnext <- t.vnext + bytes;
+  addr
+
+let task_create t ~name ?(personality = "pn") ?(text_bytes = 16 * 1024)
+    ?(data_bytes = 16 * 1024) () =
+  let alloc n kind size =
+    Machine.Layout.alloc t.machine.Machine.layout ~name:n ~kind ~size
+  in
+  let text = alloc (name ^ ".text") Machine.Layout.Code text_bytes in
+  let data = alloc (name ^ ".data") Machine.Layout.Data data_bytes in
+  (* text and stacks are wired: shrink the pageable pool accordingly *)
+  t.page_limit <- t.page_limit - pages_of_bytes (text_bytes + data_bytes);
+  let task =
+    {
+      task_id = t.next_task_id;
+      task_name = name;
+      threads = [];
+      namespace = Hashtbl.create 16;
+      next_name = 1;
+      vm = { map_id = t.next_map_id; entries = []; map_pmap_loaded = false };
+      text;
+      data;
+      libraries = [];
+      task_self = None;
+      halted = false;
+      personality;
+    }
+  in
+  t.next_task_id <- t.next_task_id + 1;
+  t.next_map_id <- t.next_map_id + 1;
+  t.tasks <- task :: t.tasks;
+  task
+
+let thread_spawn t task ~name body =
+  if task.halted then raise (Kern_error Kern_invalid_argument);
+  let slot = List.length task.threads mod 6 in
+  let th =
+    {
+      tid = t.next_thread_id;
+      tname = name;
+      t_task = task;
+      state = Th_runnable;
+      cont = Not_started;
+      body;
+      priority = 0;
+      stack_base = task.data.Machine.Layout.base + 1024 + (slot * 2048);
+      wake_result = Kern_success;
+    }
+  in
+  t.next_thread_id <- t.next_thread_id + 1;
+  task.threads <- th :: task.threads;
+  Queue.add th t.runq;
+  th
+
+let self () =
+  try Effect.perform E_self
+  with Effect.Unhandled _ -> failwith "Sched.self: not in thread context"
+
+let block reason = Effect.perform (E_block reason)
+let yield () = Effect.perform E_yield
+
+let wake t ?(result = Kern_success) th =
+  match th.state with
+  | Th_blocked _ ->
+      th.wake_result <- result;
+      th.state <- Th_runnable;
+      Queue.add th t.runq
+  | Th_runnable | Th_running | Th_terminated -> ()
+
+let terminate t th =
+  (match th.state with
+  | Th_terminated -> ()
+  | Th_running | Th_runnable | Th_blocked _ ->
+      th.state <- Th_terminated;
+      th.cont <- Finished);
+  th.t_task.threads <- List.filter (fun x -> x.tid <> th.tid) th.t_task.threads;
+  ignore t
+
+let task_halt t task =
+  task.halted <- true;
+  List.iter (fun th -> terminate t th) task.threads;
+  task.threads <- []
+
+let charge_dispatch t th =
+  if t.charge_switches then begin
+    let k = t.ktext in
+    Ktext.exec k ~frame:th.stack_base [ Ktext.sched_pick k ];
+    match t.last_dispatched with
+    | Some prev when prev.tid = th.tid -> ()
+    | Some prev ->
+        Ktext.exec k ~frame:th.stack_base [ Ktext.context_switch k ];
+        if prev.t_task.task_id <> th.t_task.task_id then begin
+          Ktext.exec k ~frame:th.stack_base [ Ktext.pmap_switch k ];
+          Machine.execute t.machine [ Machine.Footprint.Switch_address_space ]
+        end
+    | None -> Ktext.exec k ~frame:th.stack_base [ Ktext.context_switch k ]
+  end
+
+let handler t th : (unit, unit) Effect.Deep.handler =
+  {
+    retc =
+      (fun () ->
+        th.state <- Th_terminated;
+        th.cont <- Finished;
+        th.t_task.threads <-
+          List.filter (fun x -> x.tid <> th.tid) th.t_task.threads);
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | E_self ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                Effect.Deep.continue k th)
+        | E_block reason ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                th.wake_result <- Kern_success;
+                th.state <- Th_blocked reason;
+                th.cont <- Paused_result k)
+        | E_yield ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                th.state <- Th_runnable;
+                th.cont <- Paused_unit k;
+                Queue.add th t.runq)
+        | _ -> None);
+  }
+
+let step t th =
+  charge_dispatch t th;
+  t.switches <- t.switches + 1;
+  t.current <- Some th;
+  t.last_dispatched <- Some th;
+  th.state <- Th_running;
+  (match th.cont with
+  | Not_started ->
+      let body = th.body in
+      Effect.Deep.match_with body () (handler t th)
+  | Paused_result k ->
+      th.cont <- Not_started;
+      Effect.Deep.continue k th.wake_result
+  | Paused_unit k ->
+      th.cont <- Not_started;
+      Effect.Deep.continue k ()
+  | Finished -> ());
+  t.current <- None
+
+let rec next_runnable t =
+  match Queue.take_opt t.runq with
+  | None -> None
+  | Some th -> (
+      match th.state with
+      | Th_runnable -> Some th
+      | Th_running | Th_blocked _ | Th_terminated -> next_runnable t)
+
+let rec run t =
+  match next_runnable t with
+  | Some th ->
+      step t th;
+      run t
+  | None -> if Machine.advance_to_next_event t.machine then run t else ()
+
+let run_until t pred =
+  let rec loop () =
+    if pred () then true
+    else
+      match next_runnable t with
+      | Some th ->
+          step t th;
+          loop ()
+      | None -> if Machine.advance_to_next_event t.machine then loop () else pred ()
+  in
+  loop ()
+
+let alive_threads t =
+  List.fold_left
+    (fun acc task ->
+      acc
+      + List.length
+          (List.filter (fun th -> th.state <> Th_terminated) task.threads))
+    0 t.tasks
+
+let with_uncharged t f =
+  let saved = t.charge_switches in
+  t.charge_switches <- false;
+  Fun.protect ~finally:(fun () -> t.charge_switches <- saved) f

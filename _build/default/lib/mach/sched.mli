@@ -1,0 +1,86 @@
+(** Threads, tasks and the scheduler.
+
+    Simulated threads are OCaml-5 effect-based coroutines: a thread body
+    performs {!block} / {!yield} effects at kernel interaction points and
+    the scheduler resumes it later.  Every dispatch of a different thread
+    charges the scheduler-pick and context-switch chunks; crossing an
+    address space additionally charges the pmap switch and flushes the
+    TLB — the costs at the heart of the paper's evaluation.
+
+    The [t] value is the kernel's core state: run queue, id counters,
+    task list, the virtual-address arena and the physical page pool used
+    by {!Vm}. *)
+
+open Ktypes
+
+type t = {
+  machine : Machine.t;
+  ktext : Ktext.t;
+  runq : thread Queue.t;
+  mutable current : thread option;
+  mutable last_dispatched : thread option;
+  mutable next_task_id : int;
+  mutable next_thread_id : int;
+  mutable next_port_id : int;
+  mutable next_obj_id : int;
+  mutable next_map_id : int;
+  mutable tasks : task list;
+  mutable vnext : int;  (* next free virtual address *)
+  mutable page_limit : int;  (* physical frames available for paging *)
+  mutable pages_resident : int;
+  resident_fifo : (vm_object * int) Queue.t;
+  mutable default_backing : backing_store option;
+  mutable switches : int;
+  mutable charge_switches : bool;
+  mutable fault_count : int;
+  mutable pagein_count : int;
+  mutable pageout_count : int;
+}
+
+val create : Machine.t -> Ktext.t -> t
+
+val task_create :
+  t -> name:string -> ?personality:string -> ?text_bytes:int ->
+  ?data_bytes:int -> unit -> task
+(** Allocate a task: an address map, a port space, a text region and a
+    data (stack) region. *)
+
+val task_halt : t -> task -> unit
+(** Terminate every thread of the task and mark it halted. *)
+
+val thread_spawn : t -> task -> name:string -> (unit -> unit) -> thread
+(** Create a runnable thread executing the body. *)
+
+val self : unit -> thread
+(** Current thread; must be called from inside a thread body.
+    @raise Failure outside thread context. *)
+
+val block : string -> kern_return
+(** Block the calling thread; returns the [wake_result] set by the waker
+    ([Kern_success] by default, [Kern_timed_out] for timer wakeups). *)
+
+val yield : unit -> unit
+
+val wake : t -> ?result:kern_return -> thread -> unit
+(** Make a blocked thread runnable.  No-op for running/terminated
+    threads. *)
+
+val terminate : t -> thread -> unit
+
+val run : t -> unit
+(** Drive the system: dispatch runnable threads; when none are runnable,
+    advance the machine clock to the next device event; stop when neither
+    threads nor events remain. *)
+
+val run_until : t -> (unit -> bool) -> bool
+(** Like {!run} but stops early once the predicate holds between
+    dispatches; returns whether the predicate held. *)
+
+val alive_threads : t -> int
+val virtual_alloc : t -> bytes:int -> int
+(** Carve a range from the global virtual arena (all address spaces share
+    one arena so that coerced memory naturally has one address). *)
+
+val with_uncharged : t -> (unit -> 'a) -> 'a
+(** Run a setup action with context-switch charging disabled (boot-time
+    plumbing that should not perturb measurements). *)

@@ -1,0 +1,147 @@
+open Ktypes
+
+type semaphore = {
+  s_name : string;
+  mutable s_value : int;
+  s_waiters : thread Queue.t;
+}
+
+type mutex = { m_sem : semaphore; mutable m_owner : thread option }
+type event = { e_name : string; e_waiters : thread Queue.t }
+
+let trap_around (sys : Sched.t) inner =
+  let th = Sched.self () in
+  let frame = th.stack_base in
+  let k = sys.ktext in
+  Ktext.exec_in k th.t_task.text ~offset:0x100 ~bytes:144;
+  Ktext.exec k ~frame [ Ktext.trap_entry k; Ktext.syscall_dispatch k ];
+  let r = inner th frame in
+  Ktext.exec k ~frame [ Ktext.trap_exit k ];
+  r
+
+let wake_one (sys : Sched.t) q =
+  let rec loop () =
+    match Queue.take_opt q with
+    | None -> false
+    | Some th -> (
+        match th.state with
+        | Th_blocked _ ->
+            Sched.wake sys th;
+            true
+        | Th_runnable | Th_running | Th_terminated -> loop ())
+  in
+  loop ()
+
+let semaphore_create (sys : Sched.t) ~name ~value =
+  Ktext.exec sys.ktext [ Ktext.sync_fast sys.ktext ];
+  { s_name = name; s_value = value; s_waiters = Queue.create () }
+
+let semaphore_wait (sys : Sched.t) s =
+  trap_around sys (fun th frame ->
+      let k = sys.ktext in
+      Ktext.exec k ~frame [ Ktext.sync_fast k ];
+      let rec wait () =
+        if s.s_value > 0 then begin
+          s.s_value <- s.s_value - 1;
+          Kern_success
+        end
+        else begin
+          Ktext.exec k ~frame [ Ktext.sync_block k ];
+          Queue.add th s.s_waiters;
+          match Sched.block ("sem-wait:" ^ s.s_name) with
+          | Kern_success -> wait ()
+          | err -> err
+        end
+      in
+      wait ())
+
+let semaphore_wait_timeout (sys : Sched.t) s ~timeout =
+  trap_around sys (fun th frame ->
+      let k = sys.ktext in
+      Ktext.exec k ~frame [ Ktext.sync_fast k ];
+      if s.s_value > 0 then begin
+        s.s_value <- s.s_value - 1;
+        Kern_success
+      end
+      else begin
+        let settled = ref false in
+        Machine.Event_queue.schedule sys.machine.Machine.events
+          ~at:(Machine.now sys.machine + max 1 timeout)
+          (fun () ->
+            if not !settled then begin
+              Ktext.exec sys.ktext
+                [ Ktext.irq_entry sys.ktext; Ktext.timer_service sys.ktext ];
+              Sched.wake sys ~result:Kern_timed_out th
+            end);
+        let rec wait () =
+          if s.s_value > 0 then begin
+            s.s_value <- s.s_value - 1;
+            settled := true;
+            Kern_success
+          end
+          else begin
+            Ktext.exec k ~frame [ Ktext.sync_block k ];
+            Queue.add th s.s_waiters;
+            match Sched.block ("sem-wait-deadline:" ^ s.s_name) with
+            | Kern_success -> wait ()
+            | err ->
+                settled := true;
+                err
+          end
+        in
+        wait ()
+      end)
+
+let semaphore_signal (sys : Sched.t) s =
+  trap_around sys (fun _th frame ->
+      let k = sys.ktext in
+      Ktext.exec k ~frame [ Ktext.sync_fast k ];
+      s.s_value <- s.s_value + 1;
+      ignore (wake_one sys s.s_waiters : bool))
+
+let semaphore_value s = s.s_value
+let semaphore_waiters s = Queue.length s.s_waiters
+
+let mutex_create sys ~name =
+  { m_sem = semaphore_create sys ~name ~value:1; m_owner = None }
+
+let mutex_lock (sys : Sched.t) m =
+  let r = semaphore_wait sys m.m_sem in
+  if r = Kern_success then m.m_owner <- Some (Sched.self ());
+  r
+
+let mutex_unlock (sys : Sched.t) m =
+  let th = Sched.self () in
+  (match m.m_owner with
+  | Some owner when owner.tid = th.tid -> m.m_owner <- None
+  | Some _ | None -> raise (Kern_error Kern_invalid_argument));
+  semaphore_signal sys m.m_sem
+
+let mutex_locked m = Option.is_some m.m_owner
+
+let event_create (sys : Sched.t) ~name =
+  Ktext.exec sys.ktext [ Ktext.sync_fast sys.ktext ];
+  { e_name = name; e_waiters = Queue.create () }
+
+let event_wait (sys : Sched.t) e =
+  trap_around sys (fun th frame ->
+      Ktext.exec sys.ktext ~frame [ Ktext.sync_block sys.ktext ];
+      Queue.add th e.e_waiters;
+      Sched.block ("event-wait:" ^ e.e_name))
+
+let event_signal (sys : Sched.t) e =
+  trap_around sys (fun _th frame ->
+      Ktext.exec sys.ktext ~frame [ Ktext.sync_fast sys.ktext ];
+      ignore (wake_one sys e.e_waiters : bool))
+
+let event_broadcast (sys : Sched.t) e =
+  trap_around sys (fun _th frame ->
+      Ktext.exec sys.ktext ~frame [ Ktext.sync_fast sys.ktext ];
+      while wake_one sys e.e_waiters do
+        ()
+      done)
+
+let event_waiters e = Queue.length e.e_waiters
+
+let uncontended_cost (sys : Sched.t) =
+  Ktext.exec sys.ktext [ Ktext.sync_fast sys.ktext ]

@@ -1,0 +1,29 @@
+open Ktypes
+
+let thread_self (sys : Sched.t) =
+  let th = Sched.self () in
+  let frame = th.stack_base in
+  let k = sys.ktext in
+  Ktext.exec_in k th.t_task.text ~offset:0x100 ~bytes:144;
+  Ktext.exec k ~frame
+    [ Ktext.trap_entry k; Ktext.syscall_dispatch k;
+      Ktext.thread_self_service k; Ktext.trap_exit k ];
+  th
+
+let service (sys : Sched.t) ?(work = fun () -> ()) () =
+  let th = Sched.self () in
+  let frame = th.stack_base in
+  let k = sys.ktext in
+  Ktext.exec_in k th.t_task.text ~offset:0x100 ~bytes:144;
+  Ktext.exec k ~frame
+    [ Ktext.trap_entry k; Ktext.syscall_dispatch k; Ktext.generic_service k ];
+  work ();
+  Ktext.exec k ~frame [ Ktext.trap_exit k ]
+
+let task_self_port (sys : Sched.t) task =
+  match task.task_self with
+  | Some p -> p
+  | None ->
+      let p = Port.allocate sys ~receiver:task ~name:(task.task_name ^ ".self") in
+      task.task_self <- Some p;
+      p

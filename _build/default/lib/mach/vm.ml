@@ -1,0 +1,359 @@
+open Ktypes
+
+let null_backing =
+  {
+    bs_name = "null";
+    bs_page_in = (fun _ _ k -> k ());
+    bs_page_out = (fun _ _ k -> k ());
+  }
+
+let set_default_backing (sys : Sched.t) bs = sys.default_backing <- Some bs
+
+let object_create (sys : Sched.t) ?backing ?(tag = "anon") ~bytes () =
+  let obj =
+    {
+      obj_id = sys.next_obj_id;
+      obj_size = pages_of_bytes bytes * page_size;
+      obj_pages = Hashtbl.create 8;
+      obj_backing = backing;
+      obj_shadow_of = None;
+      obj_tag = tag;
+    }
+  in
+  sys.next_obj_id <- sys.next_obj_id + 1;
+  obj
+
+let find_entry map addr =
+  List.find_opt
+    (fun e -> addr >= e.ent_start && addr < e.ent_start + e.ent_size)
+    map.entries
+
+let overlaps_entry map start size =
+  List.exists
+    (fun e -> start < e.ent_start + e.ent_size && e.ent_start < start + size)
+    map.entries
+
+let insert_entry (sys : Sched.t) map entry =
+  Ktext.exec sys.ktext [ Ktext.vm_map_enter sys.ktext ];
+  map.entries <-
+    List.sort (fun a b -> compare a.ent_start b.ent_start) (entry :: map.entries)
+
+let get_page obj idx =
+  match Hashtbl.find_opt obj.obj_pages idx with
+  | Some p -> p
+  | None ->
+      let p =
+        { pg_resident = false; pg_dirty = false; pg_wired = false;
+          pg_written_back = false }
+      in
+      Hashtbl.replace obj.obj_pages idx p;
+      p
+
+let backing_of (sys : Sched.t) obj =
+  match obj.obj_backing with Some bs -> Some bs | None -> sys.default_backing
+
+(* Evict one page to make room: FIFO scan for a resident, unwired page.
+   Dirty pages go out through the pager asynchronously (the disk queue
+   delays subsequent page-ins, which is how thrashing hurts). *)
+let rec evict_one (sys : Sched.t) =
+  match Queue.take_opt sys.resident_fifo with
+  | None -> ()  (* nothing evictable: allow transient overcommit *)
+  | Some (obj, idx) -> (
+      match Hashtbl.find_opt obj.obj_pages idx with
+      | Some p when p.pg_resident && not p.pg_wired ->
+          p.pg_resident <- false;
+          sys.pages_resident <- sys.pages_resident - 1;
+          Ktext.exec sys.ktext [ Ktext.pageout_path sys.ktext ];
+          if p.pg_dirty then begin
+            p.pg_dirty <- false;
+            p.pg_written_back <- true;
+            sys.pageout_count <- sys.pageout_count + 1;
+            match backing_of sys obj with
+            | Some bs -> bs.bs_page_out obj idx (fun () -> ())
+            | None -> ()
+          end
+      | Some _ | None -> evict_one sys)
+
+let zero_fill_cost (sys : Sched.t) addr =
+  (* clearing a frame: one store per line over the page *)
+  let rec build off acc =
+    if off >= page_size then acc
+    else
+      build (off + 32) (Machine.Footprint.store ~addr:(addr + off) ~bytes:32 :: acc)
+  in
+  Machine.execute sys.machine (build 0 [])
+
+let page_in (sys : Sched.t) obj idx =
+  sys.pagein_count <- sys.pagein_count + 1;
+  match backing_of sys obj with
+  | None -> ()
+  | Some bs -> (
+      match sys.current with
+      | None -> bs.bs_page_in obj idx (fun () -> ())
+      | Some _ ->
+          let th = Sched.self () in
+          let done_ = ref false in
+          bs.bs_page_in obj idx (fun () ->
+              done_ := true;
+              Sched.wake sys th);
+          if not !done_ then ignore (Sched.block "page-in" : kern_return))
+
+let make_resident (sys : Sched.t) obj idx ~addr ~fill =
+  let p = get_page obj idx in
+  if not p.pg_resident then begin
+    if sys.pages_resident >= sys.page_limit then evict_one sys;
+    Ktext.exec sys.ktext [ Ktext.vm_page_insert sys.ktext ];
+    (match fill with
+    | `Zero -> zero_fill_cost sys addr
+    | `Pager -> page_in sys obj idx
+    | `None -> ());
+    p.pg_resident <- true;
+    sys.pages_resident <- sys.pages_resident + 1;
+    Queue.add (obj, idx) sys.resident_fifo
+  end;
+  p
+
+(* Resolve a fault at [addr] within [entry]. *)
+let fault (sys : Sched.t) entry addr ~write =
+  sys.fault_count <- sys.fault_count + 1;
+  Ktext.exec sys.ktext [ Ktext.vm_fault_path sys.ktext ];
+  let obj = entry.ent_obj in
+  let idx = (entry.ent_offset + (addr - entry.ent_start)) / page_size in
+  let page_addr = addr / page_size * page_size in
+  if write && entry.ent_cow then begin
+    (* copy the page from the shadow source into a private page *)
+    (match obj.obj_shadow_of with
+    | Some src ->
+        let sp = Hashtbl.find_opt src.obj_pages idx in
+        let src_resident =
+          match sp with Some p -> p.pg_resident | None -> false
+        in
+        if not src_resident then
+          ignore
+            (make_resident sys src idx ~addr:page_addr
+               ~fill:(if (match sp with Some p -> p.pg_written_back | None -> false)
+                      || src.obj_backing <> None
+                      then `Pager else `Zero)
+              : page);
+        (* physical copy of the source page; cost uses a shifted pseudo
+           source address so both sides stream through the D-cache *)
+        Ktext.copy sys.ktext ~src:(page_addr lxor 0x0200_0000) ~dst:page_addr
+          ~bytes:page_size
+    | None ->
+        (* an anonymous page under copy protection: push the old
+           contents aside and take a private copy *)
+        Ktext.copy sys.ktext ~src:(page_addr lxor 0x0100_0000) ~dst:page_addr
+          ~bytes:page_size);
+    let p = make_resident sys obj idx ~addr:page_addr ~fill:`None in
+    p.pg_dirty <- true
+  end
+  else begin
+    match obj.obj_shadow_of with
+    | Some src when not (Hashtbl.mem obj.obj_pages idx) ->
+        (* read-through to the COW source *)
+        let sp = Hashtbl.find_opt src.obj_pages idx in
+        let fill =
+          match sp with
+          | Some p when p.pg_written_back -> `Pager
+          | Some _ | None ->
+              if src.obj_backing <> None then `Pager else `Zero
+        in
+        ignore (make_resident sys src idx ~addr:page_addr ~fill : page)
+    | Some _ | None ->
+        let p = get_page obj idx in
+        let fill =
+          if p.pg_written_back || obj.obj_backing <> None then `Pager
+          else `Zero
+        in
+        let p = make_resident sys obj idx ~addr:page_addr ~fill in
+        if write then p.pg_dirty <- true
+  end
+
+let page_present (sys : Sched.t) entry addr ~write =
+  ignore sys;
+  let obj = entry.ent_obj in
+  let idx = (entry.ent_offset + (addr - entry.ent_start)) / page_size in
+  if write && entry.ent_cow then
+    (* a COW entry needs a private dirty page before writes are cheap *)
+    match Hashtbl.find_opt obj.obj_pages idx with
+    | Some p -> p.pg_resident && p.pg_dirty
+    | None -> false
+  else
+    match Hashtbl.find_opt obj.obj_pages idx with
+    | Some p when p.pg_resident -> true
+    | Some _ -> false
+    | None -> (
+        (* shadow read-through counts as present if the source is in *)
+        match obj.obj_shadow_of with
+        | Some src -> (
+            match Hashtbl.find_opt src.obj_pages idx with
+            | Some p -> p.pg_resident
+            | None -> false)
+        | None -> false)
+
+let allocate (sys : Sched.t) task ~bytes ?(eager = false) () =
+  let size = pages_of_bytes bytes * page_size in
+  let addr = Sched.virtual_alloc sys ~bytes:size in
+  let obj =
+    object_create sys ~tag:(task.task_name ^ ".anon") ~bytes:size ()
+  in
+  let entry =
+    {
+      ent_start = addr;
+      ent_size = size;
+      ent_obj = obj;
+      ent_offset = 0;
+      ent_prot = prot_rw;
+      ent_cow = false;
+      ent_eager = eager;
+      ent_coerced = false;
+    }
+  in
+  insert_entry sys task.vm entry;
+  if eager then
+    for i = 0 to (size / page_size) - 1 do
+      ignore
+        (make_resident sys obj i ~addr:(addr + (i * page_size)) ~fill:`Zero
+          : page)
+    done;
+  addr
+
+let map_object (sys : Sched.t) task obj ?at ?(offset = 0) ~bytes
+    ?(prot = prot_rw) ?(cow = false) ?(coerced = false) () =
+  let size = pages_of_bytes bytes * page_size in
+  let addr =
+    match at with
+    | Some a ->
+        if overlaps_entry task.vm a size then raise (Kern_error Kern_no_space);
+        a
+    | None -> Sched.virtual_alloc sys ~bytes:size
+  in
+  let entry =
+    {
+      ent_start = addr;
+      ent_size = size;
+      ent_obj = obj;
+      ent_offset = offset;
+      ent_prot = prot;
+      ent_cow = cow;
+      ent_eager = false;
+      ent_coerced = coerced;
+    }
+  in
+  insert_entry sys task.vm entry;
+  addr
+
+let allocate_coerced (sys : Sched.t) tasks ~bytes =
+  let size = pages_of_bytes bytes * page_size in
+  let obj = object_create sys ~tag:"coerced" ~bytes:size () in
+  let addr = Sched.virtual_alloc sys ~bytes:size in
+  List.iter
+    (fun task ->
+      ignore
+        (map_object sys task obj ~at:addr ~bytes:size ~coerced:true () : int))
+    tasks;
+  addr
+
+let release_entry_pages (sys : Sched.t) entry =
+  let obj = entry.ent_obj in
+  let first = entry.ent_offset / page_size in
+  let last = (entry.ent_offset + entry.ent_size - 1) / page_size in
+  for idx = first to last do
+    match Hashtbl.find_opt obj.obj_pages idx with
+    | Some p when p.pg_resident ->
+        p.pg_resident <- false;
+        sys.pages_resident <- sys.pages_resident - 1
+    | Some _ | None -> ()
+  done
+
+let deallocate (sys : Sched.t) task ~addr =
+  match find_entry task.vm addr with
+  | None -> raise (Kern_error Kern_invalid_argument)
+  | Some entry ->
+      Ktext.exec sys.ktext [ Ktext.vm_map_enter sys.ktext ];
+      (* only unshared anonymous entries release pages; coerced/shared
+         objects stay resident for their other mappings *)
+      if not entry.ent_coerced then release_entry_pages sys entry;
+      task.vm.entries <-
+        List.filter (fun e -> e.ent_start <> entry.ent_start) task.vm.entries
+
+let touch (sys : Sched.t) task ~addr ?(write = false) ~bytes () =
+  if bytes > 0 then begin
+    match find_entry task.vm addr with
+    | None -> raise (Kern_error Kern_invalid_argument)
+    | Some entry ->
+        if addr + bytes > entry.ent_start + entry.ent_size then
+          raise (Kern_error Kern_invalid_argument);
+        if write && not entry.ent_prot.write then
+          raise (Kern_error Kern_protection_failure);
+        let first = addr / page_size and last = (addr + bytes - 1) / page_size in
+        for pg = first to last do
+          let a = pg * page_size in
+          let a = max a addr in
+          if not (page_present sys entry a ~write) then fault sys entry a ~write
+          else if write then begin
+            let idx = (entry.ent_offset + (a - entry.ent_start)) / page_size in
+            match Hashtbl.find_opt entry.ent_obj.obj_pages idx with
+            | Some p -> p.pg_dirty <- true
+            | None -> ()
+          end
+        done;
+        let op =
+          if write then Machine.Footprint.store ~addr ~bytes
+          else Machine.Footprint.load ~addr ~bytes
+        in
+        Machine.execute sys.machine [ op ]
+  end
+
+let virtual_copy (sys : Sched.t) ~src_task ~addr ~bytes ~dst_task =
+  match find_entry src_task.vm addr with
+  | None -> raise (Kern_error Kern_invalid_argument)
+  | Some src_entry ->
+      let pages = pages_of_bytes bytes in
+      Ktext.exec_n sys.ktext pages (Ktext.virtual_copy_per_page sys.ktext);
+      let shadow =
+        {
+          obj_id = sys.next_obj_id;
+          obj_size = pages * page_size;
+          obj_pages = Hashtbl.create 8;
+          obj_backing = None;
+          obj_shadow_of = Some src_entry.ent_obj;
+          obj_tag = "ool-shadow";
+        }
+      in
+      sys.next_obj_id <- sys.next_obj_id + 1;
+      (* Mach semantics: the SOURCE side is also copy-protected — the
+         sender's next write to the range must break, which is the
+         hidden cost of the virtual-copy strategy under buffer reuse *)
+      src_entry.ent_cow <- true;
+      let first = (src_entry.ent_offset + (addr - src_entry.ent_start)) / page_size in
+      for idx = first to first + pages - 1 do
+        match Hashtbl.find_opt src_entry.ent_obj.obj_pages idx with
+        | Some p -> p.pg_dirty <- false  (* re-protect *)
+        | None -> ()
+      done;
+      map_object sys dst_task shadow ~bytes:(pages * page_size) ~cow:true ()
+
+let resident_pages (sys : Sched.t) = sys.pages_resident
+
+let committed_bytes task =
+  List.fold_left
+    (fun acc e ->
+      if e.ent_eager then acc + e.ent_size
+      else
+        let first = e.ent_offset / page_size in
+        let last = (e.ent_offset + e.ent_size - 1) / page_size in
+        let resident = ref 0 in
+        for idx = first to last do
+          match Hashtbl.find_opt e.ent_obj.obj_pages idx with
+          | Some p when p.pg_resident -> incr resident
+          | Some _ | None -> ()
+        done;
+        acc + (!resident * page_size))
+    0 task.vm.entries
+
+let entry_count task = List.length task.vm.entries
+
+let page_faults (sys : Sched.t) = sys.fault_count
+let page_ins (sys : Sched.t) = sys.pagein_count
+let page_outs (sys : Sched.t) = sys.pageout_count

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Cache Config Cpu Disk Event_queue Footprint Format Framebuffer Irq Layout Perf Tlb

@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Cache Config Footprint Layout List Perf Tlb

@@ -1,0 +1,1 @@
+lib/machine/cpu.mli: Cache Config Footprint Perf Tlb

@@ -1,0 +1,1 @@
+lib/machine/disk.ml: Bytes Cpu Event_queue Irq List Perf Printf

@@ -1,0 +1,1 @@
+lib/machine/disk.mli: Cpu Event_queue Irq

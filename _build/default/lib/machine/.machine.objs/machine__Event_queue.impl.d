@@ -1,0 +1,1 @@
+lib/machine/event_queue.ml: Int List Map Option

@@ -1,0 +1,1 @@
+lib/machine/footprint.ml: Format Layout List Printf

@@ -1,0 +1,1 @@
+lib/machine/footprint.mli: Format Layout

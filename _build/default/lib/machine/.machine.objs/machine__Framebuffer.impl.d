@@ -1,0 +1,1 @@
+lib/machine/framebuffer.ml: Bytes Cpu Footprint Layout Printf String

@@ -1,0 +1,1 @@
+lib/machine/framebuffer.mli: Cpu Layout

@@ -1,0 +1,1 @@
+lib/machine/irq.ml: Array Cpu Option Perf Printf

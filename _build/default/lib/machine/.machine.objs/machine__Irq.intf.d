@@ -1,0 +1,1 @@
+lib/machine/irq.mli: Cpu

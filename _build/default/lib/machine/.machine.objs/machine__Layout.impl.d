@@ -1,0 +1,1 @@
+lib/machine/layout.ml: Config Format List Printf String

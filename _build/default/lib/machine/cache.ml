@@ -1,0 +1,70 @@
+type t = {
+  line : int;
+  sets : int;
+  assoc : int;
+  tags : int array array;  (* [set].[way]; -1 = invalid *)
+  stamps : int array array;  (* LRU stamps parallel to [tags] *)
+  mutable tick : int;
+}
+
+let create (g : Config.cache_geometry) =
+  let sets = g.size / (g.line * g.assoc) in
+  assert (sets > 0);
+  {
+    line = g.line;
+    sets;
+    assoc = g.assoc;
+    tags = Array.init sets (fun _ -> Array.make g.assoc (-1));
+    stamps = Array.init sets (fun _ -> Array.make g.assoc 0);
+    tick = 0;
+  }
+
+let locate t addr =
+  let line_addr = addr / t.line in
+  let set = line_addr mod t.sets in
+  let tag = line_addr / t.sets in
+  (set, tag)
+
+let find_way tags tag =
+  let rec loop i =
+    if i >= Array.length tags then None
+    else if tags.(i) = tag then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let lru_way t set =
+  let stamps = t.stamps.(set) in
+  let best = ref 0 in
+  for i = 1 to t.assoc - 1 do
+    if stamps.(i) < stamps.(!best) then best := i
+  done;
+  !best
+
+let access t addr =
+  let set, tag = locate t addr in
+  t.tick <- t.tick + 1;
+  match find_way t.tags.(set) tag with
+  | Some way ->
+      t.stamps.(set).(way) <- t.tick;
+      true
+  | None ->
+      let way = lru_way t set in
+      t.tags.(set).(way) <- tag;
+      t.stamps.(set).(way) <- t.tick;
+      false
+
+let probe t addr =
+  let set, tag = locate t addr in
+  match find_way t.tags.(set) tag with Some _ -> true | None -> false
+
+let flush t =
+  Array.iter (fun ways -> Array.fill ways 0 (Array.length ways) (-1)) t.tags
+
+let lines t = t.sets * t.assoc
+
+let resident t =
+  Array.fold_left
+    (fun acc ways ->
+      Array.fold_left (fun a tag -> if tag >= 0 then a + 1 else a) acc ways)
+    0 t.tags

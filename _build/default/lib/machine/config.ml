@@ -1,0 +1,70 @@
+type cache_geometry = { size : int; line : int; assoc : int }
+
+type t = {
+  name : string;
+  cpu_mhz : int;
+  bytes_per_instruction : int;
+  base_cpi : float;
+  icache : cache_geometry;
+  dcache : cache_geometry;
+  line_fill_cycles : int;
+  line_fill_bus_cycles : int;
+  write_bus_cycles : int;
+  tlb_entries : int;
+  tlb_miss_cycles : int;
+  tlb_miss_bus_cycles : int;
+  address_space_switch_cycles : int;
+  page_size : int;
+  memory_bytes : int;
+}
+
+let mib n = n * 1024 * 1024
+let kib n = n * 1024
+
+let pentium_133 =
+  {
+    name = "pentium-133";
+    cpu_mhz = 133;
+    bytes_per_instruction = 4;
+    base_cpi = 2.0;
+    icache = { size = kib 8; line = 32; assoc = 2 };
+    dcache = { size = kib 8; line = 32; assoc = 2 };
+    line_fill_cycles = 26;
+    line_fill_bus_cycles = 6;
+    write_bus_cycles = 4;
+    tlb_entries = 64;
+    tlb_miss_cycles = 30;
+    tlb_miss_bus_cycles = 4;
+    address_space_switch_cycles = 40;
+    page_size = 4096;
+    memory_bytes = mib 16;
+  }
+
+let ppc604_133 =
+  {
+    name = "ppc604-133";
+    cpu_mhz = 133;
+    bytes_per_instruction = 4;
+    base_cpi = 1.85;
+    icache = { size = kib 16; line = 32; assoc = 4 };
+    dcache = { size = kib 16; line = 32; assoc = 4 };
+    line_fill_cycles = 22;
+    line_fill_bus_cycles = 6;
+    write_bus_cycles = 4;
+    tlb_entries = 128;
+    tlb_miss_cycles = 28;
+    tlb_miss_bus_cycles = 4;
+    address_space_switch_cycles = 30;
+    page_size = 4096;
+    memory_bytes = mib 64;
+  }
+
+let with_memory t ~bytes = { t with memory_bytes = bytes }
+let pages t = t.memory_bytes / t.page_size
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: %d MHz, I$ %dK/%d-way, D$ %dK/%d-way, %d MB RAM" t.name t.cpu_mhz
+    (t.icache.size / 1024) t.icache.assoc (t.dcache.size / 1024)
+    t.dcache.assoc
+    (t.memory_bytes / (1024 * 1024))

@@ -1,0 +1,52 @@
+(** Static description of a simulated machine.
+
+    The configuration fixes the microarchitectural parameters that the cost
+    model charges against: cache and TLB geometry, miss penalties, bus
+    transaction costs and physical memory size.  Two presets reproduce the
+    hardware used in the paper's evaluation: a 133 MHz Pentium (the Table 2
+    machine, 16 MB in the Table 1 comparison) and a 133 MHz PowerPC 604
+    (the Table 1 WPOS machine, 64 MB). *)
+
+type cache_geometry = {
+  size : int;  (** total bytes *)
+  line : int;  (** line size in bytes *)
+  assoc : int;  (** ways per set *)
+}
+
+type t = {
+  name : string;
+  cpu_mhz : int;
+  bytes_per_instruction : int;
+      (** average encoded instruction length; fetched bytes are converted
+          to retired instructions with this divisor *)
+  base_cpi : float;  (** cycles per instruction absent any stall *)
+  icache : cache_geometry;
+  dcache : cache_geometry;
+  line_fill_cycles : int;  (** stall cycles per cache line fill *)
+  line_fill_bus_cycles : int;  (** bus cycles per cache line fill *)
+  write_bus_cycles : int;
+      (** bus cycles per 4-byte word stored (write-through D-cache) *)
+  tlb_entries : int;
+  tlb_miss_cycles : int;  (** page-walk stall per TLB miss *)
+  tlb_miss_bus_cycles : int;  (** bus cycles per page walk *)
+  address_space_switch_cycles : int;
+      (** fixed pipeline/CR3-write cost of an address-space switch,
+          excluding the TLB refill cost it induces *)
+  page_size : int;
+  memory_bytes : int;
+}
+
+val pentium_133 : t
+(** The Table 2 measurement machine: 8 KB + 8 KB 2-way 32-byte-line
+    caches, write-through data cache, 16 MB of memory. *)
+
+val ppc604_133 : t
+(** The WPOS Table 1 machine: 16 KB + 16 KB 4-way caches, 64 MB. *)
+
+val with_memory : t -> bytes:int -> t
+(** [with_memory c ~bytes] is [c] resized to [bytes] of physical memory. *)
+
+val pages : t -> int
+(** Number of physical page frames. *)
+
+val pp : Format.formatter -> t -> unit

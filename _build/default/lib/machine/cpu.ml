@@ -1,0 +1,99 @@
+type t = {
+  config : Config.t;
+  perf : Perf.t;
+  icache : Cache.t;
+  dcache : Cache.t;
+  tlb : Tlb.t;
+  mutable clock : float;
+}
+
+let create (c : Config.t) =
+  {
+    config = c;
+    perf = Perf.create ();
+    icache = Cache.create c.icache;
+    dcache = Cache.create c.dcache;
+    tlb = Tlb.create ~entries:c.tlb_entries ~page_size:c.page_size;
+    clock = 0.;
+  }
+
+let config t = t.config
+let perf t = t.perf
+let icache t = t.icache
+let dcache t = t.dcache
+let tlb t = t.tlb
+let now t = int_of_float t.clock
+
+let charge t cycles =
+  Perf.add_cycles t.perf cycles;
+  t.clock <- t.clock +. cycles
+
+let charge_bus t n =
+  Perf.add_bus_cycles t.perf n
+
+(* Walk the lines of [addr..addr+bytes), consulting [cache]; each miss
+   costs a line fill.  TLB is consulted once per page touched. *)
+let lines_and_pages t cache addr bytes ~is_icache =
+  let c = t.config in
+  let line = if is_icache then c.icache.line else c.dcache.line in
+  let first_line = addr / line and last_line = (addr + max bytes 1 - 1) / line in
+  for l = first_line to last_line do
+    let a = l * line in
+    let hit = Cache.access cache a in
+    if is_icache then Perf.icache_access t.perf ~hit
+    else Perf.dcache_access t.perf ~hit;
+    if not hit then begin
+      charge t (float_of_int c.line_fill_cycles);
+      charge_bus t c.line_fill_bus_cycles
+    end
+  done;
+  let first_page = addr / c.page_size
+  and last_page = (addr + max bytes 1 - 1) / c.page_size in
+  for p = first_page to last_page do
+    if not (Tlb.access t.tlb (p * c.page_size)) then begin
+      Perf.tlb_miss t.perf;
+      charge t (float_of_int c.tlb_miss_cycles);
+      charge_bus t c.tlb_miss_bus_cycles
+    end
+  done
+
+let execute_item t (item : Footprint.item) =
+  let c = t.config in
+  match item with
+  | Fetch { region; offset; bytes } ->
+      let addr = region.Layout.base + offset in
+      let instructions = max 1 (bytes / c.bytes_per_instruction) in
+      Perf.add_instructions t.perf instructions;
+      charge t (float_of_int instructions *. c.base_cpi);
+      lines_and_pages t t.icache addr bytes ~is_icache:true
+  | Load { addr; bytes } -> lines_and_pages t t.dcache addr bytes ~is_icache:false
+  | Store { addr; bytes } ->
+      lines_and_pages t t.dcache addr bytes ~is_icache:false;
+      (* write-through: every stored word is a bus write *)
+      let words = max 1 ((bytes + 3) / 4) in
+      charge_bus t (words * c.write_bus_cycles);
+      charge t (float_of_int words *. 0.5)
+  | Uncached_read { bytes; _ } ->
+      let words = max 1 ((bytes + 3) / 4) in
+      charge_bus t (words * c.write_bus_cycles);
+      charge t (float_of_int (words * c.write_bus_cycles))
+  | Uncached_write { bytes; _ } ->
+      let words = max 1 ((bytes + 3) / 4) in
+      charge_bus t (words * c.write_bus_cycles);
+      charge t (float_of_int words)
+  | Switch_address_space ->
+      Perf.address_space_switch t.perf;
+      Tlb.flush t.tlb;
+      charge t (float_of_int c.address_space_switch_cycles)
+  | Stall n -> charge t (float_of_int n)
+
+let execute t fp = List.iter (execute_item t) fp
+
+let advance_to t time =
+  let time = float_of_int time in
+  if time > t.clock then t.clock <- time
+
+let flush_caches t =
+  Cache.flush t.icache;
+  Cache.flush t.dcache;
+  Tlb.flush t.tlb

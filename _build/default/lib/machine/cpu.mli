@@ -1,0 +1,28 @@
+(** The simulated processor: replays {!Footprint.t} values against the
+    cache and TLB models and charges {!Perf} counters and the cycle clock.
+
+    One [Cpu.t] models one processor.  The clock only moves when footprints
+    execute or when {!advance_to} skips idle time to the next device
+    event. *)
+
+type t
+
+val create : Config.t -> t
+
+val config : t -> Config.t
+val perf : t -> Perf.t
+val icache : t -> Cache.t
+val dcache : t -> Cache.t
+val tlb : t -> Tlb.t
+
+val now : t -> int
+(** Current time in cycles. *)
+
+val execute : t -> Footprint.t -> unit
+
+val advance_to : t -> int -> unit
+(** Idle (no instructions, no bus traffic) until the given cycle time.
+    A no-op if the time is in the past. *)
+
+val flush_caches : t -> unit
+(** Invalidate I-cache, D-cache and TLB (cold-start measurement aid). *)

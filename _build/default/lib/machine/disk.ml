@@ -1,0 +1,136 @@
+type geometry = {
+  blocks : int;
+  block_size : int;
+  seek_cycles : int;
+  transfer_cycles_per_block : int;
+}
+
+type request =
+  | Read of { block : int; count : int; k : bytes -> unit }
+  | Write of { block : int; data : bytes; k : unit -> unit }
+
+type t = {
+  cpu : Cpu.t;
+  events : Event_queue.t;
+  irq : Irq.t;
+  line : int;
+  name : string;
+  geometry : geometry;
+  store : bytes;
+  mutable queue : request list;  (* reversed: newest first *)
+  mutable busy : bool;
+  mutable served : int;
+  mutable pending_completion : (unit -> unit) option;
+}
+
+let default_geometry =
+  {
+    blocks = 40960;
+    block_size = 512;
+    (* ~3 ms positioning + ~60 us/block at 133 MHz *)
+    seek_cycles = 400_000;
+    transfer_cycles_per_block = 8_000;
+  }
+
+let create cpu events irq ~line ~name geometry =
+  let t =
+    {
+      cpu;
+      events;
+      irq;
+      line;
+      name;
+      geometry;
+      store = Bytes.make (geometry.blocks * geometry.block_size) '\000';
+      queue = [];
+      busy = false;
+      served = 0;
+      pending_completion = None;
+    }
+  in
+  Irq.register irq ~line ~name (fun () ->
+      match t.pending_completion with
+      | Some k ->
+          t.pending_completion <- None;
+          k ()
+      | None -> ());
+  t
+
+let name t = t.name
+let geometry t = t.geometry
+
+let check t ~block ~count =
+  if block < 0 || count <= 0 || block + count > t.geometry.blocks then
+    invalid_arg
+      (Printf.sprintf "Disk.%s: request %d+%d out of range (%d blocks)"
+         t.name block count t.geometry.blocks)
+
+let request_cycles t count =
+  t.geometry.seek_cycles + (count * t.geometry.transfer_cycles_per_block)
+
+let blocks_of_request = function
+  | Read { count; _ } -> count
+  | Write { data; _ } -> Bytes.length data
+
+let rec start t req =
+  t.busy <- true;
+  let count =
+    match req with
+    | Read { count; _ } -> count
+    | Write { data; _ } -> Bytes.length data / t.geometry.block_size
+  in
+  let done_at = Cpu.now t.cpu + request_cycles t count in
+  Event_queue.schedule t.events ~at:done_at (fun () -> complete t req)
+
+and complete t req =
+  let bs = t.geometry.block_size in
+  let finish k =
+    t.served <- t.served + 1;
+    (* DMA moved [blocks] of data across the bus during the transfer *)
+    let words = blocks_of_request req * bs / 4 in
+    Perf.add_bus_cycles (Cpu.perf t.cpu) (words / 8);
+    t.pending_completion <- Some k;
+    Irq.raise_line t.irq t.line;
+    t.busy <- false;
+    match List.rev t.queue with
+    | [] -> ()
+    | next :: rest ->
+        t.queue <- List.rev rest;
+        start t next
+  in
+  match req with
+  | Read { block; count; k } ->
+      let data = Bytes.sub t.store (block * bs) (count * bs) in
+      finish (fun () -> k data)
+  | Write { block; data; k } ->
+      Bytes.blit data 0 t.store (block * bs) (Bytes.length data);
+      finish k
+
+let submit t req =
+  if t.busy then t.queue <- req :: t.queue else start t req
+
+let read t ~block ~count k =
+  check t ~block ~count;
+  submit t (Read { block; count; k })
+
+let write t ~block data k =
+  let bs = t.geometry.block_size in
+  if Bytes.length data = 0 || Bytes.length data mod bs <> 0 then
+    invalid_arg "Disk.write: data must be a whole number of blocks";
+  check t ~block ~count:(Bytes.length data / bs);
+  submit t (Write { block; data; k })
+
+let read_now t ~block ~count =
+  check t ~block ~count;
+  Bytes.sub t.store (block * t.geometry.block_size)
+    (count * t.geometry.block_size)
+
+let write_now t ~block data =
+  let bs = t.geometry.block_size in
+  if Bytes.length data = 0 || Bytes.length data mod bs <> 0 then
+    invalid_arg "Disk.write_now: data must be a whole number of blocks";
+  check t ~block ~count:(Bytes.length data / bs);
+  Bytes.blit data 0 t.store (block * bs) (Bytes.length data)
+
+let requests_served t = t.served
+let busy t = t.busy || t.queue <> []

@@ -1,0 +1,41 @@
+(** Simulated block storage device.
+
+    Holds real block contents (so the file systems above it have genuine
+    on-disk layouts) and models service time as seek + per-block transfer.
+    Requests are serviced one at a time in FIFO order; completion raises
+    the device's interrupt line and then invokes the request's
+    continuation.  DMA transfer bus traffic is charged on completion. *)
+
+type t
+
+type geometry = {
+  blocks : int;
+  block_size : int;
+  seek_cycles : int;  (** fixed positioning cost per request *)
+  transfer_cycles_per_block : int;
+}
+
+val default_geometry : geometry
+(** 20 MB at 512-byte blocks with early-1990s service times. *)
+
+val create :
+  Cpu.t -> Event_queue.t -> Irq.t -> line:int -> name:string -> geometry -> t
+
+val name : t -> string
+val geometry : t -> geometry
+
+val read : t -> block:int -> count:int -> (bytes -> unit) -> unit
+(** Asynchronous read of [count] blocks starting at [block]; the
+    continuation receives the data when the simulated transfer completes.
+    @raise Invalid_argument on out-of-range requests. *)
+
+val write : t -> block:int -> bytes -> (unit -> unit) -> unit
+(** Asynchronous write; [bytes] must be a whole number of blocks. *)
+
+val read_now : t -> block:int -> count:int -> bytes
+(** Synchronous, zero-cost peek for tests and mkfs-style tools. *)
+
+val write_now : t -> block:int -> bytes -> unit
+
+val requests_served : t -> int
+val busy : t -> bool

@@ -1,0 +1,66 @@
+type item =
+  | Fetch of { region : Layout.region; offset : int; bytes : int }
+  | Load of { addr : int; bytes : int }
+  | Store of { addr : int; bytes : int }
+  | Uncached_read of { addr : int; bytes : int }
+  | Uncached_write of { addr : int; bytes : int }
+  | Switch_address_space
+  | Stall of int
+
+type t = item list
+
+let fetch region ?(offset = 0) ~bytes () =
+  if offset + bytes > region.Layout.size then
+    invalid_arg
+      (Printf.sprintf "Footprint.fetch: %d+%d exceeds region %S (%d bytes)"
+         offset bytes region.Layout.name region.Layout.size);
+  Fetch { region; offset; bytes }
+
+let load ~addr ~bytes = Load { addr; bytes }
+let store ~addr ~bytes = Store { addr; bytes }
+
+let run region ?(offset = 0) ~code_bytes ?(loads = []) ?(stores = []) () =
+  fetch region ~offset ~bytes:code_bytes ()
+  :: (List.map (fun (addr, bytes) -> Load { addr; bytes }) loads
+     @ List.map (fun (addr, bytes) -> Store { addr; bytes }) stores)
+
+let copy ~src ~dst ~bytes =
+  let chunk = 32 in
+  let rec loop off acc =
+    if off >= bytes then List.rev acc
+    else
+      let n = min chunk (bytes - off) in
+      loop (off + chunk)
+        (Store { addr = dst + off; bytes = n }
+        :: Load { addr = src + off; bytes = n }
+        :: acc)
+  in
+  loop 0 []
+
+let touch_region (r : Layout.region) =
+  let page = 4096 in
+  let rec loop off acc =
+    if off >= r.size then List.rev acc
+    else loop (off + page) (Load { addr = r.base + off; bytes = 4 } :: acc)
+  in
+  loop 0 []
+
+let code_bytes t =
+  List.fold_left
+    (fun acc -> function Fetch { bytes; _ } -> acc + bytes | _ -> acc)
+    0 t
+
+let pp_item ppf = function
+  | Fetch { region; offset; bytes } ->
+      Format.fprintf ppf "fetch %s+%d (%d B)" region.Layout.name offset bytes
+  | Load { addr; bytes } -> Format.fprintf ppf "load 0x%x (%d B)" addr bytes
+  | Store { addr; bytes } -> Format.fprintf ppf "store 0x%x (%d B)" addr bytes
+  | Uncached_read { addr; bytes } ->
+      Format.fprintf ppf "ucread 0x%x (%d B)" addr bytes
+  | Uncached_write { addr; bytes } ->
+      Format.fprintf ppf "ucwrite 0x%x (%d B)" addr bytes
+  | Switch_address_space -> Format.fprintf ppf "switch-as"
+  | Stall n -> Format.fprintf ppf "stall %d" n
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]" (Format.pp_print_list pp_item) t

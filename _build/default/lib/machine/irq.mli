@@ -1,0 +1,25 @@
+(** Interrupt controller.
+
+    Handlers are registered per line; raising a line dispatches the
+    handler immediately (the simulation has no instruction-granular
+    preemption — the handler runs at the next simulation point, which is
+    where the event fired).  The controller charges the interrupt-entry
+    cost through the footprint its owner supplies at registration. *)
+
+type t
+
+val create : Cpu.t -> lines:int -> t
+
+val register : t -> line:int -> name:string -> (unit -> unit) -> unit
+(** @raise Invalid_argument if the line is out of range or taken. *)
+
+val unregister : t -> line:int -> unit
+
+val raise_line : t -> int -> unit
+(** Dispatch the handler for [line]; counts as an interrupt in the perf
+    counters.  A raise on an unhandled line counts as spurious and is
+    otherwise ignored. *)
+
+val handler_name : t -> line:int -> string option
+val spurious : t -> int
+val lines : t -> int

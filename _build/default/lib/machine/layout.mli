@@ -1,0 +1,46 @@
+(** Physical address-space layout.
+
+    Every piece of simulated code and data — kernel text, server text,
+    stub libraries, stacks, heaps, device apertures — is a named [region]
+    with a base address and size.  Regions give the cost model concrete
+    addresses so that cache-set conflicts and TLB reach emerge from the
+    layout rather than being postulated. *)
+
+type kind = Code | Data | Device
+
+type region = private {
+  name : string;
+  base : int;
+  size : int;
+  kind : kind;
+}
+
+type t
+
+val create : Config.t -> t
+
+val alloc : t -> name:string -> kind:kind -> size:int -> region
+(** Page-aligned bump allocation.  Device regions are carved from the
+    uncacheable aperture above physical memory.
+
+    @raise Failure when physical memory is exhausted. *)
+
+val alloc_at : t -> name:string -> kind:kind -> base:int -> size:int -> region
+(** Place a region at a fixed address (used for coerced shared memory).
+    The caller is responsible for avoiding overlap with bump-allocated
+    regions; addresses already handed out are rejected.
+
+    @raise Invalid_argument on overlap with an existing region. *)
+
+val used_bytes : t -> int
+(** Bytes of physical memory handed out so far. *)
+
+val regions : t -> region list
+(** All regions, in allocation order. *)
+
+val find : t -> string -> region option
+
+val end_of : region -> int
+(** First address past the region. *)
+
+val pp_region : Format.formatter -> region -> unit

@@ -1,0 +1,55 @@
+module Config = Config
+module Perf = Perf
+module Cache = Cache
+module Tlb = Tlb
+module Layout = Layout
+module Footprint = Footprint
+module Cpu = Cpu
+module Event_queue = Event_queue
+module Irq = Irq
+module Disk = Disk
+module Framebuffer = Framebuffer
+
+type t = {
+  config : Config.t;
+  cpu : Cpu.t;
+  layout : Layout.t;
+  events : Event_queue.t;
+  irq : Irq.t;
+  disk : Disk.t;
+  framebuffer : Framebuffer.t;
+}
+
+let disk_irq_line = 14
+let timer_irq_line = 0
+
+let create ?(disk_geometry = Disk.default_geometry) config =
+  let cpu = Cpu.create config in
+  let layout = Layout.create config in
+  let events = Event_queue.create () in
+  let irq = Irq.create cpu ~lines:16 in
+  let disk =
+    Disk.create cpu events irq ~line:disk_irq_line ~name:"hd0" disk_geometry
+  in
+  let framebuffer = Framebuffer.create cpu layout ~width:640 ~height:480 in
+  { config; cpu; layout; events; irq; disk; framebuffer }
+
+let now t = Cpu.now t.cpu
+let execute t fp = Cpu.execute t.cpu fp
+
+let advance_to_next_event t =
+  match Event_queue.next_time t.events with
+  | None -> false
+  | Some time ->
+      Cpu.advance_to t.cpu time;
+      let (_ : int) = Event_queue.run_due t.events ~now:(Cpu.now t.cpu) in
+      true
+
+let run_events t =
+  let (_ : int) = Event_queue.run_due t.events ~now:(Cpu.now t.cpu) in
+  ()
+
+let pp_inventory ppf t =
+  Format.fprintf ppf "@[<v>machine: %a@ %a@]" Config.pp t.config
+    (Format.pp_print_list Layout.pp_region)
+    (Layout.regions t.layout)

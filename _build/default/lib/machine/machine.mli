@@ -1,0 +1,55 @@
+(** Simulated hardware substrate.
+
+    This library stands in for the 133 MHz Pentium / PowerPC 604 testbeds
+    of the paper: a processor with a microarchitectural cost model
+    (instruction retirement, set-associative I/D caches, TLB, write-through
+    stores, bus-transaction accounting, Pentium-style performance
+    counters), a physical address-space layout, a discrete-event queue, an
+    interrupt controller and standard devices.  Everything above — the
+    microkernel, the servers, the monolithic comparator — executes by
+    submitting {!Footprint.t} values to the CPU. *)
+
+module Config = Config
+module Perf = Perf
+module Cache = Cache
+module Tlb = Tlb
+module Layout = Layout
+module Footprint = Footprint
+module Cpu = Cpu
+module Event_queue = Event_queue
+module Irq = Irq
+module Disk = Disk
+module Framebuffer = Framebuffer
+
+(** The assembled machine: processor, layout, event queue, interrupt
+    controller, one disk and one frame buffer. *)
+type t = {
+  config : Config.t;
+  cpu : Cpu.t;
+  layout : Layout.t;
+  events : Event_queue.t;
+  irq : Irq.t;
+  disk : Disk.t;
+  framebuffer : Framebuffer.t;
+}
+
+val disk_irq_line : int
+val timer_irq_line : int
+
+val create : ?disk_geometry:Disk.geometry -> Config.t -> t
+
+val now : t -> int
+(** Current cycle time. *)
+
+val execute : t -> Footprint.t -> unit
+
+val advance_to_next_event : t -> bool
+(** When the CPU is idle, jump the clock to the earliest pending event and
+    fire everything due.  [false] when no event is pending (a deadlocked or
+    finished system). *)
+
+val run_events : t -> unit
+(** Fire any events due at or before the current time. *)
+
+val pp_inventory : Format.formatter -> t -> unit
+(** Print the physical layout — the machine-level part of Figure 1. *)

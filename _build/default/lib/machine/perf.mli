@@ -1,0 +1,49 @@
+(** Simulated performance counters.
+
+    These mirror the Pentium counter readings the paper uses in Table 2:
+    retired instructions, elapsed cycles, bus cycles, plus the cache and
+    TLB events that explain them.  Counters accumulate monotonically; use
+    {!snapshot} and {!diff} to measure a window, exactly as one programs
+    real counter hardware around a measured loop. *)
+
+type t
+
+type snapshot = {
+  instructions : int;
+  cycles : int;
+  bus_cycles : int;
+  icache_hits : int;
+  icache_misses : int;
+  dcache_hits : int;
+  dcache_misses : int;
+  tlb_misses : int;
+  address_space_switches : int;
+  interrupts : int;
+}
+
+val create : unit -> t
+
+val zero : snapshot
+
+(* Incrementers used by the CPU model. *)
+
+val add_instructions : t -> int -> unit
+val add_cycles : t -> float -> unit
+val add_bus_cycles : t -> int -> unit
+val icache_access : t -> hit:bool -> unit
+val dcache_access : t -> hit:bool -> unit
+val tlb_miss : t -> unit
+val address_space_switch : t -> unit
+val interrupt : t -> unit
+
+val snapshot : t -> snapshot
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] is the per-window delta. *)
+
+val cpi : snapshot -> float
+(** Cycles per instruction; [nan] when no instructions retired. *)
+
+val cycles : t -> int
+(** Current cycle clock (total cycles accumulated). *)
+
+val pp : Format.formatter -> snapshot -> unit

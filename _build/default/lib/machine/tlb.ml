@@ -1,0 +1,39 @@
+type t = {
+  page_size : int;
+  pages : int array;  (* -1 = invalid *)
+  stamps : int array;
+  mutable tick : int;
+}
+
+let create ~entries ~page_size =
+  assert (entries > 0);
+  {
+    page_size;
+    pages = Array.make entries (-1);
+    stamps = Array.make entries 0;
+    tick = 0;
+  }
+
+let access t vaddr =
+  let page = vaddr / t.page_size in
+  t.tick <- t.tick + 1;
+  let n = Array.length t.pages in
+  let rec find i = if i >= n then None else if t.pages.(i) = page then Some i else find (i + 1) in
+  match find 0 with
+  | Some i ->
+      t.stamps.(i) <- t.tick;
+      true
+  | None ->
+      let victim = ref 0 in
+      for i = 1 to n - 1 do
+        if t.stamps.(i) < t.stamps.(!victim) then victim := i
+      done;
+      t.pages.(!victim) <- page;
+      t.stamps.(!victim) <- t.tick;
+      false
+
+let flush t = Array.fill t.pages 0 (Array.length t.pages) (-1)
+let entries t = Array.length t.pages
+
+let resident t =
+  Array.fold_left (fun acc p -> if p >= 0 then acc + 1 else acc) 0 t.pages

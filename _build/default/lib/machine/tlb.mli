@@ -1,0 +1,18 @@
+(** Fully-associative translation lookaside buffer with LRU replacement.
+
+    Keyed on virtual page number.  The simulated architecture has untagged
+    TLB entries (x86 CR3 semantics), so an address-space switch must
+    {!flush} — this is the mechanism behind the RPC path's extra page
+    walks in Table 2. *)
+
+type t
+
+val create : entries:int -> page_size:int -> t
+
+val access : t -> int -> bool
+(** [access t vaddr] is [true] when the page holding [vaddr] is resident;
+    on miss the translation is installed (evicting LRU). *)
+
+val flush : t -> unit
+val entries : t -> int
+val resident : t -> int

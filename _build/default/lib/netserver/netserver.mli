@@ -1,0 +1,51 @@
+(** The communications and networking shared service.
+
+    Modelled on Taligent's networking frameworks: the protocol stack
+    (ethernet / IP / UDP / TCP) is written against the {!Finegrain}
+    object runtime — every layer is an object, every packet walks the
+    layer objects' methods.  Built with [style:Fine_grained] it behaves
+    like the system the paper shipped; with [style:Coarse] it is the
+    MK++-disciplined comparator (experiment E6).
+
+    The network itself is a loopback wire with fixed latency on the
+    machine's event queue; endpoints are ports on the local stack. *)
+
+type t
+type socket
+
+val create : Mach.Kernel.t -> style:Finegrain.style -> t
+
+val objects : t -> Finegrain.t
+(** The underlying object runtime (for footprint/dispatch statistics). *)
+
+val packets_processed : t -> int
+val checksum_bytes : t -> int
+
+(** {1 UDP} *)
+
+val udp_socket : t -> port:int -> (socket, string) result
+(** [Error] when the port is taken. *)
+
+val udp_send : t -> socket -> dst_port:int -> bytes:int -> unit
+(** Transmit a datagram to a local port over the simulated wire. *)
+
+val udp_recv : t -> socket -> int * int
+(** Blocks for the next datagram; returns [(source port, bytes)]. *)
+
+val pending : socket -> int
+
+(** {1 TCP (minimal: handshake, in-order data)} *)
+
+val tcp_listen : t -> port:int -> (socket, string) result
+val tcp_accept : t -> socket -> socket
+(** Blocks for an incoming connection. *)
+
+val tcp_connect : t -> dst_port:int -> (socket, string) result
+(** Blocks through the three-way handshake. *)
+
+val tcp_send : t -> socket -> bytes:int -> unit
+val tcp_recv : t -> socket -> int
+(** Blocks for the next in-order segment; returns its size. *)
+
+val established : socket -> bool
+val close : t -> socket -> unit

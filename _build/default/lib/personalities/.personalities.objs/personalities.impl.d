@@ -1,0 +1,1 @@
+lib/personalities/personalities.ml: Mvm Os2 Os2_memory Pm Talos

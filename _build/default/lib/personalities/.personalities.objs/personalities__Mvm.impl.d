@@ -1,0 +1,1 @@
+lib/personalities/mvm.ml: Bytes Fileserver Hashtbl List Mach Machine Mk_services Option Printf

@@ -1,0 +1,1 @@
+lib/personalities/mvm.mli: Fileserver Mach Mk_services

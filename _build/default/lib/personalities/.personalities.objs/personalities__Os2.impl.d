@@ -1,0 +1,1 @@
+lib/personalities/os2.ml: Fileserver List Mach Machine Mk_services Os2_memory String

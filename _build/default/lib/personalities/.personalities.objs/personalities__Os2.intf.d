@@ -1,0 +1,1 @@
+lib/personalities/os2.mli: Fileserver Mach Machine Mk_services Os2_memory

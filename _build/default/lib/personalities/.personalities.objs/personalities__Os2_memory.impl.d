@@ -1,0 +1,1 @@
+lib/personalities/os2_memory.ml: List Mach Machine

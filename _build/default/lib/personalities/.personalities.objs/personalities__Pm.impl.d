@@ -1,0 +1,1 @@
+lib/personalities/pm.ml: Mach Machine Os2 Printf Queue String

@@ -1,0 +1,1 @@
+lib/personalities/pm.mli: Mach Machine Os2

@@ -1,0 +1,1 @@
+lib/personalities/talos.ml: Fileserver Finegrain List Mach Mk_services

@@ -1,0 +1,1 @@
+lib/personalities/talos.mli: Fileserver Finegrain Mach Mk_services

@@ -1,0 +1,10 @@
+(** Operating-system personalities on the IBM Microkernel: OS/2 (server,
+    doscalls libraries, the second byte-granularity memory manager,
+    Presentation Manager) and MVM (DOS/Windows virtual machines with the
+    block instruction translator). *)
+
+module Os2_memory = Os2_memory
+module Os2 = Os2
+module Pm = Pm
+module Mvm = Mvm
+module Talos = Talos

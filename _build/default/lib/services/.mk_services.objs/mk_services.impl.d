@@ -1,0 +1,1 @@
+lib/services/mk_services.ml: Bootstrap Default_pager Loader Name_db Name_service Name_simple Runtime

@@ -1,0 +1,1 @@
+lib/services/bootstrap.ml: Default_pager Loader Mach Name_service Name_simple Runtime

@@ -1,0 +1,1 @@
+lib/services/bootstrap.mli: Default_pager Loader Mach Machine Name_service Name_simple Runtime

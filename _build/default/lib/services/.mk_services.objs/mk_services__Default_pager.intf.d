@@ -1,0 +1,1 @@
+lib/services/default_pager.mli: Mach

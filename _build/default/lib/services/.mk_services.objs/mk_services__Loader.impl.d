@@ -1,0 +1,1 @@
+lib/services/loader.ml: List Mach Machine Printf Runtime

@@ -1,0 +1,1 @@
+lib/services/loader.mli: Mach Machine Runtime

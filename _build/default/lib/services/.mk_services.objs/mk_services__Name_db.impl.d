@@ -1,0 +1,1 @@
+lib/services/name_db.ml: Hashtbl List Mach Option Printf String

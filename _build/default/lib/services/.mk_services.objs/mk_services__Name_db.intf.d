@@ -1,0 +1,1 @@
+lib/services/name_db.mli: Mach

@@ -1,0 +1,1 @@
+lib/services/name_service.ml: List Mach Name_db Runtime String

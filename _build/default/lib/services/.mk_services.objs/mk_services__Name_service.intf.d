@@ -1,0 +1,1 @@
+lib/services/name_service.mli: Mach Name_db Runtime

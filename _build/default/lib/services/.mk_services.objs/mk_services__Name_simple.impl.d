@@ -1,0 +1,1 @@
+lib/services/name_simple.ml: Hashtbl List Mach Runtime

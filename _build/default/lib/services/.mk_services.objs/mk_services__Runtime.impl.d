@@ -1,0 +1,1 @@
+lib/services/runtime.ml: Hashtbl List Mach Machine

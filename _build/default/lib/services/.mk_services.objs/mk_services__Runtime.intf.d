@@ -1,0 +1,1 @@
+lib/services/runtime.mli: Mach Machine

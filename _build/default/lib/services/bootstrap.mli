@@ -1,0 +1,30 @@
+(** Microkernel Services bootstrap.
+
+    Brings up the personality-neutral base in paper order: the
+    personality-neutral runtime, the default pager, the name service
+    (full X.500 flavour, or the Release-2 simple service for embedded
+    configurations), and the loader — the components Figure 1 draws
+    inside the "IBM Microkernel" box above the privileged kernel. *)
+
+type naming = Full_naming | Simple_naming
+
+type t = {
+  kernel : Mach.Kernel.t;
+  runtime : Runtime.t;
+  pager : Default_pager.t;
+  naming : naming;
+  name_service : Name_service.t option;  (** present under [Full_naming] *)
+  simple_names : Name_simple.t option;  (** present under [Simple_naming] *)
+  loader : Loader.t;
+}
+
+val boot : ?naming:naming -> Machine.t -> t
+(** Boot the kernel and every Microkernel Services component on the given
+    machine (default [Full_naming]). *)
+
+val name_service_exn : t -> Name_service.t
+(** @raise Invalid_argument under [Simple_naming]. *)
+
+val components : t -> string list
+(** Names of the running service components, for the Figure 1
+    inventory. *)

@@ -1,0 +1,12 @@
+(** Microkernel Services: the user-level, personality-neutral base the
+    IBM Microkernel shipped alongside the kernel proper — runtime, name
+    services, loader, default pager, and the bootstrap that wires them
+    together. *)
+
+module Runtime = Runtime
+module Name_db = Name_db
+module Name_service = Name_service
+module Name_simple = Name_simple
+module Loader = Loader
+module Default_pager = Default_pager
+module Bootstrap = Bootstrap

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Api Micro Table1

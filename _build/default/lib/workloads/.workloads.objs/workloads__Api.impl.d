@@ -1,0 +1,1 @@
+lib/workloads/api.ml: Bytes Fileserver Hashtbl Mach Machine Monolithic Obj Personalities Printf Queue Wpos

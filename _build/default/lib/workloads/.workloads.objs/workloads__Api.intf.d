@@ -1,0 +1,1 @@
+lib/workloads/api.mli: Machine Monolithic Wpos

@@ -1,0 +1,1 @@
+lib/workloads/micro.ml: Bytes Fileserver List Mach Machine Mk_services Monolithic

@@ -1,0 +1,30 @@
+(** The seven Table 1 application benchmarks.
+
+    Synthetic stand-ins for the paper's OS/2 test programs, generating
+    the operation mixes the paper attributes to each (see DESIGN.md §5):
+    IBM Works file traffic for the File Intensive rows, Klondike-style
+    user-level drawing with growing working sets for the Graphics rows,
+    and window-message ping-pong (Swp32/Wind32) for the PM Tasking
+    rows. *)
+
+type spec = {
+  id : string;  (** paper row name *)
+  app : string;  (** paper "application content" *)
+  scale : int;  (** iteration count knob *)
+  body : Api.t -> unit;  (** spawns the workload's processes *)
+}
+
+val all : spec list
+(** The seven rows, in Table 1 order. *)
+
+val find : string -> spec option
+
+val run : Api.t -> spec -> int
+(** Elapsed simulated cycles for the workload on the given system. *)
+
+type row = { row_id : string; wpos_cycles : int; native_cycles : int; ratio : float }
+
+val compare_systems : wpos:Api.t -> native:Api.t -> spec -> row
+
+val overall : row list -> float
+(** Geometric mean of the ratios (the paper's "Overall" row). *)

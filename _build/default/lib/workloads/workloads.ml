@@ -1,0 +1,8 @@
+(** Workload generators for every experiment: the Table 1 application
+    benchmarks, the Table 2 counter probe, the message-size sweep and the
+    file-server factor microbenchmarks, all written against the
+    system-neutral {!Api}. *)
+
+module Api = Api
+module Table1 = Table1
+module Micro = Micro

@@ -1,0 +1,1 @@
+test/test_drivers.ml: Alcotest Bytes Drivers List Mach Machine Option Test_util

@@ -1,0 +1,1 @@
+test/test_fileserver.ml: Alcotest Bytes Char Fileserver Mach Machine Mk_services String Test_util

@@ -1,0 +1,1 @@
+test/test_finegrain.ml: Alcotest Finegrain Mach Machine Netserver Test_util

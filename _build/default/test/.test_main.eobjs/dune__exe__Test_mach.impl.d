@@ -1,0 +1,1 @@
+test/test_mach.ml: Alcotest Format Mach Machine Printf Test_util

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Bytes Cache Config Cpu Disk Event_queue Footprint Framebuffer Irq Layout Machine Perf Tlb

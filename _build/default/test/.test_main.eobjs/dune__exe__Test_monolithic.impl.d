@@ -1,0 +1,1 @@
+test/test_monolithic.ml: Alcotest Bytes Fileserver Mach Machine Monolithic Test_util Workloads

@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Bytes Fileserver Finegrain Float Format List Mach Machine Mk_services Netserver String Test_util

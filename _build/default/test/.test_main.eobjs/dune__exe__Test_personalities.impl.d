@@ -1,0 +1,1 @@
+test/test_personalities.ml: Alcotest Bytes Fileserver Finegrain List Mach Machine Mk_services Personalities Test_util Wpos

@@ -1,0 +1,1 @@
+test/test_properties.ml: Bytes Char Fileserver Gen List Mach Machine Mk_services Printf QCheck QCheck_alcotest String Test_util

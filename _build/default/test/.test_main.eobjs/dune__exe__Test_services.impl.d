@@ -1,0 +1,1 @@
+test/test_services.ml: Alcotest List Mach Machine Mk_services Result Test_util

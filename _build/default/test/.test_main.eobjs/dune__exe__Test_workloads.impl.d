@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Machine Monolithic Printf Workloads Wpos

@@ -1,0 +1,1 @@
+test/test_wpos.ml: Alcotest Bytes Drivers Fileserver List Mach Machine Mk_services Personalities Wpos

@@ -1,0 +1,117 @@
+(* Tests for the object-runtime simulation and the networking service
+   built on it. *)
+
+let kernel () = Test_util.kernel_on ()
+
+let test_class_hierarchy_and_dispatch () =
+  let k = kernel () in
+  let rt = Finegrain.create k ~style:Finegrain.Fine_grained ~name:"t" in
+  let base = Finegrain.define_class rt ~name:"TObject" () in
+  let mid = Finegrain.define_class rt ~name:"TStream" ~super:base () in
+  let leaf = Finegrain.define_class rt ~name:"TSocket" ~super:mid () in
+  Alcotest.(check int) "depth" 3 (Finegrain.class_depth leaf);
+  let o = Finegrain.new_object rt leaf in
+  Finegrain.vcall rt o ~slot:1;
+  Alcotest.(check int) "one dispatch counted" 1 (Finegrain.vcalls rt);
+  Alcotest.(check int) "one live object" 1 (Finegrain.live_objects rt);
+  Finegrain.delete_object rt o;
+  Alcotest.(check int) "deleted" 0 (Finegrain.live_objects rt)
+
+let test_fine_vs_coarse_costs () =
+  let measure style =
+    let k = kernel () in
+    let m = k.Mach.Kernel.machine in
+    let rt = Finegrain.create k ~style ~name:"t" in
+    let base = Finegrain.define_class rt ~name:"A" () in
+    let c1 = Finegrain.define_class rt ~name:"B" ~super:base () in
+    let c2 = Finegrain.define_class rt ~name:"C" ~super:c1 () in
+    let o = Finegrain.new_object rt c2 in
+    (* warm *)
+    Finegrain.invoke rt o ~work_units:64;
+    let t0 = Machine.now m in
+    Finegrain.invoke rt o ~work_units:256;
+    (Machine.now m - t0, Finegrain.memory_footprint_bytes rt)
+  in
+  let fine_cycles, fine_mem = measure Finegrain.Fine_grained in
+  let coarse_cycles, coarse_mem = measure Finegrain.Coarse in
+  Alcotest.(check bool) "fine-grained slower" true (fine_cycles > coarse_cycles);
+  Alcotest.(check bool) "fine-grained bigger" true (fine_mem > coarse_mem)
+
+let test_udp_echo () =
+  let k = kernel () in
+  let net = Netserver.create k ~style:Finegrain.Coarse in
+  let t = Mach.Kernel.task_create k ~name:"t" () in
+  let echoed = ref (-1, -1) in
+  Test_util.spawn k t "server" (fun () ->
+      match Netserver.udp_socket net ~port:53 with
+      | Error e -> Alcotest.fail e
+      | Ok s ->
+          let src, n = Netserver.udp_recv net s in
+          Netserver.udp_send net s ~dst_port:src ~bytes:n);
+  Test_util.spawn k t "client" (fun () ->
+      match Netserver.udp_socket net ~port:5353 with
+      | Error e -> Alcotest.fail e
+      | Ok s ->
+          Netserver.udp_send net s ~dst_port:53 ~bytes:99;
+          echoed := Netserver.udp_recv net s);
+  Mach.Kernel.run k;
+  Alcotest.(check (pair int int)) "echo round trip" (53, 99) !echoed;
+  Alcotest.(check int) "four packets walked the stack" 4
+    (Netserver.packets_processed net)
+
+let test_udp_port_conflict () =
+  let k = kernel () in
+  let net = Netserver.create k ~style:Finegrain.Coarse in
+  (match Netserver.udp_socket net ~port:80 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  match Netserver.udp_socket net ~port:80 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate bind succeeded"
+
+let test_tcp_connection () =
+  let k = kernel () in
+  let net = Netserver.create k ~style:Finegrain.Fine_grained in
+  let t = Mach.Kernel.task_create k ~name:"t" () in
+  let got = ref [] in
+  Test_util.spawn k t "server" (fun () ->
+      match Netserver.tcp_listen net ~port:8080 with
+      | Error e -> Alcotest.fail e
+      | Ok listener ->
+          let c = Netserver.tcp_accept net listener in
+          for _ = 1 to 3 do
+            got := Netserver.tcp_recv net c :: !got
+          done);
+  Test_util.spawn k t "client" (fun () ->
+      match Netserver.tcp_connect net ~dst_port:8080 with
+      | Error e -> Alcotest.fail e
+      | Ok c ->
+          Alcotest.(check bool) "established" true (Netserver.established c);
+          Netserver.tcp_send net c ~bytes:100;
+          Netserver.tcp_send net c ~bytes:200;
+          Netserver.tcp_send net c ~bytes:300);
+  Mach.Kernel.run k;
+  Alcotest.(check (list int)) "segments in order" [ 300; 200; 100 ] !got
+
+let test_checksum_accounting () =
+  let k = kernel () in
+  let net = Netserver.create k ~style:Finegrain.Coarse in
+  let t = Mach.Kernel.task_create k ~name:"t" () in
+  Test_util.spawn k t "client" (fun () ->
+      match Netserver.udp_socket net ~port:1000 with
+      | Error e -> Alcotest.fail e
+      | Ok s -> Netserver.udp_send net s ~dst_port:9 ~bytes:446);
+  Mach.Kernel.run k;
+  (* tx walk + rx walk of one 446-byte datagram + headers *)
+  Alcotest.(check int) "checksummed bytes" 1000 (Netserver.checksum_bytes net)
+
+let suite =
+  [
+    Alcotest.test_case "class hierarchy+dispatch" `Quick
+      test_class_hierarchy_and_dispatch;
+    Alcotest.test_case "fine vs coarse costs" `Quick test_fine_vs_coarse_costs;
+    Alcotest.test_case "udp echo" `Quick test_udp_echo;
+    Alcotest.test_case "udp port conflict" `Quick test_udp_port_conflict;
+    Alcotest.test_case "tcp connection" `Quick test_tcp_connection;
+    Alcotest.test_case "checksum accounting" `Quick test_checksum_accounting;
+  ]

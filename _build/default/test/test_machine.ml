@@ -1,0 +1,199 @@
+(* Unit tests for the simulated-hardware substrate. *)
+
+open Machine
+
+let test_cache_hit_miss () =
+  let c = Cache.create { Config.size = 1024; line = 32; assoc = 2 } in
+  Alcotest.(check bool) "first access misses" false (Cache.access c 0x100);
+  Alcotest.(check bool) "second access hits" true (Cache.access c 0x100);
+  Alcotest.(check bool) "same line hits" true (Cache.access c 0x110);
+  Alcotest.(check bool) "different line misses" false (Cache.access c 0x200)
+
+let test_cache_conflict_lru () =
+  (* 1 KiB, 32-byte lines, 2-way: 16 sets, set repeats every 512 bytes *)
+  let c = Cache.create { Config.size = 1024; line = 32; assoc = 2 } in
+  ignore (Cache.access c 0x000 : bool);
+  ignore (Cache.access c 0x200 : bool);
+  Alcotest.(check bool) "two ways hold both" true (Cache.access c 0x000);
+  ignore (Cache.access c 0x400 : bool);  (* evicts LRU = 0x200 *)
+  Alcotest.(check bool) "survivor stays" true (Cache.access c 0x000);
+  Alcotest.(check bool) "victim evicted" false (Cache.access c 0x200)
+
+let test_cache_flush () =
+  let c = Cache.create { Config.size = 1024; line = 32; assoc = 2 } in
+  ignore (Cache.access c 0x40 : bool);
+  Alcotest.(check int) "one line resident" 1 (Cache.resident c);
+  Cache.flush c;
+  Alcotest.(check int) "flushed" 0 (Cache.resident c);
+  Alcotest.(check bool) "miss after flush" false (Cache.access c 0x40)
+
+let test_tlb () =
+  let t = Tlb.create ~entries:2 ~page_size:4096 in
+  Alcotest.(check bool) "cold miss" false (Tlb.access t 0x1000);
+  Alcotest.(check bool) "hit" true (Tlb.access t 0x1fff);
+  ignore (Tlb.access t 0x2000 : bool);
+  ignore (Tlb.access t 0x3000 : bool);  (* evicts LRU page 1 *)
+  Alcotest.(check bool) "LRU evicted" false (Tlb.access t 0x1000);
+  Tlb.flush t;
+  Alcotest.(check int) "flush empties" 0 (Tlb.resident t)
+
+let test_layout () =
+  let l = Layout.create Config.pentium_133 in
+  let a = Layout.alloc l ~name:"a" ~kind:Layout.Code ~size:100 in
+  let b = Layout.alloc l ~name:"b" ~kind:Layout.Data ~size:5000 in
+  Alcotest.(check bool) "page aligned" true (a.Layout.base mod 4096 = 0);
+  Alcotest.(check int) "size rounded" 4096 a.Layout.size;
+  Alcotest.(check bool) "no overlap" true (b.Layout.base >= Layout.end_of a);
+  Alcotest.(check bool) "find works" true (Layout.find l "b" = Some b);
+  let d = Layout.alloc l ~name:"dev" ~kind:Layout.Device ~size:4096 in
+  Alcotest.(check bool) "device above memory" true
+    (d.Layout.base >= Config.pentium_133.Config.memory_bytes)
+
+let test_layout_exhaustion () =
+  let small = Config.with_memory Config.pentium_133 ~bytes:(64 * 1024) in
+  let l = Layout.create small in
+  Alcotest.check_raises "out of memory" (Failure "exhausted")
+    (fun () ->
+      try ignore (Layout.alloc l ~name:"big" ~kind:Layout.Data ~size:(1024 * 1024) : Layout.region)
+      with Failure _ -> raise (Failure "exhausted"))
+
+let test_event_queue () =
+  let q = Event_queue.create () in
+  let log = ref [] in
+  Event_queue.schedule q ~at:200 (fun () -> log := 200 :: !log);
+  Event_queue.schedule q ~at:100 (fun () -> log := 100 :: !log);
+  Event_queue.schedule q ~at:100 (fun () -> log := 101 :: !log);
+  Alcotest.(check (option int)) "next" (Some 100) (Event_queue.next_time q);
+  let fired = Event_queue.run_due q ~now:150 in
+  Alcotest.(check int) "two fired" 2 fired;
+  Alcotest.(check (list int)) "FIFO within a time" [ 101; 100 ] !log;
+  ignore (Event_queue.run_due q ~now:500 : int);
+  Alcotest.(check (list int)) "all fired" [ 200; 101; 100 ] !log
+
+let test_cpu_charges () =
+  let m = create Config.pentium_133 in
+  let r = Layout.alloc m.layout ~name:"code" ~kind:Layout.Code ~size:4096 in
+  let before = Perf.snapshot (Cpu.perf m.cpu) in
+  execute m [ Footprint.fetch r ~bytes:400 () ];
+  let d = Perf.diff (Perf.snapshot (Cpu.perf m.cpu)) before in
+  Alcotest.(check int) "instructions = bytes/4" 100 d.Perf.instructions;
+  Alcotest.(check bool) "cycles charged" true (d.Perf.cycles > 0);
+  Alcotest.(check bool) "cold misses" true (d.Perf.icache_misses > 0);
+  (* steady state: same fetch again is all hits *)
+  let before = Perf.snapshot (Cpu.perf m.cpu) in
+  execute m [ Footprint.fetch r ~bytes:400 () ];
+  let d2 = Perf.diff (Perf.snapshot (Cpu.perf m.cpu)) before in
+  Alcotest.(check int) "warm: no misses" 0 d2.Perf.icache_misses;
+  Alcotest.(check bool) "warm cheaper" true (d2.Perf.cycles < d.Perf.cycles)
+
+let test_write_through_bus () =
+  let m = create Config.pentium_133 in
+  let before = Perf.snapshot (Cpu.perf m.cpu) in
+  execute m [ Footprint.store ~addr:0x8000 ~bytes:64 ];
+  let d = Perf.diff (Perf.snapshot (Cpu.perf m.cpu)) before in
+  (* 16 words * write_bus_cycles(4) plus the line fills *)
+  Alcotest.(check bool) "stores hit the bus" true (d.Perf.bus_cycles >= 64)
+
+let test_as_switch_flushes_tlb () =
+  let m = create Config.pentium_133 in
+  execute m [ Footprint.load ~addr:0x9000 ~bytes:4 ];
+  execute m [ Footprint.load ~addr:0x9000 ~bytes:4 ];
+  let before = Perf.snapshot (Cpu.perf m.cpu) in
+  execute m [ Footprint.Switch_address_space ];
+  execute m [ Footprint.load ~addr:0x9000 ~bytes:4 ];
+  let d = Perf.diff (Perf.snapshot (Cpu.perf m.cpu)) before in
+  Alcotest.(check int) "switch counted" 1 d.Perf.address_space_switches;
+  Alcotest.(check bool) "page walk after flush" true (d.Perf.tlb_misses >= 1)
+
+let test_disk_roundtrip () =
+  let m = create Config.pentium_133 in
+  let data = Bytes.make 512 'x' in
+  let done_ = ref false in
+  Disk.write m.disk ~block:10 data (fun () -> done_ := true);
+  while Machine.advance_to_next_event m do () done;
+  Alcotest.(check bool) "write completed" true !done_;
+  let got = ref Bytes.empty in
+  Disk.read m.disk ~block:10 ~count:1 (fun b -> got := b);
+  while Machine.advance_to_next_event m do () done;
+  Alcotest.(check bytes) "data persisted" data !got
+
+let test_disk_latency_and_interrupts () =
+  let m = create Config.pentium_133 in
+  let t0 = now m in
+  let done_at = ref 0 in
+  Disk.read m.disk ~block:0 ~count:4 (fun _ -> done_at := now m);
+  while Machine.advance_to_next_event m do () done;
+  let g = Disk.default_geometry in
+  let expected = g.Disk.seek_cycles + (4 * g.Disk.transfer_cycles_per_block) in
+  Alcotest.(check int) "service time" expected (!done_at - t0);
+  let p = Perf.snapshot (Cpu.perf m.cpu) in
+  Alcotest.(check int) "interrupt delivered" 1 p.Perf.interrupts
+
+let test_disk_fifo_queue () =
+  let m = create Config.pentium_133 in
+  let order = ref [] in
+  Disk.read m.disk ~block:0 ~count:1 (fun _ -> order := 1 :: !order);
+  Disk.read m.disk ~block:100 ~count:1 (fun _ -> order := 2 :: !order);
+  Disk.read m.disk ~block:200 ~count:1 (fun _ -> order := 3 :: !order);
+  while Machine.advance_to_next_event m do () done;
+  Alcotest.(check (list int)) "FIFO order" [ 3; 2; 1 ] !order
+
+let test_disk_bounds () =
+  let m = create Config.pentium_133 in
+  Alcotest.check_raises "out of range" (Invalid_argument "range")
+    (fun () ->
+      try Disk.read m.disk ~block:(-1) ~count:1 (fun _ -> ())
+      with Invalid_argument _ -> raise (Invalid_argument "range"))
+
+let test_framebuffer () =
+  let m = create Config.pentium_133 in
+  let fb = m.framebuffer in
+  let before = Perf.snapshot (Cpu.perf m.cpu) in
+  Framebuffer.fill_rect fb ~x:10 ~y:10 ~w:20 ~h:5 ~pixel:'z';
+  let d = Perf.diff (Perf.snapshot (Cpu.perf m.cpu)) before in
+  Alcotest.(check char) "pixel set" 'z' (Framebuffer.pixel fb ~x:15 ~y:12);
+  Alcotest.(check char) "outside untouched" '\000' (Framebuffer.pixel fb ~x:5 ~y:5);
+  Alcotest.(check int) "pixels counted" 100 (Framebuffer.pixels_written fb);
+  Alcotest.(check bool) "uncached stores cost bus" true (d.Perf.bus_cycles > 0)
+
+let test_irq_spurious () =
+  let m = create Config.pentium_133 in
+  Irq.raise_line m.irq 5;
+  Alcotest.(check int) "spurious counted" 1 (Irq.spurious m.irq);
+  let hits = ref 0 in
+  Irq.register m.irq ~line:5 ~name:"t" (fun () -> incr hits);
+  Irq.raise_line m.irq 5;
+  Alcotest.(check int) "handler ran" 1 !hits
+
+let test_perf_diff () =
+  let p = Perf.create () in
+  Perf.add_instructions p 10;
+  Perf.add_cycles p 25.0;
+  let s1 = Perf.snapshot p in
+  Perf.add_instructions p 5;
+  Perf.add_cycles p 10.0;
+  let d = Perf.diff (Perf.snapshot p) s1 in
+  Alcotest.(check int) "inst delta" 5 d.Perf.instructions;
+  Alcotest.(check int) "cycle delta" 10 d.Perf.cycles;
+  Alcotest.(check (float 0.01)) "cpi" 2.0 (Perf.cpi d)
+
+let suite =
+  [
+    Alcotest.test_case "cache hit/miss" `Quick test_cache_hit_miss;
+    Alcotest.test_case "cache conflict LRU" `Quick test_cache_conflict_lru;
+    Alcotest.test_case "cache flush" `Quick test_cache_flush;
+    Alcotest.test_case "tlb" `Quick test_tlb;
+    Alcotest.test_case "layout" `Quick test_layout;
+    Alcotest.test_case "layout exhaustion" `Quick test_layout_exhaustion;
+    Alcotest.test_case "event queue" `Quick test_event_queue;
+    Alcotest.test_case "cpu charges" `Quick test_cpu_charges;
+    Alcotest.test_case "write-through bus" `Quick test_write_through_bus;
+    Alcotest.test_case "AS switch flushes TLB" `Quick test_as_switch_flushes_tlb;
+    Alcotest.test_case "disk roundtrip" `Quick test_disk_roundtrip;
+    Alcotest.test_case "disk latency+irq" `Quick test_disk_latency_and_interrupts;
+    Alcotest.test_case "disk FIFO" `Quick test_disk_fifo_queue;
+    Alcotest.test_case "disk bounds" `Quick test_disk_bounds;
+    Alcotest.test_case "framebuffer" `Quick test_framebuffer;
+    Alcotest.test_case "irq spurious" `Quick test_irq_spurious;
+    Alcotest.test_case "perf diff" `Quick test_perf_diff;
+  ]

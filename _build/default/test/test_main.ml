@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "wpos-repro"
+    [
+      ("machine", Test_machine.suite);
+      ("mach", Test_mach.suite);
+      ("services", Test_services.suite);
+      ("fileserver", Test_fileserver.suite);
+      ("monolithic", Test_monolithic.suite);
+      ("finegrain-net", Test_finegrain.suite);
+      ("drivers", Test_drivers.suite);
+      ("personalities", Test_personalities.suite);
+      ("wpos", Test_wpos.suite);
+      ("workloads", Test_workloads.suite);
+      ("properties", Test_properties.suite);
+      ("edge-cases", Test_more.suite);
+    ]

@@ -1,0 +1,93 @@
+(* Tests for the monolithic comparator OS. *)
+
+open Fileserver.Fs_types
+
+let boot ?fs_format () =
+  Monolithic.boot (Machine.create Machine.Config.pentium_133) ?fs_format ()
+
+let ok = Test_util.check_fs_ok
+
+let in_process mono body =
+  let result = ref None in
+  ignore
+    (Monolithic.spawn_process mono ~name:"t" (fun () ->
+         result := Some (body ()))
+      : Mach.Ktypes.task);
+  Monolithic.run mono;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "process did not complete"
+
+let test_file_syscalls () =
+  let mono = boot () in
+  in_process mono (fun () ->
+      let h = ok "open" (Monolithic.sys_open mono ~path:"/c/a.txt" ~create:true ()) in
+      Alcotest.(check int) "handles" 1 (Monolithic.open_handles mono);
+      let n = ok "write" (Monolithic.sys_write mono h (Bytes.of_string "0123456789")) in
+      Alcotest.(check int) "wrote" 10 n;
+      Monolithic.sys_seek mono h ~pos:2;
+      let data = ok "read" (Monolithic.sys_read mono h ~bytes:4) in
+      Alcotest.(check string) "positioned" "2345" (Bytes.to_string data);
+      Monolithic.sys_close mono h;
+      Alcotest.(check int) "closed" 0 (Monolithic.open_handles mono);
+      (match Monolithic.sys_read mono h ~bytes:1 with
+      | Error E_bad_handle -> ()
+      | _ -> Alcotest.fail "stale handle accepted");
+      ok "mkdir" (Monolithic.sys_mkdir mono ~path:"/c/d");
+      ok "rename" (Monolithic.sys_rename mono ~src:"/c/a.txt" ~dst:"/c/d/b.txt");
+      let names = ok "readdir" (Monolithic.sys_readdir mono ~path:"/c/d") in
+      Alcotest.(check (list string)) "dir" [ "b.txt" ] names;
+      ok "unlink" (Monolithic.sys_unlink mono ~path:"/c/d/b.txt"))
+
+let test_fat_variant () =
+  let mono = boot ~fs_format:`Fat () in
+  in_process mono (fun () ->
+      (match Monolithic.sys_open mono ~path:"/c/longname.file" ~create:true () with
+      | Error E_name_too_long -> ()
+      | _ -> Alcotest.fail "FAT root accepted a long name");
+      let h = ok "8.3 ok" (Monolithic.sys_open mono ~path:"/c/OK.TXT" ~create:true ()) in
+      Monolithic.sys_close mono h)
+
+let test_trap_cost_vs_rpc () =
+  (* the monolithic syscall must be substantially cheaper than the file
+     server RPC for the same work: this is the paper's core comparison *)
+  let f = Workloads.Micro.fileserver_factor ~ops:150 () in
+  Alcotest.(check bool) "factor in the paper's band (2.5 .. 5)" true
+    Workloads.Micro.(f.fx_factor > 2.5 && f.fx_factor < 5.0)
+
+let test_memory_syscalls () =
+  let mono = boot () in
+  let k = Monolithic.kernel mono in
+  in_process mono (fun () ->
+      let before = Mach.Vm.resident_pages k.Mach.Kernel.sys in
+      let addr = Monolithic.sys_alloc mono ~bytes:(8 * 4096) in
+      Alcotest.(check int) "commitment-oriented: eager" (before + 8)
+        (Mach.Vm.resident_pages k.Mach.Kernel.sys);
+      Monolithic.sys_touch mono ~addr ~write:true ~bytes:4096 ())
+
+let test_processes_and_yield () =
+  let mono = boot () in
+  let log = ref [] in
+  ignore
+    (Monolithic.spawn_process mono ~name:"p1" (fun () ->
+         log := "a1" :: !log;
+         Monolithic.sys_yield mono;
+         log := "a2" :: !log)
+      : Mach.Ktypes.task);
+  ignore
+    (Monolithic.spawn_process mono ~name:"p2" (fun () ->
+         log := "b1" :: !log;
+         Monolithic.sys_yield mono;
+         log := "b2" :: !log)
+      : Mach.Ktypes.task);
+  Monolithic.run mono;
+  Alcotest.(check (list string)) "interleaved" [ "b2"; "a2"; "b1"; "a1" ] !log
+
+let suite =
+  [
+    Alcotest.test_case "file syscalls" `Quick test_file_syscalls;
+    Alcotest.test_case "fat variant" `Quick test_fat_variant;
+    Alcotest.test_case "trap vs rpc factor" `Slow test_trap_cost_vs_rpc;
+    Alcotest.test_case "memory syscalls" `Quick test_memory_syscalls;
+    Alcotest.test_case "processes+yield" `Quick test_processes_and_yield;
+  ]

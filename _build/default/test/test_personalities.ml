@@ -1,0 +1,214 @@
+(* Tests for the OS/2 personality (server, doscalls, memory manager, PM)
+   and MVM. *)
+
+module P = Personalities
+open Fileserver.Fs_types
+
+(* a minimal WPOS without MVM for speed *)
+let small_wpos () =
+  Wpos.boot
+    ~config:
+      { Wpos.default_config with Wpos.with_mvm = false; Wpos.fs_blocks = 2048 }
+    ()
+
+let test_os2_process_lifecycle () =
+  let w = small_wpos () in
+  let os2 = w.Wpos.os2 in
+  let ran = ref false in
+  let p =
+    P.Os2.create_process os2 ~name:"app.exe" ~entry:(fun _ -> ran := true)
+  in
+  Wpos.run w;
+  Alcotest.(check bool) "entry ran" true !ran;
+  Alcotest.(check int) "in process table" 1 (P.Os2.process_count os2);
+  Alcotest.(check bool) "doscalls mapped" true
+    (List.mem_assoc "doscalls" (P.Os2.process_task p).Mach.Ktypes.libraries);
+  (* exit drops the process *)
+  let p2 = P.Os2.create_process os2 ~name:"short.exe" ~entry:(fun p2 ->
+      P.Os2.dos_exit os2 p2)
+  in
+  ignore p2;
+  Wpos.run w;
+  Alcotest.(check int) "exited process dropped" 1 (P.Os2.process_count os2)
+
+let test_os2_files_via_doscalls () =
+  let w = small_wpos () in
+  let os2 = w.Wpos.os2 in
+  let result = ref "" in
+  ignore
+    (P.Os2.create_process os2 ~name:"filer.exe" ~entry:(fun p ->
+         match P.Os2.dos_open os2 p ~path:"/os2/t.txt" ~create:true () with
+         | Error e -> result := fs_error_to_string e
+         | Ok h -> (
+             ignore (P.Os2.dos_write os2 p h (Bytes.of_string "workplace"));
+             P.Os2.dos_close os2 p h;
+             match P.Os2.dos_open os2 p ~path:"/os2/t.txt" () with
+             | Error e -> result := fs_error_to_string e
+             | Ok h2 -> (
+                 match P.Os2.dos_read os2 p h2 ~bytes:32 with
+                 | Ok data -> result := Bytes.to_string data
+                 | Error e -> result := fs_error_to_string e))));
+  Wpos.run w;
+  Alcotest.(check string) "read back through RPC" "workplace" !result
+
+let test_os2_memory_double_bookkeeping () =
+  let k = Test_util.kernel_on () in
+  let task = Mach.Kernel.task_create k ~name:"os2app" () in
+  let mem = P.Os2_memory.create k task in
+  (* object allocation: page-rounded, eager *)
+  (match P.Os2_memory.dos_alloc_mem mem ~bytes:5000 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Mach.Ktypes.kern_return_to_string e));
+  Alcotest.(check int) "committed page-rounded" 8192
+    (P.Os2_memory.os2_committed_bytes mem);
+  Alcotest.(check int) "requested exact" 5000
+    (P.Os2_memory.user_requested_bytes mem);
+  (* sub-allocation: byte granularity inside an arena *)
+  let a =
+    match P.Os2_memory.dos_sub_alloc mem ~bytes:100 with
+    | Ok a -> a
+    | Error e -> Alcotest.fail (Mach.Ktypes.kern_return_to_string e)
+  in
+  Alcotest.(check int) "one arena" 1 (P.Os2_memory.arenas mem);
+  Alcotest.(check bool) "bookkeeping overhead exists" true
+    (P.Os2_memory.bookkeeping_bytes mem > 0);
+  P.Os2_memory.dos_sub_free mem a;
+  (match P.Os2_memory.dos_alloc_mem mem ~bytes:0 with
+  | Error Mach.Ktypes.Kern_invalid_argument -> ()
+  | _ -> Alcotest.fail "zero alloc accepted");
+  (* commitment is eager even though nothing was touched *)
+  Alcotest.(check bool) "arena committed underneath" true
+    (P.Os2_memory.os2_committed_bytes mem >= 64 * 1024)
+
+let test_pm_messages () =
+  let w = small_wpos () in
+  let os2 = w.Wpos.os2 in
+  let pm = w.Wpos.pm in
+  let log = ref [] in
+  let win_a = ref None in
+  ignore
+    (P.Os2.create_process os2 ~name:"wina.exe" ~entry:(fun p ->
+         let win = P.Pm.win_create pm p ~x:0 ~y:0 ~w:100 ~h:50 in
+         win_a := Some win;
+         let m = P.Pm.win_get_msg pm win in
+         log := ("a-got", m.P.Pm.msg_code) :: !log));
+  ignore
+    (P.Os2.create_process os2 ~name:"winb.exe" ~entry:(fun _p ->
+         let rec wait () =
+           match !win_a with
+           | Some win -> P.Pm.win_post_msg pm win ~code:42 ~param:7
+           | None ->
+               Mach.Sched.yield ();
+               wait ()
+         in
+         wait ()));
+  Wpos.run w;
+  Alcotest.(check (list (pair string int))) "message crossed processes"
+    [ ("a-got", 42) ] !log;
+  Alcotest.(check int) "delivery counted" 1 (P.Pm.messages_delivered pm)
+
+let test_pm_drawing () =
+  let w = small_wpos () in
+  let os2 = w.Wpos.os2 in
+  let pm = w.Wpos.pm in
+  let fb = w.Wpos.machine.Machine.framebuffer in
+  ignore
+    (P.Os2.create_process os2 ~name:"draw.exe" ~entry:(fun p ->
+         let win = P.Pm.win_create pm p ~x:600 ~y:400 ~w:100 ~h:100 in
+         (* window exceeds the screen: clipped, not crashed *)
+         P.Pm.gpi_fill pm win ~pixel:'z';
+         P.Pm.gpi_bitblt pm win ~src_bytes:512));
+  Wpos.run w;
+  Alcotest.(check char) "clipped fill landed" 'b'
+    (Machine.Framebuffer.pixel fb ~x:605 ~y:400);
+  Alcotest.(check bool) "pixels written" true
+    (Machine.Framebuffer.pixels_written fb > 0)
+
+let test_mvm_translation () =
+  let w = Wpos.boot ~config:{ Wpos.default_config with Wpos.fs_blocks = 2048 } () in
+  match w.Wpos.mvm with
+  | None -> Alcotest.fail "mvm missing"
+  | Some mvm ->
+      let vdm = P.Mvm.create_vdm mvm ~name:"vdm1" in
+      P.Mvm.spawn_program mvm vdm ~name:"prog" [ P.Mvm.G_compute 512 ];
+      Wpos.run w;
+      Alcotest.(check int) "guest instructions" 512 (P.Mvm.guest_instructions vdm);
+      let translated = P.Mvm.blocks_translated vdm in
+      Alcotest.(check bool) "blocks translated once" true (translated > 0);
+      (* run the same program again: the translation cache serves it *)
+      P.Mvm.spawn_program mvm vdm ~name:"prog2" [ P.Mvm.G_compute 512 ];
+      Wpos.run w;
+      Alcotest.(check int) "cache reused, nothing new" translated
+        (P.Mvm.blocks_translated vdm);
+      Alcotest.(check bool) "translation cache hits" true
+        (P.Mvm.translation_hits vdm > 0)
+
+let test_mvm_native_x86_no_translator () =
+  let m = Machine.create Machine.Config.pentium_133 in
+  let b = Mk_services.Bootstrap.boot m in
+  let k = b.Mk_services.Bootstrap.kernel in
+  let mvm =
+    P.Mvm.start k b.Mk_services.Bootstrap.runtime ~translate:false ()
+  in
+  let vdm = P.Mvm.create_vdm mvm ~name:"vdm" in
+  P.Mvm.spawn_program mvm vdm ~name:"p" [ P.Mvm.G_compute 128 ];
+  Mach.Kernel.run k;
+  Alcotest.(check int) "no translation on x86" 0 (P.Mvm.blocks_translated vdm)
+
+let test_mvm_trap_reflection () =
+  let w = Wpos.boot ~config:{ Wpos.default_config with Wpos.fs_blocks = 2048 } () in
+  match w.Wpos.mvm with
+  | None -> Alcotest.fail "mvm missing"
+  | Some mvm ->
+      let vdm = P.Mvm.create_vdm mvm ~name:"vdm" in
+      P.Mvm.spawn_program mvm vdm ~name:"p"
+        [ P.Mvm.G_io_port 0x3da; P.Mvm.G_dpmi_switch; P.Mvm.G_int21_write 512 ];
+      Wpos.run w;
+      Alcotest.(check int) "three traps reflected" 3 (P.Mvm.traps_reflected mvm)
+
+let test_talos_unfinished_but_working () =
+  let w = small_wpos () in
+  (* small_wpos keeps MVM off; TalOS rides the default flag *)
+  match w.Wpos.talos with
+  | None -> Alcotest.fail "talos missing"
+  | Some talos ->
+      let read = ref "" in
+      ignore
+        (P.Talos.launch talos ~name:"notebook" (fun app ->
+             (match
+                P.Talos.file_write talos app ~path:"/aix/doc"
+                  (Bytes.of_string "commonpoint")
+              with
+             | Ok (_ : int) -> ()
+             | Error e -> Alcotest.fail (fs_error_to_string e));
+             match P.Talos.file_read talos app ~path:"/aix/doc" ~bytes:32 with
+             | Ok data -> read := Bytes.to_string data
+             | Error e -> Alcotest.fail (fs_error_to_string e))
+          : P.Talos.application);
+      Wpos.run w;
+      Alcotest.(check string) "framework file round trip" "commonpoint" !read;
+      Alcotest.(check bool) "wrappers accumulated state" true
+        (P.Talos.wrapper_state_bytes talos > 0);
+      Alcotest.(check bool) "frameworks dispatched" true
+        (Finegrain.vcalls (P.Talos.frameworks talos) > 0);
+      (match P.Talos.compound_document talos with
+      | exception P.Talos.Not_finished _ -> ()
+      | _ -> Alcotest.fail "compound documents should be unfinished");
+      match P.Talos.user_interface talos with
+      | exception P.Talos.Not_finished _ -> ()
+      | _ -> Alcotest.fail "the UI should be unfinished"
+
+let suite =
+  [
+    Alcotest.test_case "talos: working frameworks, unfinished OS" `Quick
+      test_talos_unfinished_but_working;
+    Alcotest.test_case "os2 process lifecycle" `Quick test_os2_process_lifecycle;
+    Alcotest.test_case "os2 files via doscalls" `Quick test_os2_files_via_doscalls;
+    Alcotest.test_case "os2 memory double bookkeeping" `Quick
+      test_os2_memory_double_bookkeeping;
+    Alcotest.test_case "pm messages" `Quick test_pm_messages;
+    Alcotest.test_case "pm drawing" `Quick test_pm_drawing;
+    Alcotest.test_case "mvm translation" `Quick test_mvm_translation;
+    Alcotest.test_case "mvm native x86" `Quick test_mvm_native_x86_no_translator;
+    Alcotest.test_case "mvm trap reflection" `Quick test_mvm_trap_reflection;
+  ]

@@ -1,0 +1,224 @@
+(* Property-based tests (qcheck) on core data structures and invariants. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- cache: resident never exceeds capacity; hits imply residence ------- *)
+
+let cache_capacity =
+  QCheck.Test.make ~name:"cache residency bounded by capacity" ~count:100
+    QCheck.(list (int_bound 0xffff))
+    (fun addrs ->
+      let c =
+        Machine.Cache.create { Machine.Config.size = 512; line = 32; assoc = 2 }
+      in
+      List.iter (fun a -> ignore (Machine.Cache.access c a : bool)) addrs;
+      Machine.Cache.resident c <= Machine.Cache.lines c)
+
+let cache_hit_after_access =
+  QCheck.Test.make ~name:"probe hits immediately after access" ~count:100
+    QCheck.(int_bound 0xfffff)
+    (fun addr ->
+      let c =
+        Machine.Cache.create
+          { Machine.Config.size = 4096; line = 32; assoc = 2 }
+      in
+      ignore (Machine.Cache.access c addr : bool);
+      Machine.Cache.probe c addr)
+
+(* --- layout: allocations never overlap ----------------------------------- *)
+
+let layout_no_overlap =
+  QCheck.Test.make ~name:"layout allocations never overlap" ~count:50
+    QCheck.(list_of_size Gen.(1 -- 20) (int_range 1 20000))
+    (fun sizes ->
+      let l = Machine.Layout.create Machine.Config.ppc604_133 in
+      List.iteri
+        (fun i size ->
+          ignore
+            (Machine.Layout.alloc l
+               ~name:(Printf.sprintf "r%d" i)
+               ~kind:Machine.Layout.Data ~size
+              : Machine.Layout.region))
+        sizes;
+      let regions = Machine.Layout.regions l in
+      List.for_all
+        (fun (a : Machine.Layout.region) ->
+          List.for_all
+            (fun (b : Machine.Layout.region) ->
+              a == b
+              || a.Machine.Layout.base + a.Machine.Layout.size
+                 <= b.Machine.Layout.base
+              || b.Machine.Layout.base + b.Machine.Layout.size
+                 <= a.Machine.Layout.base)
+            regions)
+        regions)
+
+(* --- event queue: delivery respects time order ---------------------------- *)
+
+let event_queue_ordered =
+  QCheck.Test.make ~name:"event queue fires in time order" ~count:100
+    QCheck.(list (int_bound 10000))
+    (fun times ->
+      let q = Machine.Event_queue.create () in
+      let fired = ref [] in
+      List.iter
+        (fun t -> Machine.Event_queue.schedule q ~at:t (fun () -> fired := t :: !fired))
+        times;
+      ignore (Machine.Event_queue.run_due q ~now:20000 : int);
+      let order = List.rev !fired in
+      List.sort compare order = order
+      && List.length order = List.length times)
+
+(* --- name db: bind/resolve round trip; unbind removes ---------------------- *)
+
+let path_gen =
+  QCheck.Gen.(
+    map
+      (fun parts -> "/" ^ String.concat "/" parts)
+      (list_size (1 -- 4)
+         (oneofl [ "a"; "b"; "srv"; "dev"; "x1"; "files"; "net" ])))
+
+let name_db_roundtrip =
+  QCheck.Test.make ~name:"name db bind/resolve round trip" ~count:100
+    (QCheck.make path_gen) (fun path ->
+      let db = Mk_services.Name_db.create () in
+      match Mk_services.Name_db.bind db ~path ~attributes:[ ("k", "v") ] () with
+      | Error _ -> true  (* duplicate path components collapsing: skip *)
+      | Ok () -> (
+          match Mk_services.Name_db.resolve db ~path with
+          | Some e ->
+              e.Mk_services.Name_db.attributes = [ ("k", "v") ]
+              && Mk_services.Name_db.unbind db ~path
+              && Mk_services.Name_db.resolve db ~path = None
+          | None -> false))
+
+(* --- FAT name validation: accepted names round-trip through the format ---- *)
+
+let fat_name_gen =
+  QCheck.Gen.(
+    map2
+      (fun base ext ->
+        if ext = "" then base else base ^ "." ^ ext)
+      (string_size (1 -- 10) ~gen:(oneofl [ 'a'; 'B'; '3'; '_'; '-'; '%' ]))
+      (string_size (0 -- 4) ~gen:(oneofl [ 'x'; 'Y'; '9' ])))
+
+let fat_names_consistent =
+  QCheck.Test.make ~name:"fat validation is idempotent and length-correct"
+    ~count:200 (QCheck.make fat_name_gen) (fun name ->
+      match Fileserver.Fat.valid_name name with
+      | Ok canonical ->
+          String.length canonical <= 12
+          && Fileserver.Fat.valid_name canonical = Ok canonical
+      | Error _ -> true)
+
+(* --- file systems: write/read round trip at random offsets ----------------- *)
+
+let fs_roundtrip mkfs mount name =
+  QCheck.Test.make ~name ~count:20
+    QCheck.(pair (int_bound 6000) (int_range 1 3000))
+    (fun (off, len) ->
+      let k = Test_util.kernel_on () in
+      let disk = k.Mach.Kernel.machine.Machine.disk in
+      mkfs disk;
+      let cache = Fileserver.Block_cache.create k disk ~capacity:512 () in
+      let result = ref false in
+      let t = Mach.Kernel.task_create k ~name:"t" () in
+      ignore
+        (Mach.Kernel.thread_spawn k t ~name:"t" (fun () ->
+             match mount cache with
+             | Error _ -> ()
+             | Ok pfs ->
+                 let open Fileserver.Fs_types in
+                 (match pfs.pfs_create ~dir:pfs.pfs_root "F" ~is_dir:false with
+                 | Error _ -> ()
+                 | Ok id -> (
+                     let payload =
+                       Bytes.init len (fun i -> Char.chr (33 + ((off + i) mod 90)))
+                     in
+                     match pfs.pfs_write id ~off payload with
+                     | Error _ -> ()
+                     | Ok n -> (
+                         if n <> len then ()
+                         else
+                           match pfs.pfs_read id ~off ~len with
+                           | Ok back -> result := Bytes.equal back payload
+                           | Error _ -> ()))))
+          : Mach.Ktypes.thread);
+      Mach.Kernel.run k;
+      !result)
+
+let hpfs_roundtrip =
+  fs_roundtrip
+    (fun d -> Fileserver.Hpfs.mkfs d ())
+    (fun c -> Fileserver.Hpfs.mount c ())
+    "hpfs write/read round trip at random offsets"
+
+let jfs_roundtrip =
+  fs_roundtrip
+    (fun d -> Fileserver.Jfs.mkfs d ())
+    (fun c -> Fileserver.Jfs.mount c ())
+    "jfs write/read round trip at random offsets"
+
+(* --- VM: resident pages never exceed the pool; faults are idempotent ------- *)
+
+let vm_residency_bounded =
+  QCheck.Test.make ~name:"vm residency never exceeds the page pool" ~count:20
+    QCheck.(list_of_size Gen.(1 -- 30) (pair (int_bound 60) bool))
+    (fun touches ->
+      let config =
+        Machine.Config.with_memory Machine.Config.pentium_133
+          ~bytes:(2 * 1024 * 1024)
+      in
+      let k = Mach.Kernel.boot (Machine.create config) in
+      let sys = k.Mach.Kernel.sys in
+      let t = Mach.Kernel.task_create k ~name:"t" () in
+      let holds = ref true in
+      ignore
+        (Mach.Kernel.thread_spawn k t ~name:"t" (fun () ->
+             let bytes = 64 * 4096 in
+             let addr = Mach.Vm.allocate sys t ~bytes () in
+             List.iter
+               (fun (page, write) ->
+                 Mach.Vm.touch sys t
+                   ~addr:(addr + (page * 4096))
+                   ~write ~bytes:8 ();
+                 if Mach.Vm.resident_pages sys > sys.Mach.Sched.page_limit + 1
+                 then holds := false)
+               touches)
+          : Mach.Ktypes.thread);
+      Mach.Kernel.run k;
+      !holds)
+
+(* --- runtime malloc: distinct live blocks never overlap --------------------- *)
+
+let malloc_no_overlap =
+  QCheck.Test.make ~name:"runtime malloc blocks never overlap" ~count:50
+    QCheck.(list_of_size Gen.(1 -- 25) (int_range 1 2000))
+    (fun sizes ->
+      let k = Test_util.kernel_on () in
+      let rt = Mk_services.Runtime.install k in
+      let task = Mach.Kernel.task_create k ~name:"t" () in
+      let blocks =
+        List.map (fun b -> (Mk_services.Runtime.malloc rt task ~bytes:b, b)) sizes
+      in
+      List.for_all
+        (fun (a, sa) ->
+          List.for_all
+            (fun (b, sb) -> a = b || a + sa <= b || b + sb <= a)
+            blocks)
+        blocks)
+
+let suite =
+  List.map qtest
+    [
+      cache_capacity;
+      cache_hit_after_access;
+      layout_no_overlap;
+      event_queue_ordered;
+      name_db_roundtrip;
+      fat_names_consistent;
+      hpfs_roundtrip;
+      jfs_roundtrip;
+      vm_residency_bounded;
+      malloc_no_overlap;
+    ]

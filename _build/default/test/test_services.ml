@@ -1,0 +1,251 @@
+(* Tests for Microkernel Services: runtime, naming, loader, pager. *)
+
+open Mach.Ktypes
+module S = Mk_services
+
+let boot () = S.Bootstrap.boot (Machine.create Machine.Config.pentium_133)
+
+let run_in b body = Test_util.run_in_thread b.S.Bootstrap.kernel body
+
+(* --- runtime -------------------------------------------------------------- *)
+
+let test_malloc_free () =
+  let b = boot () in
+  let k = b.S.Bootstrap.kernel in
+  let rt = b.S.Bootstrap.runtime in
+  let task = Mach.Kernel.task_create k ~name:"app" () in
+  let a1 = S.Runtime.malloc rt task ~bytes:100 in
+  let a2 = S.Runtime.malloc rt task ~bytes:100 in
+  Alcotest.(check bool) "distinct blocks" true (a2 >= a1 + 112);
+  Alcotest.(check int) "usage tracked" 224 (S.Runtime.heap_bytes_in_use rt task);
+  S.Runtime.free rt task a1;
+  let a3 = S.Runtime.malloc rt task ~bytes:64 in
+  Alcotest.(check int) "first fit reuses the hole" a1 a3;
+  (match S.Runtime.free rt task 0xdead with
+  | () -> Alcotest.fail "bad free succeeded"
+  | exception Kern_error Kern_invalid_argument -> ());
+  Alcotest.(check int) "usage after reuse" 176 (S.Runtime.heap_bytes_in_use rt task)
+
+let test_umutex_contention () =
+  let b = boot () in
+  let k = b.S.Bootstrap.kernel in
+  let rt = b.S.Bootstrap.runtime in
+  let task = Mach.Kernel.task_create k ~name:"app" () in
+  let mu = S.Runtime.umutex_create rt ~name:"m" in
+  (* uncontended lock/unlock never touches the kernel *)
+  Test_util.spawn k task "solo" (fun () ->
+      S.Runtime.umutex_lock rt mu;
+      S.Runtime.umutex_unlock rt mu);
+  Mach.Kernel.run k;
+  Alcotest.(check int) "no contention yet" 0 (S.Runtime.umutex_contentions mu);
+  let order = ref [] in
+  Test_util.spawn k task "w1" (fun () ->
+      S.Runtime.umutex_lock rt mu;
+      Mach.Sched.yield ();
+      order := "w1" :: !order;
+      S.Runtime.umutex_unlock rt mu);
+  Test_util.spawn k task "w2" (fun () ->
+      S.Runtime.umutex_lock rt mu;
+      order := "w2" :: !order;
+      S.Runtime.umutex_unlock rt mu);
+  Mach.Kernel.run k;
+  Alcotest.(check bool) "contended path used" true
+    (S.Runtime.umutex_contentions mu >= 1);
+  Alcotest.(check (list string)) "both critical sections ran" [ "w2"; "w1" ] !order
+
+(* --- name database --------------------------------------------------------- *)
+
+let test_name_db_basics () =
+  let db = S.Name_db.create () in
+  (match S.Name_db.bind db ~path:"/servers/files" ~attributes:[ ("type", "fs") ] () with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "duplicate bind fails" true
+    (Result.is_error (S.Name_db.bind db ~path:"/servers/files" ()));
+  (match S.Name_db.resolve db ~path:"/servers/files" with
+  | Some e ->
+      Alcotest.(check (list (pair string string)))
+        "attributes stored" [ ("type", "fs") ] e.S.Name_db.attributes
+  | None -> Alcotest.fail "resolve failed");
+  Alcotest.(check (list string)) "children" [ "files" ]
+    (S.Name_db.list_children db ~path:"/servers");
+  Alcotest.(check bool) "unbind" true (S.Name_db.unbind db ~path:"/servers/files");
+  Alcotest.(check bool) "gone" true (S.Name_db.resolve db ~path:"/servers/files" = None)
+
+let test_name_db_search_and_notify () =
+  let db = S.Name_db.create () in
+  let changes = ref [] in
+  S.Name_db.subscribe db ~prefix:"servers" (fun c -> changes := c :: !changes);
+  ignore (S.Name_db.bind db ~path:"/servers/a" ~attributes:[ ("class", "disk") ] ());
+  ignore (S.Name_db.bind db ~path:"/servers/b" ~attributes:[ ("class", "net") ] ());
+  ignore (S.Name_db.bind db ~path:"/other/c" ~attributes:[ ("class", "disk") ] ());
+  let hits = S.Name_db.search_attribute db ~key:"class" ~value:"disk" in
+  Alcotest.(check int) "attribute search spans the tree" 2 (List.length hits);
+  Alcotest.(check int) "notifications only under prefix" 2 (List.length !changes)
+
+(* --- name service over RPC -------------------------------------------------- *)
+
+let test_name_service_rpc () =
+  let b = boot () in
+  let ns = S.Bootstrap.name_service_exn b in
+  let k = b.S.Bootstrap.kernel in
+  let sys = k.Mach.Kernel.sys in
+  let client = Mach.Kernel.task_create k ~name:"client" () in
+  let target = Mach.Port.allocate sys ~receiver:client ~name:"me" in
+  let ok, resolved, listed =
+    Test_util.run_in_thread k (fun () ->
+        let ok =
+          S.Name_service.bind ns ~path:"/servers/me"
+            ~attributes:[ ("kind", "test") ] ~target ()
+        in
+        let resolved = S.Name_service.resolve_port ns ~path:"/servers/me" in
+        let listed = S.Name_service.list_children ns ~path:"/servers" in
+        (ok, resolved, listed))
+  in
+  Alcotest.(check bool) "bind ok" true ok;
+  Alcotest.(check bool) "port round-tripped" true
+    (match resolved with Some p -> p == target | None -> false);
+  Alcotest.(check (list string)) "listing" [ "me" ] listed;
+  Alcotest.(check bool) "server actually served" true
+    (S.Name_service.requests_served ns >= 3)
+
+let test_simple_naming_mode () =
+  let b =
+    S.Bootstrap.boot ~naming:S.Bootstrap.Simple_naming
+      (Machine.create Machine.Config.pentium_133)
+  in
+  (match b.S.Bootstrap.simple_names with
+  | Some names ->
+      let k = b.S.Bootstrap.kernel in
+      let sys = k.Mach.Kernel.sys in
+      let t = Mach.Kernel.task_create k ~name:"t" () in
+      let p = Mach.Port.allocate sys ~receiver:t ~name:"p" in
+      Alcotest.(check bool) "register" true (S.Name_simple.register names ~name:"svc" p);
+      Alcotest.(check bool) "duplicate refused" false
+        (S.Name_simple.register names ~name:"svc" p);
+      Alcotest.(check bool) "lookup" true
+        (match S.Name_simple.lookup names ~name:"svc" with
+        | Some q -> q == p
+        | None -> false);
+      Alcotest.(check bool) "remove" true (S.Name_simple.remove names ~name:"svc")
+  | None -> Alcotest.fail "simple naming not installed");
+  match b.S.Bootstrap.name_service with
+  | None -> ()
+  | Some _ -> Alcotest.fail "full naming should be absent"
+
+(* --- loader ----------------------------------------------------------------- *)
+
+let images =
+  S.Loader.
+    [
+      {
+        img_name = "libc.so";
+        img_format = Elf_coerced;
+        img_text_bytes = 8192;
+        img_data_bytes = 0;
+        img_symbols = 40;
+        img_needs = [];
+      };
+      {
+        img_name = "libnet.so";
+        img_format = Elf_svr4;
+        img_text_bytes = 8192;
+        img_data_bytes = 0;
+        img_symbols = 24;
+        img_needs = [ "libc.so" ];
+      };
+      {
+        img_name = "app";
+        img_format = Elf_svr4;
+        img_text_bytes = 4096;
+        img_data_bytes = 8192;
+        img_symbols = 4;
+        img_needs = [ "libnet.so" ];
+      };
+    ]
+
+let test_loader () =
+  let b = boot () in
+  let k = b.S.Bootstrap.kernel in
+  let ld = b.S.Bootstrap.loader in
+  List.iter (S.Loader.register ld) images;
+  Alcotest.(check (list string)) "registry" [ "app"; "libc.so"; "libnet.so" ]
+    (S.Loader.registered ld);
+  let task = Mach.Kernel.task_create k ~name:"app" () in
+  let ran = ref false in
+  (match S.Loader.load_program ld task "app" ~entry:(fun () -> ran := true) with
+  | Ok (_ : thread) -> ()
+  | Error e -> Alcotest.fail e);
+  Mach.Kernel.run k;
+  Alcotest.(check bool) "entry ran" true !ran;
+  Alcotest.(check (list string)) "needs attached transitively"
+    [ "libc.so"; "libnet.so" ]
+    (S.Loader.libraries_of task);
+  (* coerced libraries share one region across tasks *)
+  let task2 = Mach.Kernel.task_create k ~name:"app2" () in
+  (match S.Loader.load_library ld task2 "libc.so" with
+  | Ok r2 ->
+      let r1 = List.assoc "libc.so" task.libraries in
+      Alcotest.(check bool) "same region (address coercion)" true (r1 == r2)
+  | Error e -> Alcotest.fail e);
+  (match S.Loader.load_program ld task "nope" ~entry:(fun () -> ()) with
+  | Ok _ -> Alcotest.fail "loading a missing image succeeded"
+  | Error _ -> ());
+  Alcotest.check_raises "duplicate registration"
+    (Invalid_argument "Loader.register: duplicate image \"app\"") (fun () ->
+      S.Loader.register ld (List.nth images 2))
+
+(* --- default pager / paging pressure ---------------------------------------- *)
+
+let test_paging_under_pressure () =
+  (* a machine with very little memory: touching a large buffer twice
+     must page out and back in through the default pager *)
+  let config =
+    Machine.Config.with_memory Machine.Config.pentium_133
+      ~bytes:(3 * 1024 * 1024)
+  in
+  let b = S.Bootstrap.boot (Machine.create config) in
+  let k = b.S.Bootstrap.kernel in
+  let sys = k.Mach.Kernel.sys in
+  let task = Mach.Kernel.task_create k ~name:"hog" () in
+  let m = k.Mach.Kernel.machine in
+  let t_start = Machine.now m in
+  Test_util.run_in_thread k (fun () ->
+      let bytes = 4 * 1024 * 1024 in
+      let addr = Mach.Vm.allocate sys task ~bytes () in
+      (* two passes: the second cannot be all-resident *)
+      for pass = 1 to 2 do
+        ignore pass;
+        let rec walk off =
+          if off < bytes then begin
+            Mach.Vm.touch sys task ~addr:(addr + off) ~write:true ~bytes:64 ();
+            walk (off + 4096)
+          end
+        in
+        walk 0
+      done);
+  Alcotest.(check bool) "pageouts happened" true (S.Default_pager.pageouts b.S.Bootstrap.pager > 0);
+  Alcotest.(check bool) "pageins happened" true (S.Default_pager.pageins b.S.Bootstrap.pager > 0);
+  Alcotest.(check bool) "disk time elapsed" true
+    (Machine.now m - t_start > 1_000_000);
+  Alcotest.(check bool) "residency bounded" true
+    (Mach.Vm.resident_pages sys <= sys.Mach.Sched.page_limit + 1)
+
+let test_components () =
+  let b = boot () in
+  Alcotest.(check (list string)) "inventory"
+    [ "pn-runtime"; "default-pager"; "loader"; "name-service(x500)" ]
+    (S.Bootstrap.components b)
+
+let suite =
+  [
+    Alcotest.test_case "malloc/free" `Quick test_malloc_free;
+    Alcotest.test_case "umutex contention" `Quick test_umutex_contention;
+    Alcotest.test_case "name db basics" `Quick test_name_db_basics;
+    Alcotest.test_case "name db search+notify" `Quick test_name_db_search_and_notify;
+    Alcotest.test_case "name service over RPC" `Quick test_name_service_rpc;
+    Alcotest.test_case "simple naming mode" `Quick test_simple_naming_mode;
+    Alcotest.test_case "loader" `Quick test_loader;
+    Alcotest.test_case "paging under pressure" `Slow test_paging_under_pressure;
+    Alcotest.test_case "bootstrap components" `Quick test_components;
+  ]

@@ -1,0 +1,118 @@
+(* Tests for the workload layer: the API adapters drive both systems and
+   the microbenchmarks land in the paper's bands. *)
+
+let test_api_parity_monolithic () =
+  let m = Machine.create Machine.Config.pentium_133 in
+  let api = Workloads.Api.of_monolithic (Monolithic.boot m ~fs_format:`Hpfs ()) in
+  let read_back = ref (-1) in
+  api.Workloads.Api.spawn ~name:"t" (fun api ->
+      let open Workloads.Api in
+      match api.f_open ~path:"/c/x" ~create:true with
+      | Error e -> Alcotest.fail e
+      | Ok h ->
+          ignore (api.f_write h ~bytes:100);
+          api.f_seek h ~pos:0;
+          read_back := api.f_read h ~bytes:100;
+          api.f_close h;
+          let a = api.alloc ~bytes:4096 in
+          api.touch ~addr:a ~write:true ~bytes:4096;
+          api.compute ~units:4;
+          api.draw ~x:1 ~y:1 ~w:4 ~h:4);
+  api.Workloads.Api.go ();
+  Alcotest.(check int) "file ops work" 100 !read_back
+
+let test_api_parity_wpos () =
+  let w = Wpos.boot ~config:{ Wpos.default_config with Wpos.with_mvm = false;
+                              Wpos.fs_blocks = 2048 } () in
+  let api = Workloads.Api.of_wpos w in
+  let read_back = ref (-1) in
+  api.Workloads.Api.spawn ~name:"t" (fun api ->
+      let open Workloads.Api in
+      match api.f_open ~path:"/os2/x" ~create:true with
+      | Error e -> Alcotest.fail e
+      | Ok h ->
+          ignore (api.f_write h ~bytes:100);
+          api.f_seek h ~pos:0;
+          read_back := api.f_read h ~bytes:100;
+          api.f_close h;
+          let a = api.alloc ~bytes:4096 in
+          api.touch ~addr:a ~write:true ~bytes:4096;
+          api.compute ~units:4;
+          api.draw ~x:1 ~y:1 ~w:4 ~h:4);
+  api.Workloads.Api.go ();
+  Alcotest.(check int) "file ops work" 100 !read_back
+
+let test_queues_ping_pong () =
+  let m = Machine.create Machine.Config.pentium_133 in
+  let api = Workloads.Api.of_monolithic (Monolithic.boot m ~fs_format:`Hpfs ()) in
+  let got = ref 0 in
+  let q1 = ref None in
+  api.Workloads.Api.spawn ~name:"a" (fun api ->
+      let open Workloads.Api in
+      let q = api.make_queue ~name:"a" in
+      q1 := Some q;
+      got := api.q_wait q);
+  api.Workloads.Api.spawn ~name:"b" (fun api ->
+      let open Workloads.Api in
+      let rec wait () =
+        match !q1 with
+        | Some q -> api.q_post q 17
+        | None ->
+            api.yield ();
+            wait ()
+      in
+      wait ());
+  api.Workloads.Api.go ();
+  Alcotest.(check int) "message arrived" 17 !got
+
+let test_table1_specs_complete () =
+  Alcotest.(check int) "seven rows" 7 (List.length Workloads.Table1.all);
+  List.iter
+    (fun (s : Workloads.Table1.spec) ->
+      Alcotest.(check bool)
+        (s.Workloads.Table1.id ^ " findable")
+        true
+        (Workloads.Table1.find s.Workloads.Table1.id <> None))
+    Workloads.Table1.all
+
+let test_table2_bands () =
+  let trap, rpc = Workloads.Micro.table2 ~iters:500 () in
+  let open Workloads.Micro in
+  (* the paper's ratios, within tolerance *)
+  let r_inst = rpc.t2_instructions /. trap.t2_instructions in
+  let r_cyc = rpc.t2_cycles /. trap.t2_cycles in
+  let r_cpi = rpc.t2_cpi /. trap.t2_cpi in
+  Alcotest.(check bool) "instruction ratio ~2.8" true
+    (r_inst > 2.3 && r_inst < 3.4);
+  Alcotest.(check bool) "cycle ratio ~5.3" true (r_cyc > 4.0 && r_cyc < 6.5);
+  Alcotest.(check bool) "CPI ratio ~1.95" true (r_cpi > 1.5 && r_cpi < 2.4);
+  Alcotest.(check bool) "trap CPI ~2" true
+    (trap.t2_cpi > 1.7 && trap.t2_cpi < 2.4)
+
+let test_ipc_sweep_band () =
+  let points = Workloads.Micro.ipc_sweep ~iters:100 ~sizes:[ 0; 4096; 65536 ] () in
+  List.iter
+    (fun p ->
+      let open Workloads.Micro in
+      Alcotest.(check bool)
+        (Printf.sprintf "improvement at %d bytes within 2-10x (got %.2f)"
+           p.sw_bytes p.sw_improvement)
+        true
+        (p.sw_improvement >= 1.8 && p.sw_improvement <= 11.0))
+    points;
+  (* magnitude depends on bytes: the small and large ends differ *)
+  match points with
+  | [ small; _; large ] ->
+      Alcotest.(check bool) "size-dependent" true
+        Workloads.Micro.(small.sw_improvement > large.sw_improvement +. 1.0)
+  | _ -> Alcotest.fail "unexpected sweep shape"
+
+let suite =
+  [
+    Alcotest.test_case "api parity: monolithic" `Quick test_api_parity_monolithic;
+    Alcotest.test_case "api parity: wpos" `Quick test_api_parity_wpos;
+    Alcotest.test_case "queues ping-pong" `Quick test_queues_ping_pong;
+    Alcotest.test_case "table1 specs complete" `Quick test_table1_specs_complete;
+    Alcotest.test_case "table2 in paper bands" `Slow test_table2_bands;
+    Alcotest.test_case "ipc sweep in paper band" `Slow test_ipc_sweep_band;
+  ]

@@ -1,0 +1,119 @@
+(* Integration tests: the full Workplace OS assembly. *)
+
+let small_config =
+  { Wpos.default_config with Wpos.fs_blocks = 2048; Wpos.with_mvm = true }
+
+let test_boot_inventory () =
+  let w = Wpos.boot ~config:small_config () in
+  let layers = List.map fst (Wpos.inventory w) in
+  Alcotest.(check (list string)) "figure 1 layers"
+    [
+      "microkernel (privileged)"; "microkernel services"; "device drivers";
+      "shared services"; "personality servers"; "applications";
+    ]
+    layers;
+  let mk = List.assoc "microkernel (privileged)" (Wpos.inventory w) in
+  Alcotest.(check int) "seven microkernel facilities" 7 (List.length mk);
+  let servers = List.assoc "personality servers" (Wpos.inventory w) in
+  Alcotest.(check int) "os2 + mvm + talos" 3 (List.length servers)
+
+let test_name_space_registration () =
+  let w = Wpos.boot ~config:small_config () in
+  let db = Mk_services.Name_service.db (Wpos.name_service w) in
+  Alcotest.(check (list string)) "servers registered"
+    [ "files"; "net"; "os2" ]
+    (Mk_services.Name_db.list_children db ~path:"/servers");
+  Alcotest.(check (list string)) "volumes registered"
+    [ "aix"; "c"; "os2" ]
+    (Mk_services.Name_db.list_children db ~path:"/volumes");
+  (* the registered file-server port is the live one *)
+  match Mk_services.Name_db.resolve_port db ~path:"/servers/files" with
+  | Some p ->
+      Alcotest.(check bool) "correct port" true
+        (p == Fileserver.File_server.port w.Wpos.file_server)
+  | None -> Alcotest.fail "file server not resolvable"
+
+let test_cross_personality_file_sharing () =
+  (* an OS/2 process writes; a PN task reads the same file through the
+     same server *)
+  let w = Wpos.boot ~config:small_config () in
+  let os2 = w.Wpos.os2 in
+  let fs = w.Wpos.file_server in
+  ignore
+    (Personalities.Os2.create_process os2 ~name:"writer.exe"
+       ~entry:(fun p ->
+         match
+           Personalities.Os2.dos_open os2 p ~path:"/os2/shared.txt"
+             ~create:true ()
+         with
+         | Ok h ->
+             ignore
+               (Personalities.Os2.dos_write os2 p h
+                  (Bytes.of_string "cross-personality"));
+             Personalities.Os2.dos_close os2 p h
+         | Error _ -> ()));
+  Wpos.run w;
+  let read_back = ref "" in
+  let pn = Mach.Kernel.task_create w.Wpos.kernel ~name:"pn-reader" () in
+  ignore
+    (Mach.Kernel.thread_spawn w.Wpos.kernel pn ~name:"read" (fun () ->
+         let sem = Fileserver.Vfs.unix_semantics in
+         match
+           Fileserver.File_server.Client.open_ fs sem ~path:"/os2/shared.txt" ()
+         with
+         | Ok h -> (
+             match Fileserver.File_server.Client.read fs h ~bytes:64 with
+             | Ok data -> read_back := Bytes.to_string data
+             | Error _ -> ())
+         | Error _ -> ())
+      : Mach.Ktypes.thread);
+  Wpos.run w;
+  Alcotest.(check string) "shared through one server" "cross-personality"
+    !read_back
+
+let test_driver_arch_configurable () =
+  let w =
+    Wpos.boot
+      ~config:
+        { small_config with
+          Wpos.driver_arch = Drivers.Disk_driver.Kernel_bsd;
+          Wpos.with_mvm = false }
+      ()
+  in
+  Alcotest.(check bool) "arch respected" true
+    (Drivers.Disk_driver.arch w.Wpos.disk_driver = Drivers.Disk_driver.Kernel_bsd)
+
+let test_simple_naming_boot () =
+  let w =
+    Wpos.boot
+      ~config:
+        { small_config with
+          Wpos.naming = Mk_services.Bootstrap.Simple_naming;
+          Wpos.with_mvm = false }
+      ()
+  in
+  match Wpos.name_service w with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "full naming unexpectedly present"
+
+let test_resource_assignments () =
+  let w = Wpos.boot ~config:small_config () in
+  let rm = w.Wpos.resource_manager in
+  Alcotest.(check (option string)) "disk irq owner" (Some "disk.user")
+    (Drivers.Resource_manager.holder rm
+       (Drivers.Resource_manager.Irq_line Machine.disk_irq_line));
+  Alcotest.(check bool) "grants issued" true
+    (Drivers.Resource_manager.grants_issued rm >= 3)
+
+let suite =
+  [
+    Alcotest.test_case "boot inventory (figure 1)" `Quick test_boot_inventory;
+    Alcotest.test_case "name space registration" `Quick
+      test_name_space_registration;
+    Alcotest.test_case "cross-personality file sharing" `Quick
+      test_cross_personality_file_sharing;
+    Alcotest.test_case "driver arch configurable" `Quick
+      test_driver_arch_configurable;
+    Alcotest.test_case "simple naming boot" `Quick test_simple_naming_boot;
+    Alcotest.test_case "resource assignments" `Quick test_resource_assignments;
+  ]
