@@ -82,18 +82,46 @@ let figure_ipc () =
   hr "E3: message passing, Mach 3.0 mach_msg vs the IBM RPC rework";
   let sizes = [ 0; 32; 128; 512; 1024; 4096; 16384; 65536 ] in
   let points = Workloads.Micro.ipc_sweep ~sizes () in
-  Printf.printf "%10s %18s %18s %12s\n" "bytes" "mach_msg cycles"
-    "IBM RPC cycles" "improvement";
+  Printf.printf "%10s %18s %18s %12s %16s\n" "bytes" "mach_msg cycles"
+    "IBM RPC cycles" "improvement" "reply-port cache";
   List.iter
     (fun p ->
       let open Workloads.Micro in
-      Printf.printf "%10d %18.0f %18.0f %11.2fx\n" p.sw_bytes
-        p.sw_mach_ipc_cycles p.sw_ibm_rpc_cycles p.sw_improvement)
+      Printf.printf "%10d %18.0f %18.0f %11.2fx %9d/%-6d\n" p.sw_bytes
+        p.sw_mach_ipc_cycles p.sw_ibm_rpc_cycles p.sw_improvement
+        p.sw_reply_hits p.sw_reply_misses)
     points;
+  Printf.printf "(reply-port cache column: hits/misses on the mach_msg side)\n";
   Printf.printf
     "paper: \"a two to ten times improvement in message-passing performance\n\
     \       with the improvement's magnitude depending primarily on the\n\
     \       number of bytes transmitted\"\n"
+
+(* --- ipc-stress: sustained throughput, machine-readable ----------------------- *)
+
+let ipc_stress () =
+  hr "ipc-stress: sustained round-trip throughput under worker load";
+  let r = Workloads.Ipc_stress.run () in
+  let open Workloads.Ipc_stress in
+  Printf.printf "%d worker pairs x %d round trips per point\n\n" r.r_workers
+    r.r_iters;
+  Printf.printf "%-10s %8s %20s %18s\n" "system" "bytes" "sim cycles/op"
+    "host ns/op";
+  List.iter
+    (fun p ->
+      Printf.printf "%-10s %8d %20.1f %18.1f\n" p.pt_system p.pt_bytes
+        p.pt_sim_cycles_per_op p.pt_host_ns_per_op)
+    r.r_points;
+  Printf.printf
+    "\nreply-port cache: %d hits / %d misses\n\
+     kernel msg buffers: %d allocs, %d frees, %d arena recycles, peak %d bytes\n"
+    r.r_reply_hits r.r_reply_misses r.r_kbuf_allocs r.r_kbuf_frees
+    r.r_kbuf_recycles r.r_kbuf_peak_bytes;
+  let json = to_json r in
+  let oc = open_out "BENCH_ipc.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_ipc.json\n"
 
 (* --- E4: Figure 1 ------------------------------------------------------------- *)
 
@@ -365,6 +393,7 @@ let experiments =
     ("table1", table1);
     ("table2", table2);
     ("figure-ipc", figure_ipc);
+    ("ipc-stress", ipc_stress);
     ("figure1", figure1);
     ("fileserver-factor", fileserver_factor);
     ("finegrain", finegrain);

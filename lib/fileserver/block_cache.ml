@@ -1,12 +1,22 @@
-type slot = { mutable data : bytes; mutable dirty : bool; mutable stamp : int }
+(* Slots live in a hash table for lookup and on an intrusive circular
+   doubly-linked LRU list (with sentinel) for eviction: a hit relinks in
+   O(1), and the victim is always the sentinel's predecessor — no O(n)
+   scan over the whole cache on every miss. *)
+type slot = {
+  mutable s_block : int;
+  mutable data : bytes;
+  mutable dirty : bool;
+  mutable prev : slot;
+  mutable next : slot;
+}
 
 type t = {
   kernel : Mach.Kernel.t;
   disk : Machine.Disk.t;
   capacity : int;
   slots : (int, slot) Hashtbl.t;
+  lru : slot;  (* sentinel: [lru.next] = most recent, [lru.prev] = victim *)
   buf_region : Machine.Layout.region;  (* cache memory, for data costing *)
-  mutable tick : int;
   mutable hits : int;
   mutable misses : int;
   mutable writebacks : int;
@@ -25,19 +35,37 @@ let create (kernel : Mach.Kernel.t) disk ?(capacity = 256) () =
         Machine.Layout.alloc layout ~name ~kind:Machine.Layout.Data
           ~size:(capacity * bs)
   in
+  let rec sentinel =
+    { s_block = -1; data = Bytes.empty; dirty = false; prev = sentinel;
+      next = sentinel }
+  in
   {
     kernel;
     disk;
     capacity;
     slots = Hashtbl.create (capacity * 2);
+    lru = sentinel;
     buf_region;
-    tick = 0;
     hits = 0;
     misses = 0;
     writebacks = 0;
   }
 
 let block_size t = (Machine.Disk.geometry t.disk).Machine.Disk.block_size
+
+let unlink s =
+  s.prev.next <- s.next;
+  s.next.prev <- s.prev
+
+let push_front t s =
+  s.next <- t.lru.next;
+  s.prev <- t.lru;
+  t.lru.next.prev <- s;
+  t.lru.next <- s
+
+let touch t s =
+  unlink s;
+  push_front t s
 
 (* the hash-probe itself: a touch of the cache's index structure *)
 let charge_lookup t =
@@ -63,22 +91,27 @@ let in_thread (t : t) =
 
 let evict_if_full t =
   if Hashtbl.length t.slots >= t.capacity then begin
-    let victim = ref None in
-    Hashtbl.iter
-      (fun block slot ->
-        match !victim with
-        | Some (_, s) when s.stamp <= slot.stamp -> ()
-        | _ -> victim := Some (block, slot))
-      t.slots;
-    match !victim with
-    | None -> ()
-    | Some (block, slot) ->
-        if slot.dirty then begin
-          t.writebacks <- t.writebacks + 1;
-          Machine.Disk.write t.disk ~block (Bytes.copy slot.data) (fun () -> ())
-        end;
-        Hashtbl.remove t.slots block
+    let victim = t.lru.prev in
+    if victim != t.lru then begin
+      if victim.dirty then begin
+        t.writebacks <- t.writebacks + 1;
+        if in_thread t then
+          Machine.Disk.write t.disk ~block:victim.s_block
+            (Bytes.copy victim.data) (fun () -> ())
+        else Machine.Disk.write_now t.disk ~block:victim.s_block
+            (Bytes.copy victim.data)
+      end;
+      unlink victim;
+      Hashtbl.remove t.slots victim.s_block
+    end
   end
+
+let insert t block data ~dirty =
+  let s =
+    { s_block = block; data; dirty; prev = t.lru; next = t.lru }
+  in
+  push_front t s;
+  Hashtbl.replace t.slots block s
 
 let disk_read_blocking t block =
   if in_thread t then begin
@@ -104,16 +137,14 @@ let read t block =
   match Hashtbl.find_opt t.slots block with
   | Some slot ->
       t.hits <- t.hits + 1;
-      t.tick <- t.tick + 1;
-      slot.stamp <- t.tick;
+      touch t slot;
       charge_data t block ~write:false;
       Bytes.copy slot.data
   | None ->
       t.misses <- t.misses + 1;
       let data = disk_read_blocking t block in
       evict_if_full t;
-      t.tick <- t.tick + 1;
-      Hashtbl.replace t.slots block { data = Bytes.copy data; dirty = false; stamp = t.tick };
+      insert t block (Bytes.copy data) ~dirty:false;
       charge_data t block ~write:false;
       data
 
@@ -122,18 +153,16 @@ let write t block data =
     invalid_arg "Block_cache.write: bad block length";
   charge_lookup t;
   charge_data t block ~write:true;
-  t.tick <- t.tick + 1;
   match Hashtbl.find_opt t.slots block with
   | Some slot ->
       t.hits <- t.hits + 1;
       slot.data <- Bytes.copy data;
       slot.dirty <- true;
-      slot.stamp <- t.tick
+      touch t slot
   | None ->
       t.misses <- t.misses + 1;
       evict_if_full t;
-      Hashtbl.replace t.slots block
-        { data = Bytes.copy data; dirty = true; stamp = t.tick }
+      insert t block (Bytes.copy data) ~dirty:true
 
 let flush t =
   Hashtbl.iter
@@ -146,6 +175,10 @@ let flush t =
         else Machine.Disk.write_now t.disk ~block (Bytes.copy slot.data)
       end)
     t.slots
+
+let lru_block t =
+  let victim = t.lru.prev in
+  if victim == t.lru then None else Some victim.s_block
 
 let hits t = t.hits
 let misses t = t.misses

@@ -21,6 +21,10 @@ val flush : t -> unit
 (** Queue write-back of every dirty block (fire-and-forget: the disk
     services them in order, delaying subsequent misses). *)
 
+val lru_block : t -> int option
+(** The block that would be evicted next (least recently accessed), if
+    the cache is non-empty. *)
+
 val block_size : t -> int
 val hits : t -> int
 val misses : t -> int

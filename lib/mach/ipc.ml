@@ -35,17 +35,17 @@ let send (sys : Sched.t) port ?reply_to (mb : message_builder) =
   else begin
     let k = sys.ktext in
     (* copy the inline body into a kernel buffer *)
-    Ktext.exec k ~frame [ Ktext.msg_copyin k ];
+    Ktext.exec1 k ~frame (Ktext.msg_copyin k);
     let kbuf = Ktext.buffer_alloc k ~bytes:(max 64 mb.mb_inline_bytes) in
     let src = Option.value ~default:(default_buf sender) mb.mb_inline_src in
     Ktext.copy k ~src ~dst:kbuf ~bytes:mb.mb_inline_bytes;
     (* transfer rights one by one *)
     List.iter
       (fun (_right : port * right) ->
-        Ktext.exec k ~frame [ Ktext.right_transfer k ])
+        Ktext.exec1 k ~frame (Ktext.right_transfer k))
       mb.mb_rights;
     (match reply_to with
-    | Some _ -> Ktext.exec k ~frame [ Ktext.right_transfer k ]
+    | Some _ -> Ktext.exec1 k ~frame (Ktext.right_transfer k)
     | None -> ());
     let msg =
       {
@@ -75,12 +75,14 @@ let send (sys : Sched.t) port ?reply_to (mb : message_builder) =
     in
     match wait_for_room () with
     | Kern_success ->
-        Ktext.exec k ~frame [ Ktext.msg_enqueue k ];
+        Ktext.exec1 k ~frame (Ktext.msg_enqueue k);
         Queue.add msg port.msg_queue;
         wake_one sys port.waiting_receivers;
         user_exit sys frame;
         Kern_success
     | err ->
+        (* message never entered a queue: release its kernel buffer *)
+        Ktext.buffer_free k kbuf;
         user_exit sys frame;
         err
   end
@@ -91,7 +93,7 @@ let receive (sys : Sched.t) port =
   let frame = th.stack_base in
   user_entry sys receiver frame;
   let k = sys.ktext in
-  Ktext.exec k ~frame [ Ktext.receive_path k ];
+  Ktext.exec1 k ~frame (Ktext.receive_path k);
   let rec get () =
     match Queue.take_opt port.msg_queue with
     | Some msg -> Ok msg
@@ -112,9 +114,14 @@ let receive (sys : Sched.t) port =
       Ktext.exec k ~frame [ Ktext.msg_dequeue k; Ktext.msg_copyout k ];
       Ktext.copy k ~src:msg.msg_kbuf ~dst:(default_buf receiver)
         ~bytes:msg.msg_inline_bytes;
+      (* the inline body has landed in the receiver: the kernel buffer
+         goes back on the free list so sustained traffic can't exhaust
+         the msg-buffers region *)
+      Ktext.buffer_free k msg.msg_kbuf;
+      msg.msg_kbuf <- 0;
       List.iter
         (fun (_right : port * right) ->
-          Ktext.exec k ~frame [ Ktext.right_transfer k ])
+          Ktext.exec1 k ~frame (Ktext.right_transfer k))
         msg.msg_rights;
       (* out-of-line data arrives as a lazy copy-on-write mapping *)
       let msg =
@@ -137,20 +144,34 @@ let receive (sys : Sched.t) port =
       user_exit sys frame;
       Ok msg
 
+(* The classic round trip.  Reply-port management was a per-interaction
+   tax the paper laments; the cache below keeps one reply port per
+   thread and reuses it while it stays alive, charging the far cheaper
+   lookup path instead of allocate/setup/destroy. *)
+let reply_port_for (sys : Sched.t) th =
+  let k = sys.ktext in
+  let client = th.t_task in
+  match th.reply_port_cache with
+  | Some rp when not rp.dead ->
+      sys.reply_cache_hits <- sys.reply_cache_hits + 1;
+      Ktext.exec1 k ~frame:th.stack_base (Ktext.reply_port_reuse k);
+      rp
+  | Some _ | None ->
+      sys.reply_cache_misses <- sys.reply_cache_misses + 1;
+      let rp = Port.allocate sys ~receiver:client ~name:"reply" in
+      Ktext.exec1 k ~frame:th.stack_base (Ktext.reply_port_setup k);
+      th.reply_port_cache <- Some rp;
+      rp
+
 let call (sys : Sched.t) port mb =
   let th = Sched.self () in
-  let client = th.t_task in
-  let k = sys.ktext in
-  (* per-interaction reply-port management, as the paper laments *)
-  let reply_port = Port.allocate sys ~receiver:client ~name:"reply" in
-  Ktext.exec k ~frame:th.stack_base [ Ktext.reply_port_setup k ];
-  let result =
-    match send sys port ~reply_to:reply_port mb with
-    | Kern_success -> receive sys reply_port
-    | err -> Error err
-  in
-  Port.destroy sys reply_port;
-  result
+  let reply_port = reply_port_for sys th in
+  match send sys port ~reply_to:reply_port mb with
+  | Kern_success -> receive sys reply_port
+  | err -> Error err
+
+let reply_cache_hits (sys : Sched.t) = sys.reply_cache_hits
+let reply_cache_misses (sys : Sched.t) = sys.reply_cache_misses
 
 let serve_one (sys : Sched.t) port handler =
   match receive sys port with

@@ -21,8 +21,18 @@ val receive : Sched.t -> port -> (message, kern_return) result
     cost lands on first touch, per Mach's virtual-copy strategy). *)
 
 val call : Sched.t -> port -> message_builder -> (message, kern_return) result
-(** The classic client round trip: allocate a reply port, send the
-    request carrying it, receive on the reply port, tear it down. *)
+(** The classic client round trip: send the request carrying a reply
+    port, receive on it.  The reply port comes from a per-thread cache —
+    allocated on first use (or after the cached port dies) and reused on
+    every later call, replacing the per-interaction allocate/destroy tax
+    with a cheap lookup. *)
+
+val reply_cache_hits : Sched.t -> int
+(** Calls that reused the calling thread's cached reply port. *)
+
+val reply_cache_misses : Sched.t -> int
+(** Calls that had to allocate a reply port (first call of a thread, or
+    cached port found dead). *)
 
 val serve_one : Sched.t -> port -> (message -> message_builder) -> kern_return
 (** Server side of one interaction: receive a request, run the handler,

@@ -37,6 +37,10 @@ val exec : t -> ?frame:int -> chunk list -> unit
 (** Replay the chunks; [frame] is the current kernel stack frame address
     (defaults to a fixed scratch frame). *)
 
+val exec1 : t -> ?frame:int -> chunk -> unit
+(** Replay a single chunk without building a list — the allocation-free
+    form the IPC hot paths use. *)
+
 val exec_n : t -> ?frame:int -> int -> chunk -> unit
 (** Replay one chunk [n] times (per-page loops and the like). *)
 
@@ -46,7 +50,29 @@ val copy : t -> src:int -> dst:int -> bytes:int -> unit
     by-reference parameter passing. *)
 
 val buffer_alloc : t -> bytes:int -> int
-(** Address of a kernel message buffer (simple ring allocator). *)
+(** Reserve a kernel message buffer from the [kernel.msg-buffers] free
+    list (next-fit over 32-byte granules, so transient buffers cycle
+    through the region the way a hardware buffer ring does).  The
+    returned address plus [bytes] never exceeds the region; exhaustion
+    recycles the arena and is counted in {!buffer_stats}. *)
+
+val buffer_free : t -> int -> unit
+(** Return a buffer to the free list (coalescing with neighbours).
+    Unknown or stale addresses are ignored. *)
+
+type buffer_stats = {
+  bs_allocs : int;
+  bs_frees : int;
+  bs_recycles : int;  (** whole-arena resets forced by exhaustion *)
+  bs_in_use_bytes : int;
+  bs_peak_bytes : int;
+  bs_capacity_bytes : int;
+}
+
+val buffer_stats : t -> buffer_stats
+
+val buffer_region : t -> Machine.Layout.region
+(** The [kernel.msg-buffers] region itself (bounds checking in tests). *)
 
 val chunk_bytes : chunk -> int
 
@@ -85,6 +111,10 @@ val msg_enqueue : t -> chunk
 val msg_dequeue : t -> chunk
 val receive_path : t -> chunk
 val reply_port_setup : t -> chunk
+
+(** The cheap path taken when a thread's cached reply port is reused
+    instead of allocated and destroyed per interaction. *)
+val reply_port_reuse : t -> chunk
 val mach_msg_exit : t -> chunk
 val port_alloc_path : t -> chunk
 val port_dealloc_path : t -> chunk

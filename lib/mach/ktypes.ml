@@ -82,6 +82,9 @@ type thread = {
   mutable stack_base : int;  (* kernel-visible stack address, for costing *)
   mutable wake_result : kern_return;
       (* result seen by a blocked thread when woken (e.g. timeout) *)
+  mutable reply_port_cache : port option;
+      (* per-thread cached reply port, reused across Ipc.call round trips
+         instead of allocate/destroy per interaction *)
 }
 
 and task = {

@@ -1,7 +1,7 @@
 open Ktypes
 
 let allocate (sys : Sched.t) ~receiver ~name =
-  Ktext.exec sys.ktext [ Ktext.port_alloc_path sys.ktext ];
+  Ktext.exec1 sys.ktext (Ktext.port_alloc_path sys.ktext);
   let port =
     {
       port_id = sys.next_port_id;
@@ -31,7 +31,7 @@ let find_entry task port =
     task.namespace None
 
 let insert_right (sys : Sched.t) task port right =
-  Ktext.exec sys.ktext [ Ktext.cap_translate sys.ktext ];
+  Ktext.exec1 sys.ktext (Ktext.cap_translate sys.ktext);
   match find_entry task port with
   | Some (name, entry) ->
       entry.re_refs <- entry.re_refs + 1;
@@ -51,7 +51,7 @@ let lookup_port task port =
   Option.map fst (find_entry task port)
 
 let deallocate_right (sys : Sched.t) task name =
-  Ktext.exec sys.ktext [ Ktext.cap_translate sys.ktext ];
+  Ktext.exec1 sys.ktext (Ktext.cap_translate sys.ktext);
   match Hashtbl.find_opt task.namespace name with
   | None -> Kern_invalid_name
   | Some entry ->
@@ -65,9 +65,13 @@ let drain_wakeall sys q =
 
 let destroy (sys : Sched.t) port =
   if not port.dead then begin
-    Ktext.exec sys.ktext [ Ktext.port_dealloc_path sys.ktext ];
+    Ktext.exec1 sys.ktext (Ktext.port_dealloc_path sys.ktext);
     port.dead <- true;
     port.receiver <- None;
+    (* queued messages die with the port: release their kernel buffers *)
+    Queue.iter
+      (fun msg -> if msg.msg_kbuf <> 0 then Ktext.buffer_free sys.ktext msg.msg_kbuf)
+      port.msg_queue;
     Queue.clear port.msg_queue;
     drain_wakeall sys port.waiting_receivers;
     drain_wakeall sys port.waiting_senders;

@@ -37,13 +37,13 @@ let call (sys : Sched.t) port ?reply_bytes:_ (mb : message_builder) =
     [ Ktext.rpc_entry k; Ktext.syscall_dispatch k; Ktext.rpc_send k;
       Ktext.cap_translate k ];
   if port.dead then begin
-    Ktext.exec k ~frame [ Ktext.trap_exit k ];
+    Ktext.exec1 k ~frame (Ktext.trap_exit k);
     Error Kern_port_dead
   end
   else begin
     copy_request sys port client mb;
     List.iter
-      (fun (_r : port * right) -> Ktext.exec k ~frame [ Ktext.cap_translate k ])
+      (fun (_r : port * right) -> Ktext.exec1 k ~frame (Ktext.cap_translate k))
       mb.mb_rights;
     let msg =
       {
@@ -65,17 +65,17 @@ let call (sys : Sched.t) port ?reply_bytes:_ (mb : message_builder) =
       { rx_client = th; rx_request = msg; rx_reply = None; rx_server = None }
     in
     Queue.add rx port.pending_calls;
-    Ktext.exec k ~frame [ Ktext.rpc_handoff k ];
+    Ktext.exec1 k ~frame (Ktext.rpc_handoff k);
     wake_one sys port.waiting_servers;
     match Sched.block "rpc-call" with
     | Kern_success -> (
         (* resumed by the server's reply; return to user *)
-        Ktext.exec k ~frame [ Ktext.trap_exit k ];
+        Ktext.exec1 k ~frame (Ktext.trap_exit k);
         match rx.rx_reply with
         | Some reply -> Ok reply
         | None -> Error Kern_aborted)
     | err ->
-        Ktext.exec k ~frame [ Ktext.trap_exit k ];
+        Ktext.exec1 k ~frame (Ktext.trap_exit k);
         Error err
   end
 
@@ -93,7 +93,7 @@ let dequeue (sys : Sched.t) port th frame =
         Ok rx
     | None ->
         if port.dead then begin
-          Ktext.exec k ~frame [ Ktext.trap_exit k ];
+          Ktext.exec1 k ~frame (Ktext.trap_exit k);
           Error Kern_port_dead
         end
         else begin
@@ -101,7 +101,7 @@ let dequeue (sys : Sched.t) port th frame =
           match Sched.block "rpc-receive" with
           | Kern_success -> get ()
           | err ->
-              Ktext.exec k ~frame [ Ktext.trap_exit k ];
+              Ktext.exec1 k ~frame (Ktext.trap_exit k);
               Error err
         end
   in
@@ -144,7 +144,7 @@ let reply (sys : Sched.t) rx (mb : message_builder) =
   Ktext.exec k ~frame
     [ Ktext.rpc_entry k; Ktext.syscall_dispatch k; Ktext.rpc_reply k ];
   finish_reply sys rx mb server;
-  Ktext.exec k ~frame [ Ktext.rpc_handoff k ]
+  Ktext.exec1 k ~frame (Ktext.rpc_handoff k)
 
 let reply_receive (sys : Sched.t) rx (mb : message_builder) port =
   let th = Sched.self () in

@@ -22,6 +22,8 @@ type t = {
   mutable fault_count : int;
   mutable pagein_count : int;
   mutable pageout_count : int;
+  mutable reply_cache_hits : int;  (* Ipc.call reused the cached port *)
+  mutable reply_cache_misses : int;  (* Ipc.call had to allocate one *)
 }
 
 type _ Effect.t +=
@@ -54,6 +56,8 @@ let create machine ktext =
     fault_count = 0;
     pagein_count = 0;
     pageout_count = 0;
+    reply_cache_hits = 0;
+    reply_cache_misses = 0;
   }
 
 let virtual_alloc t ~bytes =
@@ -106,6 +110,7 @@ let thread_spawn t task ~name body =
       priority = 0;
       stack_base = task.data.Machine.Layout.base + 1024 + (slot * 2048);
       wake_result = Kern_success;
+      reply_port_cache = None;
     }
   in
   t.next_thread_id <- t.next_thread_id + 1;
@@ -145,16 +150,17 @@ let task_halt t task =
 let charge_dispatch t th =
   if t.charge_switches then begin
     let k = t.ktext in
-    Ktext.exec k ~frame:th.stack_base [ Ktext.sched_pick k ];
+    Ktext.exec1 k ~frame:th.stack_base (Ktext.sched_pick k);
     match t.last_dispatched with
     | Some prev when prev.tid = th.tid -> ()
     | Some prev ->
-        Ktext.exec k ~frame:th.stack_base [ Ktext.context_switch k ];
+        Ktext.exec1 k ~frame:th.stack_base (Ktext.context_switch k);
         if prev.t_task.task_id <> th.t_task.task_id then begin
-          Ktext.exec k ~frame:th.stack_base [ Ktext.pmap_switch k ];
-          Machine.execute t.machine [ Machine.Footprint.Switch_address_space ]
+          Ktext.exec1 k ~frame:th.stack_base (Ktext.pmap_switch k);
+          Machine.Cpu.execute_item t.machine.Machine.cpu
+            Machine.Footprint.Switch_address_space
         end
-    | None -> Ktext.exec k ~frame:th.stack_base [ Ktext.context_switch k ]
+    | None -> Ktext.exec1 k ~frame:th.stack_base (Ktext.context_switch k)
   end
 
 let handler t th : (unit, unit) Effect.Deep.handler =

@@ -35,6 +35,8 @@ type t = {
   mutable fault_count : int;
   mutable pagein_count : int;
   mutable pageout_count : int;
+  mutable reply_cache_hits : int;  (* Ipc.call reused the cached port *)
+  mutable reply_cache_misses : int;  (* Ipc.call had to allocate one *)
 }
 
 val create : Machine.t -> Ktext.t -> t

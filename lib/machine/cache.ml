@@ -41,18 +41,30 @@ let lru_way t set =
   done;
   !best
 
+(* Zero-allocation variant of [locate]/[find_way]: this runs once per
+   cache line touched by every simulated instruction fetch, load and
+   store, so it must not build tuples or options. *)
 let access t addr =
-  let set, tag = locate t addr in
+  let line_addr = addr / t.line in
+  let set = line_addr mod t.sets in
+  let tag = line_addr / t.sets in
   t.tick <- t.tick + 1;
-  match find_way t.tags.(set) tag with
-  | Some way ->
-      t.stamps.(set).(way) <- t.tick;
-      true
-  | None ->
-      let way = lru_way t set in
-      t.tags.(set).(way) <- tag;
-      t.stamps.(set).(way) <- t.tick;
-      false
+  let tags = t.tags.(set) in
+  let n = Array.length tags in
+  let way =
+    let rec find i = if i >= n then -1 else if tags.(i) = tag then i else find (i + 1) in
+    find 0
+  in
+  if way >= 0 then begin
+    t.stamps.(set).(way) <- t.tick;
+    true
+  end
+  else begin
+    let way = lru_way t set in
+    tags.(way) <- tag;
+    t.stamps.(set).(way) <- t.tick;
+    false
+  end
 
 let probe t addr =
   let set, tag = locate t addr in

@@ -22,7 +22,13 @@ let perf t = t.perf
 let icache t = t.icache
 let dcache t = t.dcache
 let tlb t = t.tlb
-let now t = int_of_float t.clock
+
+(* The clock accumulates in float so sub-cycle charges (the 0.5-cycle
+   store penalty) are never lost; reads round to nearest rather than
+   truncate, so repeated read-diff measurements carry no systematic
+   downward drift. *)
+let now t = int_of_float (Float.round t.clock)
+let now_exact t = t.clock
 
 let charge t cycles =
   Perf.add_cycles t.perf cycles;
@@ -32,7 +38,8 @@ let charge_bus t n =
   Perf.add_bus_cycles t.perf n
 
 (* Walk the lines of [addr..addr+bytes), consulting [cache]; each miss
-   costs a line fill.  TLB is consulted once per page touched. *)
+   costs a line fill.  TLB is consulted once per page touched.  This is
+   the innermost hot path of the whole simulator: it must not allocate. *)
 let lines_and_pages t cache addr bytes ~is_icache =
   let c = t.config in
   let line = if is_icache then c.icache.line else c.dcache.line in
@@ -57,22 +64,38 @@ let lines_and_pages t cache addr bytes ~is_icache =
     end
   done
 
+(* Direct execution entry points.  [Footprint.item] lists describe the
+   same traffic declaratively, but building them allocates; the kernel
+   cost-replay paths (Ktext) call these instead. *)
+
+let fetch t (region : Layout.region) ~offset ~bytes =
+  if offset + bytes > region.Layout.size then
+    invalid_arg
+      (Printf.sprintf "Cpu.fetch: %d+%d exceeds region %S (%d bytes)" offset
+         bytes region.Layout.name region.Layout.size);
+  let c = t.config in
+  let addr = region.Layout.base + offset in
+  let instructions = max 1 (bytes / c.bytes_per_instruction) in
+  Perf.add_instructions t.perf instructions;
+  charge t (float_of_int instructions *. c.base_cpi);
+  lines_and_pages t t.icache addr bytes ~is_icache:true
+
+let load t ~addr ~bytes = lines_and_pages t t.dcache addr bytes ~is_icache:false
+
+let store t ~addr ~bytes =
+  lines_and_pages t t.dcache addr bytes ~is_icache:false;
+  (* write-through: every stored word is a bus write *)
+  let c = t.config in
+  let words = max 1 ((bytes + 3) / 4) in
+  charge_bus t (words * c.write_bus_cycles);
+  charge t (float_of_int words *. 0.5)
+
 let execute_item t (item : Footprint.item) =
   let c = t.config in
   match item with
-  | Fetch { region; offset; bytes } ->
-      let addr = region.Layout.base + offset in
-      let instructions = max 1 (bytes / c.bytes_per_instruction) in
-      Perf.add_instructions t.perf instructions;
-      charge t (float_of_int instructions *. c.base_cpi);
-      lines_and_pages t t.icache addr bytes ~is_icache:true
-  | Load { addr; bytes } -> lines_and_pages t t.dcache addr bytes ~is_icache:false
-  | Store { addr; bytes } ->
-      lines_and_pages t t.dcache addr bytes ~is_icache:false;
-      (* write-through: every stored word is a bus write *)
-      let words = max 1 ((bytes + 3) / 4) in
-      charge_bus t (words * c.write_bus_cycles);
-      charge t (float_of_int words *. 0.5)
+  | Fetch { region; offset; bytes } -> fetch t region ~offset ~bytes
+  | Load { addr; bytes } -> load t ~addr ~bytes
+  | Store { addr; bytes } -> store t ~addr ~bytes
   | Uncached_read { bytes; _ } ->
       let words = max 1 ((bytes + 3) / 4) in
       charge_bus t (words * c.write_bus_cycles);

@@ -16,9 +16,25 @@ val dcache : t -> Cache.t
 val tlb : t -> Tlb.t
 
 val now : t -> int
-(** Current time in cycles. *)
+(** Current time in cycles, rounded to nearest.  The clock itself
+    accumulates in float so sub-cycle charges (e.g. the 0.5-cycle store
+    penalty) are never lost to truncation. *)
+
+val now_exact : t -> float
+(** The unrounded clock. *)
 
 val execute : t -> Footprint.t -> unit
+val execute_item : t -> Footprint.item -> unit
+
+(** {1 Direct execution}
+
+    The same cost charging as {!execute}, without building footprint
+    lists — the kernel-path replay (Ktext) uses these so a warm
+    simulated hot path performs no host allocation. *)
+
+val fetch : t -> Layout.region -> offset:int -> bytes:int -> unit
+val load : t -> addr:int -> bytes:int -> unit
+val store : t -> addr:int -> bytes:int -> unit
 
 val advance_to : t -> int -> unit
 (** Idle (no instructions, no bus traffic) until the given cycle time.

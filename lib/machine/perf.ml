@@ -71,10 +71,12 @@ let address_space_switch (t : t) =
 
 let interrupt (t : t) = t.interrupts <- t.interrupts + 1
 
+(* Cycle totals accumulate in float (sub-cycle store penalties); reads
+   round to nearest so truncation can't bias repeated snapshot diffs. *)
 let snapshot (t : t) : snapshot =
   {
     instructions = t.instructions;
-    cycles = int_of_float t.cycles;
+    cycles = int_of_float (Float.round t.cycles);
     bus_cycles = t.bus_cycles;
     icache_hits = t.icache_hits;
     icache_misses = t.icache_misses;
@@ -103,7 +105,8 @@ let cpi s =
   if s.instructions = 0 then nan
   else float_of_int s.cycles /. float_of_int s.instructions
 
-let cycles (t : t) = int_of_float t.cycles
+let cycles (t : t) = int_of_float (Float.round t.cycles)
+let cycles_exact (t : t) = t.cycles
 
 let pp ppf s =
   Format.fprintf ppf

@@ -44,6 +44,9 @@ val cpi : snapshot -> float
 (** Cycles per instruction; [nan] when no instructions retired. *)
 
 val cycles : t -> int
-(** Current cycle clock (total cycles accumulated). *)
+(** Current cycle clock (total cycles accumulated, rounded to nearest). *)
+
+val cycles_exact : t -> float
+(** The unrounded cycle accumulator. *)
 
 val pp : Format.formatter -> snapshot -> unit

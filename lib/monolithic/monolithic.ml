@@ -107,8 +107,11 @@ let syscall t f =
 let copy_to_user t bytes =
   if bytes > 0 then begin
     let k = t.kernel.Mach.Kernel.ktext in
-    let buf = Mach.Ktext.buffer_alloc k ~bytes in
-    Mach.Ktext.copy k ~src:buf ~dst:(buf + bytes) ~bytes
+    (* reserve both halves of the bounce copy, and return the buffer so
+       the syscall path can't drain the kernel msg-buffer region *)
+    let buf = Mach.Ktext.buffer_alloc k ~bytes:(2 * bytes) in
+    Mach.Ktext.copy k ~src:buf ~dst:(buf + bytes) ~bytes;
+    Mach.Ktext.buffer_free k buf
   end
 
 let sys_open t ~path ?(create = false) () =

@@ -1,0 +1,274 @@
+open Mach.Ktypes
+
+type point = {
+  pt_system : string;
+  pt_bytes : int;
+  pt_sim_cycles_per_op : float;
+  pt_host_ns_per_op : float;
+}
+
+type result = {
+  r_workers : int;
+  r_iters : int;
+  r_points : point list;
+  r_reply_hits : int;
+  r_reply_misses : int;
+  r_kbuf_allocs : int;
+  r_kbuf_frees : int;
+  r_kbuf_recycles : int;
+  r_kbuf_peak_bytes : int;
+}
+
+(* One sustained run: [workers] client/server pairs on one machine, each
+   pair doing [iters] round trips through the given transport.  The
+   scheduler interleaves the pairs, so queue depths and buffer pressure
+   resemble a loaded system rather than a lone ping-pong. *)
+let measure ~system ~workers ~iters ~bytes =
+  let m = Machine.create Machine.Config.pentium_133 in
+  let k = Mach.Kernel.boot m in
+  let sys = k.Mach.Kernel.sys in
+  for w = 1 to workers do
+    let client =
+      Mach.Kernel.task_create k ~name:(Printf.sprintf "client%d" w) ()
+    in
+    let server =
+      Mach.Kernel.task_create k ~name:(Printf.sprintf "server%d" w) ()
+    in
+    let port = Mach.Port.allocate sys ~receiver:server ~name:"svc" in
+    match system with
+    | `Mach_msg ->
+        ignore
+          (Mach.Kernel.thread_spawn k server ~name:"srv" (fun () ->
+               Mach.Ipc.serve sys port (fun msg ->
+                   List.iter
+                     (fun r ->
+                       Mach.Vm.touch sys server ~addr:r.ool_addr ~write:true
+                         ~bytes:r.ool_bytes ())
+                     msg.msg_ool;
+                   simple_message ()))
+            : thread);
+        ignore
+          (Mach.Kernel.thread_spawn k client ~name:"cl" (fun () ->
+               let buffer =
+                 if bytes > Micro.ool_threshold then
+                   Mach.Vm.allocate sys client ~bytes ()
+                 else 0
+               in
+               let message () =
+                 if bytes <= Micro.ool_threshold then
+                   simple_message ~inline_bytes:bytes ()
+                 else begin
+                   Mach.Vm.touch sys client ~addr:buffer ~write:true ~bytes ();
+                   simple_message ~inline_bytes:64 ~ool:[ (buffer, bytes) ] ()
+                 end
+               in
+               for _ = 1 to iters do
+                 ignore (Mach.Ipc.call sys port (message ()))
+               done;
+               Mach.Port.destroy sys port)
+            : thread)
+    | `Ibm_rpc ->
+        ignore
+          (Mach.Kernel.thread_spawn k server ~name:"srv" (fun () ->
+               Mach.Rpc.serve sys port (fun _msg -> simple_message ()))
+            : thread);
+        ignore
+          (Mach.Kernel.thread_spawn k client ~name:"cl" (fun () ->
+               for _ = 1 to iters do
+                 ignore
+                   (Mach.Rpc.call sys port
+                      (simple_message ~inline_bytes:(min bytes 16384) ()))
+               done;
+               Mach.Port.destroy sys port)
+            : thread)
+  done;
+  let c0 = Machine.now m in
+  let h0 = Unix.gettimeofday () in
+  Mach.Kernel.run k;
+  let host_ns = (Unix.gettimeofday () -. h0) *. 1e9 in
+  let ops = float_of_int (workers * iters) in
+  let stats = Mach.Ktext.buffer_stats k.Mach.Kernel.ktext in
+  ( float_of_int (Machine.now m - c0) /. ops,
+    host_ns /. ops,
+    Mach.Ipc.reply_cache_hits sys,
+    Mach.Ipc.reply_cache_misses sys,
+    stats )
+
+let default_sizes = [ 0; 32; 512; 4096 ]
+
+let run ?(workers = 4) ?(iters = 200) ?(sizes = default_sizes) () =
+  if sizes = [] then invalid_arg "Ipc_stress.run: empty size list";
+  let hits = ref 0 and misses = ref 0 in
+  let allocs = ref 0 and frees = ref 0 and recycles = ref 0 and peak = ref 0 in
+  let point system name bytes =
+    let sim, host, h, ms, (kb : Mach.Ktext.buffer_stats) =
+      measure ~system ~workers ~iters ~bytes
+    in
+    hits := !hits + h;
+    misses := !misses + ms;
+    allocs := !allocs + kb.Mach.Ktext.bs_allocs;
+    frees := !frees + kb.Mach.Ktext.bs_frees;
+    recycles := !recycles + kb.Mach.Ktext.bs_recycles;
+    if kb.Mach.Ktext.bs_peak_bytes > !peak then
+      peak := kb.Mach.Ktext.bs_peak_bytes;
+    { pt_system = name; pt_bytes = bytes; pt_sim_cycles_per_op = sim;
+      pt_host_ns_per_op = host }
+  in
+  let points =
+    List.concat_map
+      (fun bytes ->
+        [ point `Mach_msg "mach_msg" bytes; point `Ibm_rpc "ibm_rpc" bytes ])
+      sizes
+  in
+  {
+    r_workers = workers;
+    r_iters = iters;
+    r_points = points;
+    r_reply_hits = !hits;
+    r_reply_misses = !misses;
+    r_kbuf_allocs = !allocs;
+    r_kbuf_frees = !frees;
+    r_kbuf_recycles = !recycles;
+    r_kbuf_peak_bytes = !peak;
+  }
+
+let to_json r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"experiment\": \"ipc-stress\",\n";
+  Buffer.add_string b "  \"schema_version\": 1,\n";
+  Printf.bprintf b "  \"workers\": %d,\n" r.r_workers;
+  Printf.bprintf b "  \"iters\": %d,\n" r.r_iters;
+  Printf.bprintf b "  \"reply_cache\": { \"hits\": %d, \"misses\": %d },\n"
+    r.r_reply_hits r.r_reply_misses;
+  Printf.bprintf b
+    "  \"kbuf\": { \"allocs\": %d, \"frees\": %d, \"recycles\": %d, \
+     \"peak_bytes\": %d },\n"
+    r.r_kbuf_allocs r.r_kbuf_frees r.r_kbuf_recycles r.r_kbuf_peak_bytes;
+  Buffer.add_string b "  \"results\": [\n";
+  List.iteri
+    (fun i p ->
+      Printf.bprintf b
+        "    { \"system\": %S, \"bytes\": %d, \"sim_cycles_per_op\": %.1f, \
+         \"host_ns_per_op\": %.1f }%s\n"
+        p.pt_system p.pt_bytes p.pt_sim_cycles_per_op p.pt_host_ns_per_op
+        (if i = List.length r.r_points - 1 then "" else ","))
+    r.r_points;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+(* A small recursive-descent JSON reader, enough to check that the file
+   the benchmark emits is well-formed and carries the expected fields
+   (the repo deliberately has no JSON dependency). *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some d when d = c -> advance ()
+      | _ -> raise (Bad (Printf.sprintf "expected %c at %d" c !pos))
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then (pos := !pos + l; v)
+      else raise (Bad (Printf.sprintf "bad literal at %d" !pos))
+    in
+    let string_body () =
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> raise (Bad "unterminated string")
+        | Some '"' -> advance (); Buffer.contents b
+        | Some '\\' ->
+            advance ();
+            (match peek () with
+            | Some 'n' -> Buffer.add_char b '\n'
+            | Some 't' -> Buffer.add_char b '\t'
+            | Some c -> Buffer.add_char b c
+            | None -> raise (Bad "unterminated escape"));
+            advance ();
+            go ()
+        | Some c -> Buffer.add_char b c; advance (); go ()
+      in
+      go ()
+    in
+    let number () =
+      let start = !pos in
+      let is_num_char c =
+        (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e'
+        || c = 'E'
+      in
+      while (match peek () with Some c -> is_num_char c | None -> false) do
+        advance ()
+      done;
+      if !pos = start then raise (Bad (Printf.sprintf "bad number at %d" start));
+      float_of_string (String.sub s start (!pos - start))
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then (advance (); Obj [])
+          else Obj (members [])
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then (advance (); Arr [])
+          else Arr (elements [])
+      | Some '"' -> advance (); Str (string_body ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (number ())
+      | None -> raise (Bad "unexpected end of input")
+    and members acc =
+      skip_ws ();
+      expect '"';
+      let key = string_body () in
+      skip_ws ();
+      expect ':';
+      let v = value () in
+      skip_ws ();
+      match peek () with
+      | Some ',' -> advance (); members ((key, v) :: acc)
+      | Some '}' -> advance (); List.rev ((key, v) :: acc)
+      | _ -> raise (Bad (Printf.sprintf "bad object at %d" !pos))
+    and elements acc =
+      let v = value () in
+      skip_ws ();
+      match peek () with
+      | Some ',' -> advance (); elements (v :: acc)
+      | Some ']' -> advance (); List.rev (v :: acc)
+      | _ -> raise (Bad (Printf.sprintf "bad array at %d" !pos))
+    in
+    try
+      let v = value () in
+      skip_ws ();
+      if !pos <> n then Error (Printf.sprintf "trailing garbage at %d" !pos)
+      else Ok v
+    with Bad msg -> Error msg
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end

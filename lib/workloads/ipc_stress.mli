@@ -1,0 +1,50 @@
+(** Sustained IPC throughput under load: [workers] concurrent
+    client/server pairs hammering round trips through both transports
+    (Mach 3.0 [mach_msg] and the IBM RPC rework) at several payload
+    sizes, reporting simulated cycles per operation alongside host
+    nanoseconds per operation, plus the reply-port-cache and kernel
+    message-buffer statistics the run generated. *)
+
+type point = {
+  pt_system : string;  (** ["mach_msg"] or ["ibm_rpc"] *)
+  pt_bytes : int;
+  pt_sim_cycles_per_op : float;
+  pt_host_ns_per_op : float;
+}
+
+type result = {
+  r_workers : int;
+  r_iters : int;  (** round trips per worker pair per point *)
+  r_points : point list;
+  r_reply_hits : int;  (** reply-port cache hits, summed over runs *)
+  r_reply_misses : int;
+  r_kbuf_allocs : int;  (** kernel msg-buffer stats, summed over runs *)
+  r_kbuf_frees : int;
+  r_kbuf_recycles : int;
+  r_kbuf_peak_bytes : int;  (** max peak across runs *)
+}
+
+val default_sizes : int list
+(** [[0; 32; 512; 4096]] *)
+
+val run : ?workers:int -> ?iters:int -> ?sizes:int list -> unit -> result
+(** Defaults: 4 worker pairs, 200 round trips each, {!default_sizes}.
+    @raise Invalid_argument on an empty size list. *)
+
+val to_json : result -> string
+(** The machine-readable form written to [BENCH_ipc.json]. *)
+
+(** Minimal JSON reader used to validate emitted results (the repo has
+    no JSON dependency). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) Stdlib.result
+  val member : string -> t -> t option
+end

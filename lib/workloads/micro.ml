@@ -66,6 +66,8 @@ type sweep_point = {
   sw_mach_ipc_cycles : float;
   sw_ibm_rpc_cycles : float;
   sw_improvement : float;
+  sw_reply_hits : int;
+  sw_reply_misses : int;
 }
 
 (* One measured system: the client owns a reusable buffer which it
@@ -84,6 +86,7 @@ let measure_system ~iters ~bytes ~serve ~call =
          serve sys server port)
       : thread);
   let cycles = ref 0. in
+  let hits = ref 0 and misses = ref 0 in
   ignore
     (Mach.Kernel.thread_spawn k client ~name:"cl" (fun () ->
          let buffer =
@@ -106,14 +109,16 @@ let measure_system ~iters ~bytes ~serve ~call =
            call sys port (message ())
          done;
          cycles := float_of_int (Machine.now m - c0) /. float_of_int iters;
+         hits := Mach.Ipc.reply_cache_hits sys;
+         misses := Mach.Ipc.reply_cache_misses sys;
          Mach.Port.destroy sys port)
       : thread);
   Mach.Kernel.run k;
-  !cycles
+  (!cycles, !hits, !misses)
 
 let sweep_one ~iters ~bytes =
   (* Mach 3.0 mach_msg with reply ports and virtual copy *)
-  let mach_cycles =
+  let mach_cycles, reply_hits, reply_misses =
     measure_system ~iters ~bytes
       ~serve:(fun sys server port ->
         Mach.Ipc.serve sys port (fun msg ->
@@ -128,7 +133,7 @@ let sweep_one ~iters ~bytes =
       ~call:(fun sys port msg -> ignore (Mach.Ipc.call sys port msg))
   in
   (* the IBM RPC rework: data already physically copied to the server *)
-  let rpc_cycles =
+  let rpc_cycles, _, _ =
     measure_system ~iters ~bytes
       ~serve:(fun sys port_sys port ->
         ignore port_sys;
@@ -140,6 +145,8 @@ let sweep_one ~iters ~bytes =
     sw_mach_ipc_cycles = mach_cycles;
     sw_ibm_rpc_cycles = rpc_cycles;
     sw_improvement = mach_cycles /. rpc_cycles;
+    sw_reply_hits = reply_hits;
+    sw_reply_misses = reply_misses;
   }
 
 let ipc_sweep ?(iters = 300) ~sizes () =

@@ -19,6 +19,8 @@ type sweep_point = {
   sw_mach_ipc_cycles : float;  (** Mach 3.0 [mach_msg] round trip *)
   sw_ibm_rpc_cycles : float;  (** the rework *)
   sw_improvement : float;
+  sw_reply_hits : int;  (** reply-port cache hits on the Mach side *)
+  sw_reply_misses : int;
 }
 
 val ipc_sweep : ?iters:int -> sizes:int list -> unit -> sweep_point list

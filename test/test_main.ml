@@ -11,6 +11,7 @@ let () =
       ("personalities", Test_personalities.suite);
       ("wpos", Test_wpos.suite);
       ("workloads", Test_workloads.suite);
+      ("perf-paths", Test_perf_paths.suite);
       ("properties", Test_properties.suite);
       ("edge-cases", Test_more.suite);
     ]
