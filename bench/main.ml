@@ -123,6 +123,31 @@ let ipc_stress () =
   close_out oc;
   Printf.printf "wrote BENCH_ipc.json\n"
 
+(* --- fault-sweep: resilience under injected server crashes ------------------- *)
+
+let fault_sweep () =
+  hr "fault-sweep: E1-style file workload under injected file-server crashes";
+  let r = Workloads.Fault_sweep.run () in
+  let open Workloads.Fault_sweep in
+  Printf.printf
+    "%d clients x %d edit sessions per point; seed %d; baseline %.0f cycles/op\n\n"
+    r.r_clients r.r_sessions r.r_seed r.r_baseline_cycles_per_op;
+  Printf.printf "%10s %10s %10s %8s %8s %9s %8s %14s %12s\n" "crash_ppm"
+    "completed" "crashes" "restarts" "retries" "reopens" "gave_up"
+    "cycles/op" "added/op";
+  List.iter
+    (fun p ->
+      Printf.printf "%10d %6d/%-3d %10d %8d %8d %9d %8b %14.0f %12.0f\n"
+        p.p_crash_ppm p.p_completed p.p_ops p.p_injected_crashes p.p_restarts
+        p.p_retries p.p_reopens p.p_gave_up p.p_cycles_per_op
+        (p.p_cycles_per_op -. r.r_baseline_cycles_per_op))
+    r.r_points;
+  let json = to_json r in
+  let oc = open_out "BENCH_faults.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\nwrote BENCH_faults.json\n"
+
 (* --- E4: Figure 1 ------------------------------------------------------------- *)
 
 let figure1 () =
@@ -394,6 +419,7 @@ let experiments =
     ("table2", table2);
     ("figure-ipc", figure_ipc);
     ("ipc-stress", ipc_stress);
+    ("fault-sweep", fault_sweep);
     ("figure1", figure1);
     ("fileserver-factor", fileserver_factor);
     ("finegrain", finegrain);

@@ -9,17 +9,30 @@ type open_file = {
   mutable of_mapped : bool;
 }
 
+(* Client-side resilience policy: when set, stub calls go through
+   [Rpc.call_retry] — re-resolving the service port before each attempt
+   — instead of a bare call against a port that may have died. *)
+type retry = {
+  rt_resolve : unit -> port option;
+  rt_attempts : int;
+  rt_deadline : int;
+  rt_backoff : int;
+}
+
 type t = {
   kernel : Mach.Kernel.t;
   runtime : Mk_services.Runtime.t;
   fs_task : task;
-  fs_port : port;
+  mutable fs_port : port;  (* replaced when a crashed server restarts *)
+  fs_server_threads : int;
+  mutable fs_generation : int;  (* bumped per restart, names the threads *)
   fs_vfs : Vfs.t;
   opens : (int, open_file) Hashtbl.t;  (* keyed by the file port's id *)
   buffer_obj : vm_object;  (* shared mapped-read buffer *)
   mutable served : int;
   mutable m_pageins : int;
   mutable m_pageouts : int;
+  mutable fs_retry : retry option;
 }
 
 type payload +=
@@ -211,22 +224,63 @@ let start (kernel : Mach.Kernel.t) runtime fs_vfs ?(server_threads = 1) () =
           runtime;
           fs_task;
           fs_port;
+          fs_server_threads = server_threads;
+          fs_generation = 0;
           fs_vfs;
           opens = Hashtbl.create 32;
           buffer_obj;
           served = 0;
           m_pageins = 0;
           m_pageouts = 0;
+          fs_retry = None;
         }
       in
       for i = 1 to server_threads do
+        let serving = t.fs_port in
         ignore
           (Mach.Kernel.thread_spawn kernel fs_task
              ~name:(Printf.sprintf "fs-serve-%d" i) (fun () ->
-               Mach.Rpc.serve sys t.fs_port (handle t))
+               Mach.Rpc.serve sys serving (handle t))
             : thread)
       done;
       t)
+
+(* Bring a crashed instance back: volatile state (the open-file table)
+   is gone, the service port is reallocated, fresh serve threads start.
+   Clients holding old handles get [E_bad_handle] and must re-open. *)
+let restart t =
+  let sys = t.kernel.Mach.Kernel.sys in
+  Mach.Sched.with_uncharged sys (fun () ->
+      Hashtbl.iter
+        (fun _ f -> if not f.of_port.dead then Mach.Port.destroy sys f.of_port)
+        t.opens;
+      Hashtbl.reset t.opens;
+      t.fs_generation <- t.fs_generation + 1;
+      let fs_port =
+        Mach.Port.allocate sys ~receiver:t.fs_task ~name:"file-service"
+      in
+      t.fs_port <- fs_port;
+      for i = 1 to t.fs_server_threads do
+        ignore
+          (Mach.Kernel.thread_spawn t.kernel t.fs_task
+             ~name:(Printf.sprintf "fs-serve-%d.%d" t.fs_generation i)
+             (fun () -> Mach.Rpc.serve sys fs_port (handle t))
+            : thread)
+      done;
+      fs_port)
+
+let set_retry t ?(attempts = 4) ?(deadline = 100_000) ?(backoff = 1_000)
+    ~resolve () =
+  t.fs_retry <-
+    Some
+      {
+        rt_resolve = resolve;
+        rt_attempts = attempts;
+        rt_deadline = deadline;
+        rt_backoff = backoff;
+      }
+
+let clear_retry t = t.fs_retry <- None
 
 let port t = t.fs_port
 let task t = t.fs_task
@@ -284,7 +338,16 @@ module Client = struct
 
   let rpc t ~op ~bytes payload =
     let sys = t.kernel.Mach.Kernel.sys in
-    match Mach.Rpc.call sys t.fs_port (simple_message ~op ~inline_bytes:bytes ~payload ()) with
+    let mb = simple_message ~op ~inline_bytes:bytes ~payload () in
+    let result =
+      match t.fs_retry with
+      | None -> Mach.Rpc.call sys t.fs_port mb
+      | Some r ->
+          Mach.Rpc.call_retry sys ~attempts:r.rt_attempts
+            ~deadline:r.rt_deadline ~backoff:r.rt_backoff
+            ~resolve:r.rt_resolve mb
+    in
+    match result with
     | Ok reply -> reply.msg_payload
     | Error err -> FS_r_err (E_io (kern_return_to_string err))
 

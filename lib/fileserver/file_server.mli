@@ -20,6 +20,23 @@ val start :
   unit -> t
 (** Create the file-server task and its service thread(s). *)
 
+val restart : t -> Mach.Ktypes.port
+(** Bring a crashed instance back up: the open-file table is lost (as a
+    real crash would lose it — stale handles return [E_bad_handle]), a
+    fresh service port is allocated and new serve threads started.
+    Returns the new port, for re-registration; the supervisor's
+    [restart] closure is the intended caller. *)
+
+val set_retry :
+  t -> ?attempts:int -> ?deadline:int -> ?backoff:int ->
+  resolve:(unit -> Mach.Ktypes.port option) -> unit -> unit
+(** Route all {!Client} stub calls through {!Mach.Rpc.call_retry}:
+    [resolve] (typically a name-service lookup) finds the current
+    service port before each attempt, so clients survive a crash-and-
+    restart under supervision. *)
+
+val clear_retry : t -> unit
+
 val port : t -> Mach.Ktypes.port
 val task : t -> Mach.Ktypes.task
 val vfs : t -> Vfs.t

@@ -65,3 +65,18 @@ let arm_periodic (sys : Sched.t) ~every ?count f =
 
 let cancel t = t.cancelled <- true
 let fired t = t.fired
+
+let with_deadline (sys : Sched.t) ~cycles f =
+  let th = Sched.self () in
+  (* [live] guards the expiry: once the body finished (or raised), a
+     later firing must not wake the thread out of some unrelated wait. *)
+  let live = ref true in
+  let t =
+    arm_oneshot sys ~after:cycles (fun () ->
+        if !live then Sched.wake sys ~result:Kern_timed_out th)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      live := false;
+      cancel t)
+    f

@@ -24,3 +24,9 @@ val arm_periodic : Sched.t -> every:int -> ?count:int -> (unit -> unit) -> timer
 
 val cancel : timer -> unit
 val fired : timer -> int
+
+val with_deadline : Sched.t -> cycles:int -> (unit -> 'a) -> 'a
+(** Run [f] with a timeout: if the calling thread is still blocked when
+    [cycles] elapse, it is woken with [Kern_timed_out] so the blocked
+    operation can bail out.  The timer is disarmed when [f] returns or
+    raises.  Must be called from thread context. *)

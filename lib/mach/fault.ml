@@ -1,0 +1,177 @@
+(* Deterministic, seeded fault injection.
+
+   A plan is pure decision state: the IPC/RPC layers consult it at their
+   hook points (a message about to be sent, a request about to be
+   served) and apply whatever it decides — this module never touches
+   ports, threads or the clock, so the same plan driven by the same
+   sequence of events always produces the same faults.  Determinism
+   comes from a 48-bit linear congruential generator (the classic
+   drand48 multiplier) rather than [Random], so replays are bit-exact
+   across runs and independent of anything else in the process. *)
+
+type action =
+  | Kill_port          (* destroy the service port after answering *)
+  | Crash_server       (* destroy the port and abandon the in-flight request *)
+  | Drop_message       (* lose the message in transit *)
+  | Delay_message of int  (* hold the message for this many cycles *)
+
+type message_decision = M_pass | M_drop | M_delay of int
+type server_decision = S_continue | S_kill | S_crash
+
+type rule = {
+  ru_port : string;
+  ru_at : int;  (* fire on the Nth event observed on the port, 1-based *)
+  ru_action : action;
+  mutable ru_fired : bool;
+}
+
+type t = {
+  f_seed : int;
+  mutable f_state : int;
+  mutable f_request_rules : rule list;  (* keyed on the request counter *)
+  mutable f_send_rules : rule list;  (* keyed on the send counter *)
+  mutable f_port_filter : string option;  (* rates apply only to this port *)
+  mutable f_crash_ppm : int;
+  mutable f_drop_ppm : int;
+  mutable f_delay_ppm : int;
+  mutable f_delay_cycles : int;
+  f_requests_seen : (string, int) Hashtbl.t;
+  f_sends_seen : (string, int) Hashtbl.t;
+  mutable f_crashes : int;
+  mutable f_kills : int;
+  mutable f_drops : int;
+  mutable f_delays : int;
+  mutable f_trace : (int * string * string) list;  (* newest first *)
+  mutable f_events : int;
+}
+
+let create ?(seed = 1) () =
+  {
+    f_seed = seed;
+    f_state = seed land 0xFFFF_FFFF_FFFF;
+    f_request_rules = [];
+    f_send_rules = [];
+    f_port_filter = None;
+    f_crash_ppm = 0;
+    f_drop_ppm = 0;
+    f_delay_ppm = 0;
+    f_delay_cycles = 5_000;
+    f_requests_seen = Hashtbl.create 8;
+    f_sends_seen = Hashtbl.create 8;
+    f_crashes = 0;
+    f_kills = 0;
+    f_drops = 0;
+    f_delays = 0;
+    f_trace = [];
+    f_events = 0;
+  }
+
+let seed t = t.f_seed
+
+(* drand48: state' = state * 0x5DEECE66D + 0xB mod 2^48 *)
+let next t =
+  t.f_state <- (t.f_state * 0x5DEECE66D + 0xB) land 0xFFFF_FFFF_FFFF;
+  t.f_state
+
+(* A fresh draw in [0, 1_000_000): compared against parts-per-million
+   rates.  Uses the generator's high bits, which carry the entropy. *)
+let draw_ppm t = next t lsr 17 mod 1_000_000
+
+let at_request t ~port ~n action =
+  (match action with
+  | Kill_port | Crash_server -> ()
+  | Drop_message | Delay_message _ ->
+      invalid_arg "Fault.at_request: message actions belong to at_send");
+  t.f_request_rules <-
+    { ru_port = port; ru_at = n; ru_action = action; ru_fired = false }
+    :: t.f_request_rules
+
+let at_send t ~port ~n action =
+  (match action with
+  | Drop_message | Delay_message _ -> ()
+  | Kill_port | Crash_server ->
+      invalid_arg "Fault.at_send: server actions belong to at_request");
+  t.f_send_rules <-
+    { ru_port = port; ru_at = n; ru_action = action; ru_fired = false }
+    :: t.f_send_rules
+
+let set_rates t ?port ?crash_ppm ?drop_ppm ?delay_ppm ?delay_cycles () =
+  t.f_port_filter <- port;
+  Option.iter (fun v -> t.f_crash_ppm <- v) crash_ppm;
+  Option.iter (fun v -> t.f_drop_ppm <- v) drop_ppm;
+  Option.iter (fun v -> t.f_delay_ppm <- v) delay_ppm;
+  Option.iter (fun v -> t.f_delay_cycles <- v) delay_cycles
+
+let bump table port =
+  let n = 1 + Option.value ~default:0 (Hashtbl.find_opt table port) in
+  Hashtbl.replace table port n;
+  n
+
+let record t ~port what =
+  t.f_events <- t.f_events + 1;
+  t.f_trace <- (t.f_events, port, what) :: t.f_trace
+
+let rates_apply t ~port =
+  match t.f_port_filter with None -> true | Some p -> p = port
+
+let fired_rule rules ~port ~n =
+  List.find_opt
+    (fun r -> (not r.ru_fired) && r.ru_port = port && r.ru_at = n)
+    rules
+
+let on_request t ~port =
+  let n = bump t.f_requests_seen port in
+  match fired_rule t.f_request_rules ~port ~n with
+  | Some ({ ru_action = Kill_port; _ } as r) ->
+      r.ru_fired <- true;
+      t.f_kills <- t.f_kills + 1;
+      record t ~port "kill";
+      S_kill
+  | Some ({ ru_action = Crash_server; _ } as r) ->
+      r.ru_fired <- true;
+      t.f_crashes <- t.f_crashes + 1;
+      record t ~port "crash";
+      S_crash
+  | Some _ | None ->
+      if
+        t.f_crash_ppm > 0 && rates_apply t ~port
+        && draw_ppm t < t.f_crash_ppm
+      then begin
+        t.f_crashes <- t.f_crashes + 1;
+        record t ~port "crash";
+        S_crash
+      end
+      else S_continue
+
+let on_send t ~port =
+  let n = bump t.f_sends_seen port in
+  match fired_rule t.f_send_rules ~port ~n with
+  | Some ({ ru_action = Drop_message; _ } as r) ->
+      r.ru_fired <- true;
+      t.f_drops <- t.f_drops + 1;
+      record t ~port "drop";
+      M_drop
+  | Some ({ ru_action = Delay_message cycles; _ } as r) ->
+      r.ru_fired <- true;
+      t.f_delays <- t.f_delays + 1;
+      record t ~port "delay";
+      M_delay cycles
+  | Some _ | None ->
+      if not (rates_apply t ~port) then M_pass
+      else if t.f_drop_ppm > 0 && draw_ppm t < t.f_drop_ppm then begin
+        t.f_drops <- t.f_drops + 1;
+        record t ~port "drop";
+        M_drop
+      end
+      else if t.f_delay_ppm > 0 && draw_ppm t < t.f_delay_ppm then begin
+        t.f_delays <- t.f_delays + 1;
+        record t ~port "delay";
+        M_delay t.f_delay_cycles
+      end
+      else M_pass
+
+let injected_crashes t = t.f_crashes
+let injected_kills t = t.f_kills
+let injected_drops t = t.f_drops
+let injected_delays t = t.f_delays
+let trace t = List.rev t.f_trace

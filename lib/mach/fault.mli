@@ -1,0 +1,62 @@
+(** Deterministic, seeded fault-injection plans.
+
+    A plan scripts failures — kill a named port, crash a server at its
+    Nth request, drop or delay a message — and/or injects them at random
+    parts-per-million rates from a seeded generator.  The plan itself is
+    pure decision state: {!Ipc} and {!Rpc} consult it at their hook
+    points and apply what it decides, so the same plan driven by the
+    same event sequence replays identically (the regression tests and
+    the [fault-sweep] benchmark depend on this).
+
+    Install a plan by setting [sys.Sched.faults]; with no plan installed
+    the hook points charge nothing and change no behaviour. *)
+
+type action =
+  | Kill_port  (** destroy the service port after answering the request *)
+  | Crash_server
+      (** destroy the service port and abandon the in-flight request
+          (the client never gets a reply and must time out) *)
+  | Drop_message  (** lose the message in transit *)
+  | Delay_message of int  (** hold the message for this many cycles *)
+
+type message_decision = M_pass | M_drop | M_delay of int
+type server_decision = S_continue | S_kill | S_crash
+
+type t
+
+val create : ?seed:int -> unit -> t
+val seed : t -> int
+
+val at_request : t -> port:string -> n:int -> action -> unit
+(** Script a server fault on the [n]th request (1-based) observed on the
+    named port.  Only {!Kill_port} and {!Crash_server} are valid here.
+    @raise Invalid_argument for message actions. *)
+
+val at_send : t -> port:string -> n:int -> action -> unit
+(** Script a message fault on the [n]th send (1-based) observed towards
+    the named port.  Only {!Drop_message} and {!Delay_message} are valid
+    here.  @raise Invalid_argument for server actions. *)
+
+val set_rates :
+  t -> ?port:string -> ?crash_ppm:int -> ?drop_ppm:int -> ?delay_ppm:int ->
+  ?delay_cycles:int -> unit -> unit
+(** Random injection rates in parts per million per event, drawn from
+    the seeded generator.  [port] restricts the rates to one port name
+    (scripted rules always name their own port). *)
+
+val on_send : t -> port:string -> message_decision
+(** Hook point: a message is about to be sent to the named port. *)
+
+val on_request : t -> port:string -> server_decision
+(** Hook point: a server is about to handle a request from the named
+    port. *)
+
+val injected_crashes : t -> int
+val injected_kills : t -> int
+val injected_drops : t -> int
+val injected_delays : t -> int
+
+val trace : t -> (int * string * string) list
+(** Every injected fault in order: (event number, port, fault kind).
+    Two plans with the same seed driven by the same event sequence have
+    equal traces. *)

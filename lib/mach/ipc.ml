@@ -13,6 +13,29 @@ let wake_one (sys : Sched.t) q =
   in
   loop ()
 
+(* Fault-plan consultation.  A disabled plan costs nothing; an injected
+   decision charges the fault-bookkeeping chunk so perturbation shows up
+   in the measurements only when faults actually fire. *)
+let fault_on_send (sys : Sched.t) port =
+  match sys.faults with
+  | None -> Fault.M_pass
+  | Some plan -> (
+      match Fault.on_send plan ~port:port.pname with
+      | Fault.M_pass -> Fault.M_pass
+      | d ->
+          Ktext.exec1 sys.ktext (Ktext.fault_inject sys.ktext);
+          d)
+
+let fault_on_request (sys : Sched.t) port =
+  match sys.faults with
+  | None -> Fault.S_continue
+  | Some plan -> (
+      match Fault.on_request plan ~port:port.pname with
+      | Fault.S_continue -> Fault.S_continue
+      | d ->
+          Ktext.exec1 sys.ktext (Ktext.fault_inject sys.ktext);
+          d)
+
 let user_entry (sys : Sched.t) task frame =
   let k = sys.ktext in
   Ktext.exec_in k task.text ~offset:0x100 ~bytes:144;
@@ -62,29 +85,52 @@ let send (sys : Sched.t) port ?reply_to (mb : message_builder) =
         msg_sender = Some sender;
       }
     in
-    (* block while the queue is full (classic mach_msg behaviour) *)
+    (* block while the queue is full (classic mach_msg behaviour).  The
+       thread goes onto [waiting_senders] at most once per wait: a
+       spurious wake (timeout, fault injection) resumes it while its
+       entry is still queued, and re-adding blindly would leave stale
+       duplicates behind.  On any non-success exit the entry is removed
+       so a later wake cannot target a thread that already gave up. *)
     let rec wait_for_room () =
-      if port.dead then Kern_port_dead
+      if port.dead then begin
+        Sched.dequeue_waiter th port.waiting_senders;
+        Kern_port_dead
+      end
       else if Queue.length port.msg_queue >= port.q_limit then begin
-        Queue.add th port.waiting_senders;
+        Sched.enqueue_waiter th port.waiting_senders;
         match Sched.block "msg-send-queue-full" with
         | Kern_success -> wait_for_room ()
-        | err -> err
+        | err ->
+            Sched.dequeue_waiter th port.waiting_senders;
+            err
       end
-      else Kern_success
-    in
-    match wait_for_room () with
-    | Kern_success ->
-        Ktext.exec1 k ~frame (Ktext.msg_enqueue k);
-        Queue.add msg port.msg_queue;
-        wake_one sys port.waiting_receivers;
-        user_exit sys frame;
+      else begin
+        Sched.dequeue_waiter th port.waiting_senders;
         Kern_success
-    | err ->
-        (* message never entered a queue: release its kernel buffer *)
+      end
+    in
+    match fault_on_send sys port with
+    | Fault.M_drop ->
+        (* the wire ate the message: the sender believes it succeeded *)
         Ktext.buffer_free k kbuf;
         user_exit sys frame;
-        err
+        Kern_success
+    | (Fault.M_delay _ | Fault.M_pass) as fate -> (
+        (match fate with
+        | Fault.M_delay cycles -> ignore (Clock.sleep_for sys ~cycles)
+        | _ -> ());
+        match wait_for_room () with
+        | Kern_success ->
+            Ktext.exec1 k ~frame (Ktext.msg_enqueue k);
+            Queue.add msg port.msg_queue;
+            wake_one sys port.waiting_receivers;
+            user_exit sys frame;
+            Kern_success
+        | err ->
+            (* message never entered a queue: release its kernel buffer *)
+            Ktext.buffer_free k kbuf;
+            user_exit sys frame;
+            err)
   end
 
 let receive (sys : Sched.t) port =
@@ -96,14 +142,21 @@ let receive (sys : Sched.t) port =
   Ktext.exec1 k ~frame (Ktext.receive_path k);
   let rec get () =
     match Queue.take_opt port.msg_queue with
-    | Some msg -> Ok msg
+    | Some msg ->
+        Sched.dequeue_waiter th port.waiting_receivers;
+        Ok msg
     | None ->
-        if port.dead then Error Kern_port_dead
+        if port.dead then begin
+          Sched.dequeue_waiter th port.waiting_receivers;
+          Error Kern_port_dead
+        end
         else begin
-          Queue.add th port.waiting_receivers;
+          Sched.enqueue_waiter th port.waiting_receivers;
           match Sched.block "msg-receive" with
           | Kern_success -> get ()
-          | err -> Error err
+          | err ->
+              Sched.dequeue_waiter th port.waiting_receivers;
+              Error err
         end
   in
   match get () with
@@ -163,30 +216,104 @@ let reply_port_for (sys : Sched.t) th =
       th.reply_port_cache <- Some rp;
       rp
 
-let call (sys : Sched.t) port mb =
+let call (sys : Sched.t) ?deadline port mb =
   let th = Sched.self () in
   let reply_port = reply_port_for sys th in
-  match send sys port ~reply_to:reply_port mb with
-  | Kern_success -> receive sys reply_port
-  | err -> Error err
+  let exchange () =
+    match send sys port ~reply_to:reply_port mb with
+    | Kern_success -> receive sys reply_port
+    | err -> Error err
+  in
+  let result =
+    match deadline with
+    | None -> exchange ()
+    | Some cycles -> Clock.with_deadline sys ~cycles (fun () -> exchange ())
+  in
+  (match result with
+  | Ok _ -> ()
+  | Error _ ->
+      (* the interaction may still be in flight — a late reply landing on
+         the cached port would be mistaken for the answer to the *next*
+         call.  Retire the port so stale replies die with it. *)
+      Port.destroy sys reply_port;
+      th.reply_port_cache <- None);
+  result
+
+let call_retry (sys : Sched.t) ?(attempts = 4) ?(deadline = 100_000)
+    ?(backoff = 1_000) ~resolve mb =
+  let th = Sched.self () in
+  let retryable = function
+    | Kern_port_dead | Kern_timed_out | Kern_aborted -> true
+    | _ -> false
+  in
+  let rec go n wait last_err =
+    if n > attempts then Error last_err
+    else begin
+      if n > 1 then begin
+        sys.retry_attempts <- sys.retry_attempts + 1;
+        (* user-level retry stub: back off, then re-resolve the name *)
+        Ktext.exec_in sys.ktext th.t_task.text ~offset:0x1c0 ~bytes:96;
+        ignore (Clock.sleep_for sys ~cycles:wait)
+      end;
+      match resolve () with
+      | None -> go (n + 1) (wait * 2) Kern_invalid_name
+      | Some port -> (
+          match call sys ~deadline port mb with
+          | Ok reply -> Ok reply
+          | Error err when retryable err -> go (n + 1) (wait * 2) err
+          | Error err -> Error err)
+    end
+  in
+  go 1 backoff Kern_port_dead
 
 let reply_cache_hits (sys : Sched.t) = sys.reply_cache_hits
 let reply_cache_misses (sys : Sched.t) = sys.reply_cache_misses
+
+(* Run the handler; a server bug surfacing as [Kern_error] becomes an
+   error reply instead of tearing the whole server down. *)
+let run_handler handler msg =
+  try handler msg with Kern_error err -> simple_message ~payload:(P_error err) ()
 
 let serve_one (sys : Sched.t) port handler =
   match receive sys port with
   | Error err -> err
   | Ok msg -> (
-      let reply = handler msg in
+      let reply = run_handler handler msg in
       match msg.msg_reply_to with
       | Some rp -> send sys rp reply
       | None -> Kern_success)
 
+(* The server loop exits only when the *service* port dies.  A dead
+   client reply port, a full reply queue, or a spurious wake must not
+   take the server down with it — one dead client would kill the
+   service for everyone. *)
 let serve (sys : Sched.t) port handler =
   let rec loop () =
-    match serve_one sys port handler with
-    | Kern_success -> loop ()
-    | Kern_port_dead | _ -> ()
+    if port.dead then ()
+    else
+      match receive sys port with
+      | Error Kern_port_dead -> ()
+      | Error _ -> loop ()
+      | Ok msg -> (
+          match fault_on_request sys port with
+          | Fault.S_crash ->
+              (* simulated server crash mid-request: the request is
+                 abandoned (the client must time out) and the receive
+                 right dies with the server *)
+              Port.destroy sys port
+          | Fault.S_kill ->
+              (* scripted port kill: the request in hand is answered,
+                 then the service port is torn down *)
+              (match msg.msg_reply_to with
+              | Some rp -> ignore (send sys rp (run_handler handler msg))
+              | None -> ());
+              Port.destroy sys port
+          | Fault.S_continue ->
+              let reply = run_handler handler msg in
+              (match msg.msg_reply_to with
+              | Some rp -> ignore (send sys rp reply)
+              | None -> ());
+              loop ())
   in
   loop ()
 

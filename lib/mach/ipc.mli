@@ -20,12 +20,30 @@ val receive : Sched.t -> port -> (message, kern_return) result
     the inline body and maps out-of-line regions copy-on-write (their copy
     cost lands on first touch, per Mach's virtual-copy strategy). *)
 
-val call : Sched.t -> port -> message_builder -> (message, kern_return) result
+val call :
+  Sched.t -> ?deadline:int -> port -> message_builder ->
+  (message, kern_return) result
 (** The classic client round trip: send the request carrying a reply
     port, receive on it.  The reply port comes from a per-thread cache —
     allocated on first use (or after the cached port dies) and reused on
     every later call, replacing the per-interaction allocate/destroy tax
-    with a cheap lookup. *)
+    with a cheap lookup.  With [deadline] the round trip is abandoned
+    after that many cycles ([Error Kern_timed_out]); any failed call
+    retires the cached reply port so a late reply cannot be mistaken for
+    the answer to the next call. *)
+
+val call_retry :
+  Sched.t -> ?attempts:int -> ?deadline:int -> ?backoff:int ->
+  resolve:(unit -> port option) -> message_builder ->
+  (message, kern_return) result
+(** Bounded-retry client call for surviving server crashes: re-resolve
+    the destination via [resolve] (a name-service lookup) before every
+    attempt, call with [deadline] cycles (default 100k), and on a
+    retryable failure ([Kern_port_dead], [Kern_timed_out],
+    [Kern_aborted]) back off — [backoff] cycles (default 1k), doubling
+    each round — and try again, up to [attempts] total tries (default
+    4).  Gives up with the last error.  Re-issues are counted in
+    [sys.retry_attempts] and charged as a user-level retry stub. *)
 
 val reply_cache_hits : Sched.t -> int
 (** Calls that reused the calling thread's cached reply port. *)
@@ -36,9 +54,14 @@ val reply_cache_misses : Sched.t -> int
 
 val serve_one : Sched.t -> port -> (message -> message_builder) -> kern_return
 (** Server side of one interaction: receive a request, run the handler,
-    send its result to the request's reply port. *)
+    send its result to the request's reply port.  A handler raising
+    [Kern_error] produces a [P_error] reply instead of propagating. *)
 
 val serve : Sched.t -> port -> (message -> message_builder) -> unit
-(** [serve_one] forever (until the port dies). *)
+(** Serve forever, exiting only when the *service* port dies.  Per-call
+    failures — a dead client reply port, a full reply queue, a handler
+    error — are absorbed and the loop keeps going.  Honours the
+    system's fault plan: an injected crash abandons the request in hand
+    and destroys the service port. *)
 
 val queued : port -> int

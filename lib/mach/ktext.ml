@@ -188,6 +188,18 @@ let c_sync_block =
     ~loads:[ (Kdata 0x860, 32) ]
     ~stores:[ (Kdata 0x880, 32) ] ()
 
+(* Dead-name notification delivery: walk the port's watcher list and
+   post each notification (the supervision machinery rides on this). *)
+let c_notify =
+  chunk ~offset:0x5100 ~bytes:224
+    ~loads:[ (Kdata 0x8a0, 32) ]
+    ~stores:[ (Kdata 0x8c0, 32) ] ()
+
+(* Fault-injection bookkeeping: only charged when a plan actually
+   injects something, so a disabled plan perturbs no measurement. *)
+let c_fault_inject =
+  chunk ~offset:0x5300 ~bytes:160 ~loads:[ (Kdata 0x8e0, 16) ] ()
+
 (* The copy loop: one fetch of the loop body per 32-byte line moved. *)
 let c_copy_loop = chunk ~offset:0x2300 ~bytes:32 ()
 
@@ -462,3 +474,5 @@ let dma_setup _ = c_dma_setup
 let timer_service _ = c_timer_service
 let sync_fast _ = c_sync_fast
 let sync_block _ = c_sync_block
+let notify_path _ = c_notify
+let fault_inject _ = c_fault_inject

@@ -138,6 +138,12 @@ val timer_service : t -> chunk
 val sync_fast : t -> chunk
 val sync_block : t -> chunk
 
+val notify_path : t -> chunk
+(** Dead-name notification delivery when a watched port dies. *)
+
+val fault_inject : t -> chunk
+(** Fault-plan bookkeeping, charged only when a fault is injected. *)
+
 val exec_in :
   t -> Machine.Layout.region -> offset:int -> bytes:int -> unit
 (** Fetch a stretch of some other region's code (user stubs, server

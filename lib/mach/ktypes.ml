@@ -117,6 +117,9 @@ and port = {
   (* IBM RPC rework: synchronous exchanges, no message queue. *)
   pending_calls : rpc_exchange Queue.t;
   waiting_servers : thread Queue.t;
+  (* dead-name notification: run when the port is destroyed, so a
+     supervisor can learn that a server it watches has crashed *)
+  mutable dead_watchers : (unit -> unit) list;
 }
 
 and message = {
@@ -141,6 +144,9 @@ and rpc_exchange = {
   rx_request : message;
   mutable rx_reply : message option;
   mutable rx_server : thread option;
+  mutable rx_abandoned : bool;
+      (* the client gave up (timeout / abort): the server must neither
+         process nor wake it — the thread has moved on to other waits *)
 }
 
 and vm_map = {

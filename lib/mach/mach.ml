@@ -4,6 +4,7 @@
 
 module Ktypes = Ktypes
 module Ktext = Ktext
+module Fault = Fault
 module Sched = Sched
 module Port = Port
 module Vm = Vm

@@ -14,6 +14,7 @@ let allocate (sys : Sched.t) ~receiver ~name =
       waiting_senders = Queue.create ();
       pending_calls = Queue.create ();
       waiting_servers = Queue.create ();
+      dead_watchers = [];
     }
   in
   sys.next_port_id <- sys.next_port_id + 1;
@@ -30,13 +31,21 @@ let find_entry task port =
       | None -> if entry.re_port == port then Some (name, entry) else None)
     task.namespace None
 
+(* Rights form a strict hierarchy: a receive right subsumes a send
+   right, which subsumes a send-once right.  Inserting a right a task
+   already holds must never weaken the entry — only upgrade it. *)
+let right_order = function
+  | Receive_right -> 2
+  | Send_right -> 1
+  | Send_once_right -> 0
+
 let insert_right (sys : Sched.t) task port right =
   Ktext.exec1 sys.ktext (Ktext.cap_translate sys.ktext);
   match find_entry task port with
   | Some (name, entry) ->
       entry.re_refs <- entry.re_refs + 1;
-      (* a receive right subsumes a send right; never downgrade *)
-      if entry.re_right <> Receive_right then entry.re_right <- right;
+      if right_order right > right_order entry.re_right then
+        entry.re_right <- right;
       name
   | None ->
       let name = task.next_name in
@@ -59,6 +68,11 @@ let deallocate_right (sys : Sched.t) task name =
       if entry.re_refs <= 0 then Hashtbl.remove task.namespace name;
       Kern_success
 
+let request_notification (sys : Sched.t) port f =
+  Ktext.exec1 sys.ktext (Ktext.notify_path sys.ktext);
+  if port.dead then f ()
+  else port.dead_watchers <- f :: port.dead_watchers
+
 let drain_wakeall sys q =
   Queue.iter (fun th -> Sched.wake sys ~result:Kern_port_dead th) q;
   Queue.clear q
@@ -77,9 +91,20 @@ let destroy (sys : Sched.t) port =
     drain_wakeall sys port.waiting_senders;
     drain_wakeall sys port.waiting_servers;
     Queue.iter
-      (fun rx -> Sched.wake sys ~result:Kern_port_dead rx.rx_client)
+      (fun rx ->
+        if not rx.rx_abandoned then
+          Sched.wake sys ~result:Kern_port_dead rx.rx_client)
       port.pending_calls;
-    Queue.clear port.pending_calls
+    Queue.clear port.pending_calls;
+    (* deliver dead-name notifications last, once the port is fully
+       drained, so a supervisor restarting the server sees clean state *)
+    let watchers = port.dead_watchers in
+    port.dead_watchers <- [];
+    List.iter
+      (fun f ->
+        Ktext.exec1 sys.ktext (Ktext.notify_path sys.ktext);
+        f ())
+      watchers
   end
 
 let rights_held task = Hashtbl.length task.namespace

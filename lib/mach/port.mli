@@ -16,7 +16,13 @@ val allocate : Sched.t -> receiver:task -> name:string -> port
 val insert_right : Sched.t -> task -> port -> right -> int
 (** Give [task] a right to [port]; returns the name in [task]'s space.
     If the task already holds a right to the port the same name is
-    reused with a bumped reference count. *)
+    reused with a bumped reference count; the held right is only ever
+    upgraded (receive > send > send-once), never weakened. *)
+
+val request_notification : Sched.t -> port -> (unit -> unit) -> unit
+(** Dead-name notification: run the callback when the port is destroyed
+    (immediately if it is already dead).  The supervision machinery uses
+    this to learn that a watched server has crashed. *)
 
 val lookup : task -> int -> right_entry option
 (** Translate a name in the task's space. *)

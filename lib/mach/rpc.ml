@@ -13,6 +13,36 @@ let wake_one (sys : Sched.t) q =
   in
   loop ()
 
+(* Fault-plan consultation; bookkeeping is charged only when a decision
+   actually injects something (see Ipc for the same pattern). *)
+let fault_on_send (sys : Sched.t) port =
+  match sys.faults with
+  | None -> Fault.M_pass
+  | Some plan -> (
+      match Fault.on_send plan ~port:port.pname with
+      | Fault.M_pass -> Fault.M_pass
+      | d ->
+          Ktext.exec1 sys.ktext (Ktext.fault_inject sys.ktext);
+          d)
+
+let fault_on_request (sys : Sched.t) port =
+  match sys.faults with
+  | None -> Fault.S_continue
+  | Some plan -> (
+      match Fault.on_request plan ~port:port.pname with
+      | Fault.S_continue -> Fault.S_continue
+      | d ->
+          Ktext.exec1 sys.ktext (Ktext.fault_inject sys.ktext);
+          d)
+
+(* Drop one exchange from a port's pending queue (the client abandoned
+   it before any server picked it up). *)
+let remove_pending port rx =
+  let keep = Queue.create () in
+  Queue.iter (fun r -> if r != rx then Queue.add r keep) port.pending_calls;
+  Queue.clear port.pending_calls;
+  Queue.transfer keep port.pending_calls
+
 let copy_request (sys : Sched.t) port client (mb : message_builder) =
   let k = sys.ktext in
   match port.receiver with
@@ -26,7 +56,7 @@ let copy_request (sys : Sched.t) port client (mb : message_builder) =
         mb.mb_ool
   | None -> ()
 
-let call (sys : Sched.t) port ?reply_bytes:_ (mb : message_builder) =
+let call (sys : Sched.t) port ?reply_bytes:_ ?deadline (mb : message_builder) =
   let th = Sched.self () in
   let client = th.t_task in
   let frame = th.stack_base in
@@ -62,22 +92,79 @@ let call (sys : Sched.t) port ?reply_bytes:_ (mb : message_builder) =
       }
     in
     let rx =
-      { rx_client = th; rx_request = msg; rx_reply = None; rx_server = None }
+      {
+        rx_client = th;
+        rx_request = msg;
+        rx_reply = None;
+        rx_server = None;
+        rx_abandoned = false;
+      }
     in
-    Queue.add rx port.pending_calls;
-    Ktext.exec1 k ~frame (Ktext.rpc_handoff k);
-    wake_one sys port.waiting_servers;
-    match Sched.block "rpc-call" with
-    | Kern_success -> (
-        (* resumed by the server's reply; return to user *)
-        Ktext.exec1 k ~frame (Ktext.trap_exit k);
-        match rx.rx_reply with
-        | Some reply -> Ok reply
-        | None -> Error Kern_aborted)
-    | err ->
-        Ktext.exec1 k ~frame (Ktext.trap_exit k);
-        Error err
+    let exchange () =
+      (match fault_on_send sys port with
+      | Fault.M_drop ->
+          (* lost on the wire: nothing is queued, the client just waits
+             (only a deadline gets it back) *)
+          ()
+      | (Fault.M_delay _ | Fault.M_pass) as fate ->
+          (match fate with
+          | Fault.M_delay cycles -> ignore (Clock.sleep_for sys ~cycles)
+          | _ -> ());
+          Queue.add rx port.pending_calls;
+          Ktext.exec1 k ~frame (Ktext.rpc_handoff k);
+          wake_one sys port.waiting_servers);
+      match Sched.block "rpc-call" with
+      | Kern_success -> (
+          (* resumed by the server's reply; return to user *)
+          Ktext.exec1 k ~frame (Ktext.trap_exit k);
+          match rx.rx_reply with
+          | Some reply -> Ok reply
+          | None -> Error Kern_aborted)
+      | err ->
+          Ktext.exec1 k ~frame (Ktext.trap_exit k);
+          Error err
+    in
+    let result =
+      match deadline with
+      | None -> exchange ()
+      | Some cycles -> Clock.with_deadline sys ~cycles (fun () -> exchange ())
+    in
+    (match result with
+    | Ok _ -> ()
+    | Error _ ->
+        (* the client has moved on: a server must neither process this
+           exchange nor wake the thread out of some unrelated wait *)
+        rx.rx_abandoned <- true;
+        remove_pending port rx);
+    result
   end
+
+let call_retry (sys : Sched.t) ?(attempts = 4) ?(deadline = 100_000)
+    ?(backoff = 1_000) ~resolve mb =
+  let th = Sched.self () in
+  let retryable = function
+    | Kern_port_dead | Kern_timed_out | Kern_aborted -> true
+    | _ -> false
+  in
+  let rec go n wait last_err =
+    if n > attempts then Error last_err
+    else begin
+      if n > 1 then begin
+        sys.retry_attempts <- sys.retry_attempts + 1;
+        (* user-level retry stub: back off, then re-resolve the name *)
+        Ktext.exec_in sys.ktext th.t_task.text ~offset:0x1c0 ~bytes:96;
+        ignore (Clock.sleep_for sys ~cycles:wait)
+      end;
+      match resolve () with
+      | None -> go (n + 1) (wait * 2) Kern_invalid_name
+      | Some port -> (
+          match call sys port ~deadline mb with
+          | Ok reply -> Ok reply
+          | Error err when retryable err -> go (n + 1) (wait * 2) err
+          | Error err -> Error err)
+    end
+  in
+  go 1 backoff Kern_port_dead
 
 (* Dequeue a call, blocking while none is pending; charges the dequeue
    handoff, the return to user and the demultiplexing stub. *)
@@ -86,21 +173,25 @@ let dequeue (sys : Sched.t) port th frame =
   let server = th.t_task in
   let rec get () =
     match Queue.take_opt port.pending_calls with
+    | Some rx when rx.rx_abandoned -> get ()  (* client gave up: drop it *)
     | Some rx ->
+        Sched.dequeue_waiter th port.waiting_servers;
         rx.rx_server <- Some th;
         Ktext.exec k ~frame [ Ktext.rpc_handoff k; Ktext.trap_exit k ];
         Ktext.exec_in k server.text ~offset:0x140 ~bytes:192;
         Ok rx
     | None ->
         if port.dead then begin
+          Sched.dequeue_waiter th port.waiting_servers;
           Ktext.exec1 k ~frame (Ktext.trap_exit k);
           Error Kern_port_dead
         end
         else begin
-          Queue.add th port.waiting_servers;
+          Sched.enqueue_waiter th port.waiting_servers;
           match Sched.block "rpc-receive" with
           | Kern_success -> get ()
           | err ->
+              Sched.dequeue_waiter th port.waiting_servers;
               Ktext.exec1 k ~frame (Ktext.trap_exit k);
               Error err
         end
@@ -134,7 +225,9 @@ let finish_reply (sys : Sched.t) rx (mb : message_builder) server =
         msg_kbuf = 0;
         msg_sender = Some server;
       };
-  Sched.wake sys rx.rx_client
+  (* a timed-out client is blocked in some unrelated wait by now: waking
+     it would corrupt that wait, so the late reply is simply dropped *)
+  if not rx.rx_abandoned then Sched.wake sys rx.rx_client
 
 let reply (sys : Sched.t) rx (mb : message_builder) =
   let th = Sched.self () in
@@ -158,17 +251,41 @@ let reply_receive (sys : Sched.t) rx (mb : message_builder) port =
   finish_reply sys rx mb server;
   dequeue sys port th frame
 
+(* Run the handler; a server bug surfacing as [Kern_error] becomes an
+   error reply instead of tearing the whole server down. *)
+let run_handler handler msg =
+  try handler msg with Kern_error err -> simple_message ~payload:(P_error err) ()
+
+(* The server loop exits only when the *service* port dies.  One client
+   aborting its call (or any other per-exchange failure) must not take
+   the server down for everyone else. *)
 let serve (sys : Sched.t) port handler =
-  match receive sys port with
-  | Error _ -> ()
-  | Ok first ->
-      let rec loop rx =
-        let mb = handler rx.rx_request in
+  let rec next () =
+    if port.dead then ()
+    else
+      match receive sys port with
+      | Error Kern_port_dead -> ()
+      | Error _ -> next ()
+      | Ok rx -> step rx
+  and step rx =
+    match fault_on_request sys port with
+    | Fault.S_crash ->
+        (* simulated crash mid-request: the exchange is abandoned (the
+           client must time out) and the receive right dies *)
+        Port.destroy sys port
+    | Fault.S_kill ->
+        (* scripted port kill: the call in hand is answered, then the
+           service port is torn down *)
+        reply sys rx (run_handler handler rx.rx_request);
+        Port.destroy sys port
+    | Fault.S_continue -> (
+        let mb = run_handler handler rx.rx_request in
         match reply_receive sys rx mb port with
-        | Ok next -> loop next
-        | Error _ -> ()
-      in
-      loop first
+        | Ok nxt -> step nxt
+        | Error Kern_port_dead -> ()
+        | Error _ -> next ())
+  in
+  next ()
 
 let waiting_servers port = Queue.length port.waiting_servers
 let pending_calls port = Queue.length port.pending_calls

@@ -14,12 +14,28 @@
 open Ktypes
 
 val call :
-  Sched.t -> port -> ?reply_bytes:int -> message_builder ->
+  Sched.t -> port -> ?reply_bytes:int -> ?deadline:int -> message_builder ->
   (message, kern_return) result
 (** Synchronous call from the current thread: request crosses with one
     physical copy, the caller blocks, the reply (of [reply_bytes] inline
     size, default whatever the server builds) crosses back with one
-    copy. *)
+    copy.  With [deadline] the call is abandoned after that many cycles
+    ([Error Kern_timed_out]); an abandoned exchange is marked so a
+    server that later picks it up neither processes it nor wakes the
+    client out of an unrelated wait. *)
+
+val call_retry :
+  Sched.t -> ?attempts:int -> ?deadline:int -> ?backoff:int ->
+  resolve:(unit -> port option) -> message_builder ->
+  (message, kern_return) result
+(** Bounded-retry client call for surviving server crashes: re-resolve
+    the destination via [resolve] (a name-service lookup) before every
+    attempt, call with [deadline] cycles (default 100k), and on a
+    retryable failure ([Kern_port_dead], [Kern_timed_out],
+    [Kern_aborted]) back off — [backoff] cycles (default 1k), doubling
+    each round — and try again, up to [attempts] total tries (default
+    4).  Gives up with the last error.  Re-issues are counted in
+    [sys.retry_attempts] and charged as a user-level retry stub. *)
 
 val receive : Sched.t -> port -> (rpc_exchange, kern_return) result
 (** Server side: block until a call arrives. *)
@@ -34,8 +50,12 @@ val reply_receive :
     the primitive a synchronous-handoff server loop runs on. *)
 
 val serve : Sched.t -> port -> (message -> message_builder) -> unit
-(** Simple server loop: receive, handle, reply, forever (until the port
-    dies). *)
+(** Simple server loop: receive, handle, reply, forever — exiting only
+    when the *service* port dies.  A single client's failure (abort,
+    timeout) is absorbed and the loop keeps going; a handler raising
+    [Kern_error] produces a [P_error] reply.  Honours the system's
+    fault plan: an injected crash abandons the exchange in hand and
+    destroys the service port. *)
 
 val waiting_servers : port -> int
 val pending_calls : port -> int

@@ -24,6 +24,8 @@ type t = {
   mutable pageout_count : int;
   mutable reply_cache_hits : int;  (* Ipc.call reused the cached port *)
   mutable reply_cache_misses : int;  (* Ipc.call had to allocate one *)
+  mutable faults : Fault.t option;  (* fault-injection plan, None = off *)
+  mutable retry_attempts : int;  (* re-issues performed by call_retry *)
 }
 
 type _ Effect.t +=
@@ -58,6 +60,8 @@ let create machine ktext =
     pageout_count = 0;
     reply_cache_hits = 0;
     reply_cache_misses = 0;
+    faults = None;
+    retry_attempts = 0;
   }
 
 let virtual_alloc t ~bytes =
@@ -132,6 +136,21 @@ let wake t ?(result = Kern_success) th =
       th.state <- Th_runnable;
       Queue.add th t.runq
   | Th_runnable | Th_running | Th_terminated -> ()
+
+(* Thread wait-queue hygiene.  A waiter belongs in a port's queue at
+   most once: a spurious wake (a timeout, fault injection, an abort)
+   resumes the thread while its entry is still queued, and blindly
+   re-adding it would leave stale duplicates that distort the queue
+   accounting. *)
+let enqueue_waiter th q =
+  if not (Queue.fold (fun seen w -> seen || w == th) false q) then
+    Queue.add th q
+
+let dequeue_waiter th q =
+  let keep = Queue.create () in
+  Queue.iter (fun w -> if w != th then Queue.add w keep) q;
+  Queue.clear q;
+  Queue.transfer keep q
 
 let terminate t th =
   (match th.state with

@@ -37,6 +37,8 @@ type t = {
   mutable pageout_count : int;
   mutable reply_cache_hits : int;  (* Ipc.call reused the cached port *)
   mutable reply_cache_misses : int;  (* Ipc.call had to allocate one *)
+  mutable faults : Fault.t option;  (* fault-injection plan, None = off *)
+  mutable retry_attempts : int;  (* re-issues performed by call_retry *)
 }
 
 val create : Machine.t -> Ktext.t -> t
@@ -66,6 +68,15 @@ val yield : unit -> unit
 val wake : t -> ?result:kern_return -> thread -> unit
 (** Make a blocked thread runnable.  No-op for running/terminated
     threads. *)
+
+val enqueue_waiter : thread -> thread Queue.t -> unit
+(** Add the thread to a wait queue unless it is already present — a
+    spuriously woken waiter (timeout, fault injection) may still be
+    queued, and duplicating it would distort queue accounting. *)
+
+val dequeue_waiter : thread -> thread Queue.t -> unit
+(** Remove every entry for the thread from a wait queue (used when a
+    blocked operation gives up, so a later wake cannot target it). *)
 
 val terminate : t -> thread -> unit
 

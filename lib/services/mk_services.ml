@@ -9,4 +9,5 @@ module Name_service = Name_service
 module Name_simple = Name_simple
 module Loader = Loader
 module Default_pager = Default_pager
+module Supervisor = Supervisor
 module Bootstrap = Bootstrap

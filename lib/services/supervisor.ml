@@ -1,0 +1,140 @@
+open Mach.Ktypes
+
+(* A supervised server: how to restart it, where it is registered, and
+   how many lives it has left. *)
+type entry = {
+  e_path : string;  (* name-service registration path *)
+  e_restart : unit -> port;  (* recreate the server; new service port *)
+  e_max_restarts : int;
+  mutable e_port : port;
+  mutable e_restarts : int;
+  mutable e_gave_up : bool;
+}
+
+type t = {
+  kernel : Mach.Kernel.t;
+  ns : Name_service.t;
+  sup_task : task;
+  mutable entries : entry list;
+  pending : entry Queue.t;  (* dead servers awaiting restart *)
+  mutable sup_thread : thread option;
+  mutable running : bool;
+  mutable total_restarts : int;
+}
+
+let sys t = t.kernel.Mach.Kernel.sys
+
+(* Supervision bookkeeping runs as ordinary user code in the
+   supervisor's task. *)
+let charge t ~offset ~bytes =
+  Mach.Ktext.exec_in t.kernel.Mach.Kernel.ktext t.sup_task.text ~offset ~bytes
+
+let charge_scan t = charge t ~offset:0x200 ~bytes:192
+let charge_restart t = charge t ~offset:0x400 ~bytes:512
+
+(* Wake the supervisor thread, but only out of its own idle wait: if it
+   is blocked inside one of its own RPCs (a name-service rebind), a wake
+   would corrupt that call — the pending queue is drained when the loop
+   comes back around anyway. *)
+let poke t =
+  match t.sup_thread with
+  | Some th when th.state = Th_blocked "supervisor-wait" ->
+      Mach.Sched.wake (sys t) th
+  | Some _ | None -> ()
+
+let rebind t e port =
+  ignore (Name_service.unbind t.ns ~path:e.e_path : bool);
+  ignore (Name_service.bind t.ns ~path:e.e_path ~target:port () : bool)
+
+let rec watch t e =
+  Mach.Port.request_notification (sys t) e.e_port (fun () ->
+      Queue.add e t.pending;
+      poke t)
+
+and handle_death t e =
+  charge_scan t;
+  if not e.e_gave_up then begin
+    if e.e_restarts >= e.e_max_restarts then begin
+      e.e_gave_up <- true;
+      (* the registration is stale: leave nothing pointing at the corpse *)
+      ignore (Name_service.unbind t.ns ~path:e.e_path : bool)
+    end
+    else begin
+      e.e_restarts <- e.e_restarts + 1;
+      t.total_restarts <- t.total_restarts + 1;
+      charge_restart t;
+      let port = e.e_restart () in
+      e.e_port <- port;
+      rebind t e port;
+      watch t e
+    end
+  end
+
+let rec loop t =
+  match Queue.take_opt t.pending with
+  | Some e ->
+      handle_death t e;
+      loop t
+  | None ->
+      if t.running then begin
+        ignore (Mach.Sched.block "supervisor-wait" : kern_return);
+        loop t
+      end
+
+let create (kernel : Mach.Kernel.t) runtime ns =
+  let s = kernel.Mach.Kernel.sys in
+  Mach.Sched.with_uncharged s (fun () ->
+      let sup_task =
+        Mach.Kernel.task_create kernel ~name:"supervisor" ~personality:"pn" ()
+      in
+      Runtime.attach runtime sup_task;
+      let t =
+        {
+          kernel;
+          ns;
+          sup_task;
+          entries = [];
+          pending = Queue.create ();
+          sup_thread = None;
+          running = true;
+          total_restarts = 0;
+        }
+      in
+      let th =
+        Mach.Kernel.thread_spawn kernel sup_task ~name:"supervisor" (fun () ->
+            loop t)
+      in
+      t.sup_thread <- Some th;
+      t)
+
+let supervise t ~path ?(max_restarts = 8) ~port ~restart () =
+  let e =
+    {
+      e_path = path;
+      e_restart = restart;
+      e_max_restarts = max_restarts;
+      e_port = port;
+      e_restarts = 0;
+      e_gave_up = false;
+    }
+  in
+  t.entries <- e :: t.entries;
+  rebind t e port;
+  watch t e
+
+let stop t =
+  t.running <- false;
+  poke t
+
+let find t ~path = List.find_opt (fun e -> e.e_path = path) t.entries
+
+let restarts t = t.total_restarts
+
+let gave_up t = List.exists (fun e -> e.e_gave_up) t.entries
+
+let current_port t ~path =
+  match find t ~path with
+  | Some e when not e.e_port.dead -> Some e.e_port
+  | Some _ | None -> None
+
+let task t = t.sup_task

@@ -1,0 +1,42 @@
+(** Server supervision.
+
+    A multi-server system is only as robust as its weakest server loop:
+    the paper's lesson is that one crashed server must not take the
+    system down.  The supervisor watches each registered server's
+    service port through a dead-name notification; when the port dies it
+    restarts the server (bounded by [max_restarts]), re-registers the
+    new port under the same name-service path, and re-arms the watch.
+    Clients that re-resolve the name (e.g. via [call_retry]'s [resolve])
+    find the replacement and carry on. *)
+
+open Mach.Ktypes
+
+type t
+
+val create : Mach.Kernel.t -> Runtime.t -> Name_service.t -> t
+(** Start the supervisor: its own task plus a thread that sleeps until a
+    watched port dies. *)
+
+val supervise :
+  t -> path:string -> ?max_restarts:int -> port:port ->
+  restart:(unit -> port) -> unit -> unit
+(** Watch a running server: bind [path] to [port] in the name service
+    and restart via [restart] (which must return the replacement's
+    service port) each time the current port dies, up to [max_restarts]
+    times (default 8).  After that the entry gives up and the stale
+    binding is removed.  Must be called from thread context (it performs
+    name-service RPCs). *)
+
+val stop : t -> unit
+(** Shut the supervisor loop down (pending restarts are abandoned). *)
+
+val restarts : t -> int
+(** Total restarts performed across all supervised servers. *)
+
+val gave_up : t -> bool
+(** Whether any supervised server exhausted its restart budget. *)
+
+val current_port : t -> path:string -> port option
+(** The currently live service port for a supervised path, if any. *)
+
+val task : t -> task

@@ -7,3 +7,4 @@ module Api = Api
 module Table1 = Table1
 module Micro = Micro
 module Ipc_stress = Ipc_stress
+module Fault_sweep = Fault_sweep

@@ -1,0 +1,348 @@
+(* Fault tolerance across the IPC/RPC stack: the four fragile-loop /
+   right-bookkeeping regressions, deadline + bounded-retry clients, the
+   supervisor's crash-restart-rebind cycle, deterministic fault-plan
+   replay, and a smoke run of the fault-sweep experiment. *)
+
+open Mach.Ktypes
+module F = Fileserver
+
+let kr : kern_return Alcotest.testable =
+  Alcotest.testable
+    (fun ppf r -> Format.pp_print_string ppf (kern_return_to_string r))
+    ( = )
+
+let ok = Test_util.check_fs_ok
+
+(* --- Ipc.serve survives a dead client reply port --------------------------- *)
+
+let test_ipc_serve_dead_reply_port () =
+  let k = Test_util.kernel_on () in
+  let sys = k.Mach.Kernel.sys in
+  let server = Mach.Kernel.task_create k ~name:"server" () in
+  let port = Mach.Port.allocate sys ~receiver:server ~name:"svc" in
+  let served = ref 0 in
+  Test_util.spawn k server "srv" (fun () ->
+      Mach.Ipc.serve sys port (fun _msg ->
+          incr served;
+          simple_message ()));
+  let b_result = ref None in
+  Test_util.run_in_thread k (fun () ->
+      let th = Mach.Sched.self () in
+      let a_task = th.t_task in
+      (* client A: request sent, then its reply port dies before the
+         server answers — the reply send must not kill the server *)
+      let rp = Mach.Port.allocate sys ~receiver:a_task ~name:"a-reply" in
+      Alcotest.check kr "A send" Kern_success
+        (Mach.Ipc.send sys port ~reply_to:rp (simple_message ()));
+      Mach.Port.destroy sys rp;
+      (* client B: a full round trip through the same server *)
+      let b = Mach.Kernel.task_create k ~name:"clientB" () in
+      Test_util.spawn k b "B" (fun () ->
+          b_result := Some (Mach.Ipc.call sys port (simple_message ()))));
+  (match !b_result with
+  | Some (Ok _) -> ()
+  | Some (Error e) ->
+      Alcotest.failf "B's call failed: %s" (kern_return_to_string e)
+  | None -> Alcotest.fail "B's call never completed: dead client killed server");
+  Alcotest.(check int) "server handled both requests" 2 !served
+
+(* --- Rpc.serve survives one aborted client --------------------------------- *)
+
+let test_rpc_serve_survives_abort () =
+  let k = Test_util.kernel_on () in
+  let sys = k.Mach.Kernel.sys in
+  let server = Mach.Kernel.task_create k ~name:"server" () in
+  let port = Mach.Port.allocate sys ~receiver:server ~name:"svc" in
+  let srv =
+    Mach.Kernel.thread_spawn k server ~name:"srv" (fun () ->
+        Mach.Rpc.serve sys port (fun _msg -> simple_message ()))
+  in
+  let result = ref None in
+  Test_util.run_in_thread k (fun () ->
+      (* the server ran first and is parked in its receive *)
+      Alcotest.(check bool) "server is waiting" true
+        (srv.state = Th_blocked "rpc-receive");
+      (* a per-call failure surfaces in the loop as an abort *)
+      Mach.Sched.wake sys ~result:Kern_aborted srv;
+      let client = Mach.Kernel.task_create k ~name:"client" () in
+      Test_util.spawn k client "C" (fun () ->
+          result := Some (Mach.Rpc.call sys port (simple_message ()))));
+  match !result with
+  | Some (Ok _) -> ()
+  | Some (Error e) ->
+      Alcotest.failf "call after abort failed: %s" (kern_return_to_string e)
+  | None -> Alcotest.fail "call never completed: abort killed the server loop"
+
+(* --- insert_right never downgrades a held right ----------------------------- *)
+
+let test_insert_right_no_downgrade () =
+  let k = Test_util.kernel_on () in
+  let sys = k.Mach.Kernel.sys in
+  let owner = Mach.Kernel.task_create k ~name:"owner" () in
+  let user = Mach.Kernel.task_create k ~name:"user" () in
+  let port = Mach.Port.allocate sys ~receiver:owner ~name:"p" in
+  let right_of name task =
+    match Mach.Port.lookup task name with
+    | Some e -> e.re_right
+    | None -> Alcotest.fail "right entry vanished"
+  in
+  (* send-once must not weaken an existing send right *)
+  let name = Mach.Port.insert_right sys user port Send_right in
+  let name' = Mach.Port.insert_right sys user port Send_once_right in
+  Alcotest.(check int) "same entry reused" name name';
+  Alcotest.(check bool) "send right preserved" true
+    (right_of name user = Send_right);
+  (* upgrades still apply *)
+  let user2 = Mach.Kernel.task_create k ~name:"user2" () in
+  let n2 = Mach.Port.insert_right sys user2 port Send_once_right in
+  ignore (Mach.Port.insert_right sys user2 port Send_right : int);
+  Alcotest.(check bool) "send-once upgraded to send" true
+    (right_of n2 user2 = Send_right);
+  (* the receive right stays untouchable *)
+  ignore (Mach.Port.insert_right sys owner port Send_once_right : int);
+  let oname = Option.get (Mach.Port.lookup_port owner port) in
+  Alcotest.(check bool) "receive right preserved" true
+    (right_of oname owner = Receive_right)
+
+(* --- wait_for_room enqueues a blocked sender exactly once ------------------- *)
+
+let test_sender_queued_once () =
+  let k = Test_util.kernel_on () in
+  let sys = k.Mach.Kernel.sys in
+  let recv = Mach.Kernel.task_create k ~name:"recv" () in
+  let port = Mach.Port.allocate sys ~receiver:recv ~name:"full" in
+  let sender_task = Mach.Kernel.task_create k ~name:"sender" () in
+  let sender = ref None in
+  Test_util.run_in_thread k (fun () ->
+      let th =
+        Mach.Kernel.thread_spawn k sender_task ~name:"s" (fun () ->
+            (* queue limit is 5: the sixth send blocks *)
+            for _ = 1 to 6 do
+              ignore (Mach.Ipc.send sys port (simple_message ()) : kern_return)
+            done)
+      in
+      sender := Some th;
+      let rec wait_blocked n =
+        if th.state = Th_blocked "msg-send-queue-full" then ()
+        else if n = 0 then Alcotest.fail "sender never blocked on full queue"
+        else begin
+          Mach.Sched.yield ();
+          wait_blocked (n - 1)
+        end
+      in
+      wait_blocked 20;
+      Alcotest.(check int) "one queued waiter" 1
+        (Queue.length port.waiting_senders);
+      (* spurious wake: the queue is still full, so the sender re-blocks —
+         and must not enqueue itself a second time *)
+      Mach.Sched.wake sys th;
+      wait_blocked 20;
+      Alcotest.(check int) "still one queued waiter after spurious wake" 1
+        (Queue.length port.waiting_senders);
+      Mach.Port.destroy sys port)
+
+(* --- deadlines and bounded retry -------------------------------------------- *)
+
+let test_rpc_deadline_times_out () =
+  let k = Test_util.kernel_on () in
+  let sys = k.Mach.Kernel.sys in
+  let server = Mach.Kernel.task_create k ~name:"server" () in
+  (* a service port nobody ever serves *)
+  let port = Mach.Port.allocate sys ~receiver:server ~name:"mute" in
+  Test_util.run_in_thread k (fun () ->
+      match Mach.Rpc.call sys port ~deadline:5_000 (simple_message ()) with
+      | Error Kern_timed_out -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (kern_return_to_string e)
+      | Ok _ -> Alcotest.fail "call to an unserved port succeeded")
+
+let test_call_retry_gives_up () =
+  let k = Test_util.kernel_on () in
+  let sys = k.Mach.Kernel.sys in
+  Test_util.run_in_thread k (fun () ->
+      let th = Mach.Sched.self () in
+      let p = Mach.Port.allocate sys ~receiver:th.t_task ~name:"corpse" in
+      Mach.Port.destroy sys p;
+      let resolve () = Some p in
+      (match
+         Mach.Rpc.call_retry sys ~attempts:3 ~deadline:5_000 ~backoff:50
+           ~resolve (simple_message ())
+       with
+      | Error Kern_port_dead -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (kern_return_to_string e)
+      | Ok _ -> Alcotest.fail "call to a dead port succeeded");
+      Alcotest.(check int) "two re-issues for three attempts" 2
+        sys.Mach.Sched.retry_attempts;
+      (match
+         Mach.Ipc.call_retry sys ~attempts:2 ~deadline:5_000 ~backoff:50
+           ~resolve (simple_message ())
+       with
+      | Error Kern_port_dead -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (kern_return_to_string e)
+      | Ok _ -> Alcotest.fail "call to a dead port succeeded");
+      Alcotest.(check int) "ipc re-issues accumulate" 3
+        sys.Mach.Sched.retry_attempts;
+      (* a resolver that never finds the name reports that, not port-dead *)
+      match
+        Mach.Rpc.call_retry sys ~attempts:2 ~deadline:5_000 ~backoff:50
+          ~resolve:(fun () -> None)
+          (simple_message ())
+      with
+      | Error Kern_invalid_name -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (kern_return_to_string e)
+      | Ok _ -> Alcotest.fail "unresolvable name succeeded")
+
+(* --- supervisor: crash, restart, rebind, carry on ---------------------------- *)
+
+let test_supervisor_restarts_file_server () =
+  let m = Machine.create Machine.Config.pentium_133 in
+  let boot = Mk_services.Bootstrap.boot m in
+  let k = boot.Mk_services.Bootstrap.kernel in
+  let sys = k.Mach.Kernel.sys in
+  let runtime = boot.Mk_services.Bootstrap.runtime in
+  let ns = Mk_services.Bootstrap.name_service_exn boot in
+  let disk = m.Machine.disk in
+  F.Hpfs.mkfs disk ();
+  let vfs = F.Vfs.create () in
+  let cache = F.Block_cache.create k disk () in
+  (match F.Hpfs.mount cache () with
+  | Ok pfs -> (
+      match F.Vfs.mount vfs ~at:"/os2" pfs with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail (F.Fs_types.fs_error_to_string e));
+  let fs = F.File_server.start k runtime vfs () in
+  let sup = Mk_services.Supervisor.create k runtime ns in
+  (* scripted crash on the 4th file-service request *)
+  let plan = Mach.Fault.create ~seed:5 () in
+  Mach.Fault.at_request plan ~port:"file-service" ~n:4 Mach.Fault.Crash_server;
+  sys.Mach.Sched.faults <- Some plan;
+  let old_port = F.File_server.port fs in
+  let cached = ref (Some old_port) in
+  let resolve () =
+    match !cached with
+    | Some p when not p.dead -> Some p
+    | Some _ | None ->
+        let p = Mk_services.Name_service.resolve_port ns ~path:"/services/file" in
+        cached := p;
+        p
+  in
+  F.File_server.set_retry fs ~attempts:5 ~deadline:1_000_000 ~backoff:1_000
+    ~resolve ();
+  let sem = F.Vfs.os2_semantics in
+  Test_util.run_in_thread k (fun () ->
+      Mk_services.Supervisor.supervise sup ~path:"/services/file"
+        ~port:old_port
+        ~restart:(fun () -> F.File_server.restart fs)
+        ();
+      (* requests 1-3: a full session against the original instance *)
+      let h = ok "open" (F.File_server.Client.open_ fs sem ~path:"/os2/a.txt" ~create:true ()) in
+      let n = ok "write" (F.File_server.Client.write fs h (Bytes.make 64 'x')) in
+      Alcotest.(check int) "wrote" 64 n;
+      F.File_server.Client.close fs h;
+      (* request 4 crashes the server mid-call; the retry must find the
+         supervisor's replacement and complete *)
+      let h2 = ok "open after crash" (F.File_server.Client.open_ fs sem ~path:"/os2/a.txt" ()) in
+      let data = ok "read after restart" (F.File_server.Client.read fs h2 ~bytes:64) in
+      Alcotest.(check int) "read survived the crash" 64 (Bytes.length data);
+      F.File_server.Client.close fs h2);
+  Alcotest.(check int) "one restart" 1 (Mk_services.Supervisor.restarts sup);
+  Alcotest.(check bool) "did not give up" false (Mk_services.Supervisor.gave_up sup);
+  Alcotest.(check int) "one injected crash" 1 (Mach.Fault.injected_crashes plan);
+  (* the name service now resolves to the replacement, not the corpse *)
+  Test_util.run_in_thread k (fun () ->
+      match Mk_services.Name_service.resolve_port ns ~path:"/services/file" with
+      | Some p ->
+          Alcotest.(check bool) "rebound to a live port" true (not p.dead);
+          Alcotest.(check bool) "a fresh port" true (p.port_id <> old_port.port_id)
+      | None -> Alcotest.fail "service name lost after restart")
+
+(* --- seeded plans replay identically ------------------------------------------ *)
+
+let drive_plan plan =
+  Mach.Fault.at_request plan ~port:"svc" ~n:3 Mach.Fault.Kill_port;
+  Mach.Fault.at_send plan ~port:"svc" ~n:7 Mach.Fault.Drop_message;
+  Mach.Fault.set_rates plan ~port:"svc" ~crash_ppm:50_000 ~drop_ppm:50_000
+    ~delay_ppm:50_000 ();
+  let log = Buffer.create 400 in
+  for _ = 1 to 200 do
+    (match Mach.Fault.on_request plan ~port:"svc" with
+    | Mach.Fault.S_continue -> Buffer.add_char log '.'
+    | Mach.Fault.S_kill -> Buffer.add_char log 'K'
+    | Mach.Fault.S_crash -> Buffer.add_char log 'C');
+    match Mach.Fault.on_send plan ~port:"svc" with
+    | Mach.Fault.M_pass -> Buffer.add_char log '-'
+    | Mach.Fault.M_drop -> Buffer.add_char log 'D'
+    | Mach.Fault.M_delay _ -> Buffer.add_char log 'd'
+  done;
+  Buffer.contents log
+
+let test_fault_replay_deterministic () =
+  let a = drive_plan (Mach.Fault.create ~seed:99 ()) in
+  let b = drive_plan (Mach.Fault.create ~seed:99 ()) in
+  Alcotest.(check string) "same seed, same faults" a b;
+  Alcotest.(check bool) "scripted kill fired" true (String.contains a 'K');
+  Alcotest.(check bool) "random crashes fired" true (String.contains a 'C');
+  let pa = Mach.Fault.create ~seed:99 () and pb = Mach.Fault.create ~seed:99 () in
+  ignore (drive_plan pa : string);
+  ignore (drive_plan pb : string);
+  Alcotest.(check bool) "traces replay event for event" true
+    (Mach.Fault.trace pa = Mach.Fault.trace pb);
+  let c = drive_plan (Mach.Fault.create ~seed:100 ()) in
+  Alcotest.(check bool) "different seed diverges" true (a <> c)
+
+(* --- fault-sweep smoke: the bench output parses -------------------------------- *)
+
+let test_fault_sweep_smoke () =
+  let r =
+    Workloads.Fault_sweep.run ~seed:7 ~clients:2 ~sessions:2
+      ~rates:[ 20_000 ] ()
+  in
+  let json = Workloads.Fault_sweep.to_json r in
+  let module J = Workloads.Ipc_stress.Json in
+  match J.parse json with
+  | Error e -> Alcotest.failf "BENCH_faults.json does not parse: %s" e
+  | Ok v -> (
+      (match J.member "experiment" v with
+      | Some (J.Str "fault-sweep") -> ()
+      | _ -> Alcotest.fail "wrong experiment tag");
+      (match J.member "baseline_cycles_per_op" v with
+      | Some (J.Num n) ->
+          Alcotest.(check bool) "baseline positive" true (n > 0.0)
+      | _ -> Alcotest.fail "missing baseline_cycles_per_op");
+      match J.member "results" v with
+      | Some (J.Arr [ point ]) ->
+          (match J.member "crash_ppm" point with
+          | Some (J.Num n) -> Alcotest.(check int) "rate" 20_000 (int_of_float n)
+          | _ -> Alcotest.fail "missing crash_ppm");
+          (match (J.member "completed" point, J.member "ops" point) with
+          | Some (J.Num c), Some (J.Num o) ->
+              Alcotest.(check bool) "completed within ops" true
+                (c >= 0.0 && c <= o)
+          | _ -> Alcotest.fail "missing completed/ops");
+          (match J.member "completion_rate" point with
+          | Some (J.Num f) ->
+              Alcotest.(check bool) "rate in [0,1]" true (f >= 0.0 && f <= 1.0)
+          | _ -> Alcotest.fail "missing completion_rate")
+      | _ -> Alcotest.fail "expected exactly one result point")
+
+let suite =
+  [
+    Alcotest.test_case "ipc serve survives dead reply port" `Quick
+      test_ipc_serve_dead_reply_port;
+    Alcotest.test_case "rpc serve survives aborted client" `Quick
+      test_rpc_serve_survives_abort;
+    Alcotest.test_case "insert_right never downgrades" `Quick
+      test_insert_right_no_downgrade;
+    Alcotest.test_case "blocked sender queued once" `Quick
+      test_sender_queued_once;
+    Alcotest.test_case "rpc deadline times out" `Quick
+      test_rpc_deadline_times_out;
+    Alcotest.test_case "call_retry bounded give-up" `Quick
+      test_call_retry_gives_up;
+    Alcotest.test_case "supervisor restarts crashed file server" `Quick
+      test_supervisor_restarts_file_server;
+    Alcotest.test_case "fault plans replay identically" `Quick
+      test_fault_replay_deterministic;
+    Alcotest.test_case "fault-sweep smoke + json" `Quick
+      test_fault_sweep_smoke;
+  ]

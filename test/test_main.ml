@@ -14,4 +14,5 @@ let () =
       ("perf-paths", Test_perf_paths.suite);
       ("properties", Test_properties.suite);
       ("edge-cases", Test_more.suite);
+      ("faults", Test_faults.suite);
     ]
