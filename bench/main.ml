@@ -148,6 +148,47 @@ let fault_sweep () =
   close_out oc;
   Printf.printf "\nwrote BENCH_faults.json\n"
 
+(* --- machcheck: the analysis layer over the stress workloads ------------------ *)
+
+let machcheck () =
+  hr "machcheck: rights / deadlock / buffer sanitizers over the stress workloads";
+  let ipc = Workloads.Ipc_stress.run ~checks:true () in
+  let flt = Workloads.Fault_sweep.run ~checks:true () in
+  let print name = function
+    | Some rep ->
+        Printf.printf "%s:\n%s\n" name
+          (Format.asprintf "%a" Check.pp_report rep)
+    | None -> ()
+  in
+  print "ipc-stress" ipc.Workloads.Ipc_stress.r_check;
+  print "fault-sweep" flt.Workloads.Fault_sweep.r_check;
+  let total =
+    List.fold_left
+      (fun acc -> function
+        | Some rep -> acc + Check.total_findings rep
+        | None -> acc)
+      0
+      [ ipc.Workloads.Ipc_stress.r_check; flt.Workloads.Fault_sweep.r_check ]
+  in
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"experiment\": \"machcheck\",\n";
+  Buffer.add_string b "  \"schema_version\": 1,\n";
+  Printf.bprintf b "  \"total_findings\": %d,\n" total;
+  Buffer.add_string b "  \"workloads\": {\n";
+  (match ipc.Workloads.Ipc_stress.r_check with
+  | Some rep -> Printf.bprintf b "    \"ipc-stress\": %s,\n" (Check.to_json rep)
+  | None -> ());
+  (match flt.Workloads.Fault_sweep.r_check with
+  | Some rep -> Printf.bprintf b "    \"fault-sweep\": %s\n" (Check.to_json rep)
+  | None -> ());
+  Buffer.add_string b "  }\n}\n";
+  let oc = open_out "BENCH_check.json" in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Printf.printf "total findings: %d (expected 0)\nwrote BENCH_check.json\n" total;
+  if total > 0 then exit 1
+
 (* --- E4: Figure 1 ------------------------------------------------------------- *)
 
 let figure1 () =
@@ -420,6 +461,7 @@ let experiments =
     ("figure-ipc", figure_ipc);
     ("ipc-stress", ipc_stress);
     ("fault-sweep", fault_sweep);
+    ("machcheck", machcheck);
     ("figure1", figure1);
     ("fileserver-factor", fileserver_factor);
     ("finegrain", finegrain);

@@ -1,0 +1,423 @@
+(* Machcheck: rights / deadlock / buffer-lifetime shadow analysis.
+
+   Pure host-side bookkeeping keyed on (space, id) integers so the mach
+   library can depend on this one without a cycle.  See check.mli for
+   the model. *)
+
+type right = R_receive | R_send | R_send_once
+
+let right_rank = function R_receive -> 3 | R_send -> 2 | R_send_once -> 1
+
+let right_name = function
+  | R_receive -> "receive"
+  | R_send -> "send"
+  | R_send_once -> "send-once"
+
+type finding = { f_checker : string; f_kind : string; f_detail : string }
+
+type report = {
+  rep_spaces : int;
+  rep_right_transitions : int;
+  rep_live_rights : int;
+  rep_leaked_rights : int;
+  rep_right_double_frees : int;
+  rep_right_downgrades : int;
+  rep_teardown_residual : int;
+  rep_blocks_tracked : int;
+  rep_wait_cycles : int;
+  rep_buf_shadowed : int;
+  rep_buf_double_releases : int;
+  rep_buf_use_after_release : int;
+  rep_findings : finding list;
+}
+
+(* One shadow right entry: task [task] in space [space] holds [ce_refs]
+   references of [ce_right] to port [port]. *)
+type centry = {
+  mutable ce_right : right;
+  mutable ce_refs : int;
+  ce_tname : string;
+  ce_pname : string;
+}
+
+type blocked = {
+  b_tname : string;
+  b_res : string;
+  b_rdesc : string;
+  mutable b_holders : int list;
+}
+
+type t = {
+  mutable spaces : int;
+  (* rights: (space, task, port) -> entry; dead ports as (space, port) *)
+  rights : (int * int * int, centry) Hashtbl.t;
+  dead_ports : (int * int, unit) Hashtbl.t;
+  mutable transitions : int;
+  mutable teardown_residual : int;
+  (* deadlock: (space, tid) -> blocked; (space, res) -> owning tid *)
+  blocked : (int * int, blocked) Hashtbl.t;
+  owners : (int * string, int) Hashtbl.t;
+  seen_cycles : (string, unit) Hashtbl.t;
+  mutable blocks_tracked : int;
+  (* buffers: (space, addr) -> bytes live; retired set for UAR detection *)
+  buf_live : (int * int, int) Hashtbl.t;
+  buf_retired : (int * int, unit) Hashtbl.t;
+  mutable buf_shadowed : int;
+  (* findings, newest first, plus per-kind counters *)
+  mutable recorded : finding list;
+  mutable n_double_free : int;
+  mutable n_downgrade : int;
+  mutable n_cycle : int;
+  mutable n_buf_double : int;
+  mutable n_buf_uar : int;
+}
+
+let create () =
+  {
+    spaces = 0;
+    rights = Hashtbl.create 64;
+    dead_ports = Hashtbl.create 64;
+    transitions = 0;
+    teardown_residual = 0;
+    blocked = Hashtbl.create 32;
+    owners = Hashtbl.create 32;
+    seen_cycles = Hashtbl.create 8;
+    blocks_tracked = 0;
+    buf_live = Hashtbl.create 64;
+    buf_retired = Hashtbl.create 64;
+    buf_shadowed = 0;
+    recorded = [];
+    n_double_free = 0;
+    n_downgrade = 0;
+    n_cycle = 0;
+    n_buf_double = 0;
+    n_buf_uar = 0;
+  }
+
+let new_space t =
+  t.spaces <- t.spaces + 1;
+  t.spaces
+
+let g_installed : t option ref = ref None
+let install t = g_installed := Some t
+let uninstall () = g_installed := None
+let installed () = !g_installed
+
+let record t ~checker ~kind detail =
+  t.recorded <- { f_checker = checker; f_kind = kind; f_detail = detail }
+                :: t.recorded
+
+(* --- rights sanitizer --------------------------------------------------- *)
+
+let right_allocated t ~space ~task ~tname ~port ~pname =
+  t.transitions <- t.transitions + 1;
+  Hashtbl.replace t.rights (space, task, port)
+    { ce_right = R_receive; ce_refs = 1; ce_tname = tname; ce_pname = pname }
+
+let right_inserted t ~space ~task ~tname ~port ~pname ~right ~now =
+  t.transitions <- t.transitions + 1;
+  match Hashtbl.find_opt t.rights (space, task, port) with
+  | None ->
+      Hashtbl.replace t.rights (space, task, port)
+        { ce_right = now; ce_refs = 1; ce_tname = tname; ce_pname = pname }
+  | Some e ->
+      e.ce_refs <- e.ce_refs + 1;
+      if right_rank now < right_rank e.ce_right then begin
+        t.n_downgrade <- t.n_downgrade + 1;
+        record t ~checker:"rights" ~kind:"downgrade"
+          (Printf.sprintf
+             "task %s: inserting %s over held %s right to port %s \
+              weakened the capability"
+             tname (right_name right) (right_name e.ce_right) pname)
+      end;
+      e.ce_right <- now
+
+let right_deallocated t ~space ~task ~port =
+  t.transitions <- t.transitions + 1;
+  match Hashtbl.find_opt t.rights (space, task, port) with
+  | None ->
+      t.n_double_free <- t.n_double_free + 1;
+      record t ~checker:"rights" ~kind:"double-free"
+        (Printf.sprintf
+           "task t%d deallocated a right to port p%d the shadow no longer \
+            holds" task port)
+  | Some e ->
+      e.ce_refs <- e.ce_refs - 1;
+      if e.ce_refs <= 0 then Hashtbl.remove t.rights (space, task, port)
+
+let dealloc_missing t ~space:_ ~task:_ ~tname ~name =
+  t.n_double_free <- t.n_double_free + 1;
+  record t ~checker:"rights" ~kind:"double-free"
+    (Printf.sprintf
+       "task %s deallocated name %d, which its port space does not hold"
+       tname name)
+
+let right_moved t ~space ~from_task ~from_name ~to_task ~to_name ~port ~pname
+    ~right ~now =
+  right_deallocated t ~space ~task:from_task ~port;
+  (* the move's dealloc half is implied, not a user transition *)
+  (match Hashtbl.find_opt t.rights (space, to_task, port) with
+  | Some _ ->
+      right_inserted t ~space ~task:to_task ~tname:to_name ~port ~pname ~right
+        ~now
+  | None ->
+      ignore from_name;
+      t.transitions <- t.transitions + 1;
+      Hashtbl.replace t.rights (space, to_task, port)
+        { ce_right = now; ce_refs = 1; ce_tname = to_name; ce_pname = pname })
+
+let port_destroyed t ~space ~port =
+  t.transitions <- t.transitions + 1;
+  Hashtbl.replace t.dead_ports (space, port) ()
+
+let task_teardown t ~space ~task ~tname =
+  ignore tname;
+  let keys =
+    Hashtbl.fold
+      (fun ((sp, tk, _) as k) _ acc -> if sp = space && tk = task then k :: acc else acc)
+      t.rights []
+  in
+  List.iter (Hashtbl.remove t.rights) keys;
+  let n = List.length keys in
+  t.teardown_residual <- t.teardown_residual + n;
+  n
+
+let live_rights t ~space ~task =
+  Hashtbl.fold
+    (fun (sp, tk, _) _ acc -> if sp = space && tk = task then acc + 1 else acc)
+    t.rights 0
+
+let dead_rights t ~space ~task =
+  Hashtbl.fold
+    (fun (sp, tk, p) _ acc ->
+      if sp = space && tk = task && Hashtbl.mem t.dead_ports (space, p) then
+        acc + 1
+      else acc)
+    t.rights 0
+
+(* --- deadlock detector -------------------------------------------------- *)
+
+let successors t ~space tid =
+  match Hashtbl.find_opt t.blocked (space, tid) with
+  | None -> []
+  | Some b -> (
+      match Hashtbl.find_opt t.owners (space, b.b_res) with
+      | Some o when o <> tid && not (List.mem o b.b_holders) -> o :: b.b_holders
+      | _ -> b.b_holders)
+
+(* DFS from [start]; returns the cycle path [start; ...; last] where
+   [last] waits (transitively) back on [start]. *)
+let find_cycle t ~space start =
+  let visited = Hashtbl.create 8 in
+  let rec go tid path =
+    if Hashtbl.mem visited tid then None
+    else begin
+      Hashtbl.add visited tid ();
+      let path = tid :: path in
+      let succs = successors t ~space tid in
+      if List.mem start succs then Some (List.rev path)
+      else
+        List.fold_left
+          (fun acc s -> match acc with Some _ -> acc | None -> go s path)
+          None succs
+    end
+  in
+  go start []
+
+let describe_cycle t ~space path =
+  let leg tid =
+    match Hashtbl.find_opt t.blocked (space, tid) with
+    | Some b -> Printf.sprintf "t%d(%s) waits on %s" tid b.b_tname b.b_rdesc
+    | None -> Printf.sprintf "t%d" tid
+  in
+  String.concat " -> " (List.map leg path)
+  ^ Printf.sprintf " -> back to t%d" (List.hd path)
+
+let blocked_on t ~space ~tid ~tname ~res ~rdesc ~holders =
+  t.blocks_tracked <- t.blocks_tracked + 1;
+  Hashtbl.replace t.blocked (space, tid)
+    { b_tname = tname; b_res = res; b_rdesc = rdesc; b_holders = holders };
+  match find_cycle t ~space tid with
+  | None -> ()
+  | Some path ->
+      let key =
+        String.concat ","
+          (List.map string_of_int (List.sort compare path))
+        ^ Printf.sprintf "@%d" space
+      in
+      if not (Hashtbl.mem t.seen_cycles key) then begin
+        Hashtbl.add t.seen_cycles key ();
+        t.n_cycle <- t.n_cycle + 1;
+        record t ~checker:"deadlock" ~kind:"wait-cycle"
+          (describe_cycle t ~space path)
+      end
+
+let unblocked t ~space ~tid = Hashtbl.remove t.blocked (space, tid)
+
+let retarget t ~space ~tid ~holders =
+  match Hashtbl.find_opt t.blocked (space, tid) with
+  | None -> ()
+  | Some b -> b.b_holders <- holders
+
+let acquired t ~space ~tid ~res = Hashtbl.replace t.owners (space, res) tid
+
+let released t ~space ~res = Hashtbl.remove t.owners (space, res)
+
+let thread_gone t ~space ~tid =
+  Hashtbl.remove t.blocked (space, tid);
+  let owned =
+    Hashtbl.fold
+      (fun ((sp, _) as k) o acc -> if sp = space && o = tid then k :: acc else acc)
+      t.owners []
+  in
+  List.iter (Hashtbl.remove t.owners) owned
+
+let blocked_count t = Hashtbl.length t.blocked
+
+(* --- buffer-lifetime sanitizer ------------------------------------------ *)
+
+let buf_allocated t ~space ~addr ~bytes =
+  t.buf_shadowed <- t.buf_shadowed + 1;
+  Hashtbl.replace t.buf_live (space, addr) bytes;
+  Hashtbl.remove t.buf_retired (space, addr)
+
+let buf_used t ~space ~addr =
+  if Hashtbl.mem t.buf_retired (space, addr) then begin
+    t.n_buf_uar <- t.n_buf_uar + 1;
+    record t ~checker:"buffer" ~kind:"use-after-release"
+      (Printf.sprintf "kernel buffer 0x%x touched after release" addr)
+  end
+
+let buf_released t ~space ~addr =
+  if Hashtbl.mem t.buf_live (space, addr) then begin
+    Hashtbl.remove t.buf_live (space, addr);
+    Hashtbl.replace t.buf_retired (space, addr) ()
+  end
+  else if Hashtbl.mem t.buf_retired (space, addr) then begin
+    t.n_buf_double <- t.n_buf_double + 1;
+    record t ~checker:"buffer" ~kind:"double-release"
+      (Printf.sprintf "kernel buffer 0x%x released twice" addr)
+  end
+(* else: unknown addr — allocated before attach or orphaned by a recycle *)
+
+let buf_reset t ~space =
+  let purge tbl =
+    let keys =
+      Hashtbl.fold
+        (fun ((sp, _) as k) _ acc -> if sp = space then k :: acc else acc)
+        tbl []
+    in
+    List.iter (Hashtbl.remove tbl) keys
+  in
+  purge t.buf_live;
+  purge t.buf_retired
+
+(* --- reporting ---------------------------------------------------------- *)
+
+let findings t = List.rev t.recorded
+
+let leak_findings t =
+  let leaks =
+    Hashtbl.fold
+      (fun (sp, tk, p) e acc ->
+        if Hashtbl.mem t.dead_ports (sp, p) then ((sp, tk, p), e) :: acc
+        else acc)
+      t.rights []
+  in
+  let leaks = List.sort (fun (a, _) (b, _) -> compare a b) leaks in
+  List.map
+    (fun ((_, tk, p), e) ->
+      {
+        f_checker = "rights";
+        f_kind = "leak";
+        f_detail =
+          Printf.sprintf
+            "task %s(t%d) still holds a %s right (refs %d) to dead port \
+             %s(p%d)"
+            e.ce_tname tk (right_name e.ce_right) e.ce_refs e.ce_pname p;
+      })
+    leaks
+
+let report t =
+  let leaks = leak_findings t in
+  {
+    rep_spaces = t.spaces;
+    rep_right_transitions = t.transitions;
+    rep_live_rights = Hashtbl.length t.rights;
+    rep_leaked_rights = List.length leaks;
+    rep_right_double_frees = t.n_double_free;
+    rep_right_downgrades = t.n_downgrade;
+    rep_teardown_residual = t.teardown_residual;
+    rep_blocks_tracked = t.blocks_tracked;
+    rep_wait_cycles = t.n_cycle;
+    rep_buf_shadowed = t.buf_shadowed;
+    rep_buf_double_releases = t.n_buf_double;
+    rep_buf_use_after_release = t.n_buf_uar;
+    rep_findings = findings t @ leaks;
+  }
+
+let total_findings r =
+  r.rep_leaked_rights + r.rep_right_double_frees + r.rep_right_downgrades
+  + r.rep_wait_cycles + r.rep_buf_double_releases + r.rep_buf_use_after_release
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{";
+  let field k v = Buffer.add_string b (Printf.sprintf "\"%s\": %d, " k v) in
+  field "spaces" r.rep_spaces;
+  field "right_transitions" r.rep_right_transitions;
+  field "live_rights" r.rep_live_rights;
+  field "leaked_rights" r.rep_leaked_rights;
+  field "right_double_frees" r.rep_right_double_frees;
+  field "right_downgrades" r.rep_right_downgrades;
+  field "teardown_residual" r.rep_teardown_residual;
+  field "blocks_tracked" r.rep_blocks_tracked;
+  field "wait_cycles" r.rep_wait_cycles;
+  field "buffers_shadowed" r.rep_buf_shadowed;
+  field "buf_double_releases" r.rep_buf_double_releases;
+  field "buf_use_after_release" r.rep_buf_use_after_release;
+  field "total_findings" (total_findings r);
+  Buffer.add_string b "\"findings\": [";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"checker\": \"%s\", \"kind\": \"%s\", \"detail\": \"%s\"}"
+           f.f_checker f.f_kind (json_escape f.f_detail)))
+    r.rep_findings;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>machcheck: %d space(s), %d finding(s)@,\
+     rights   : %d transitions, %d live, %d leaked, %d double-free, %d \
+     downgrade, %d teardown-residual@,\
+     deadlock : %d blocks tracked, %d wait-cycle(s)@,\
+     buffers  : %d shadowed, %d double-release, %d use-after-release@]"
+    r.rep_spaces (total_findings r) r.rep_right_transitions r.rep_live_rights
+    r.rep_leaked_rights r.rep_right_double_frees r.rep_right_downgrades
+    r.rep_teardown_residual r.rep_blocks_tracked r.rep_wait_cycles
+    r.rep_buf_shadowed r.rep_buf_double_releases r.rep_buf_use_after_release;
+  if r.rep_findings <> [] then begin
+    Format.fprintf ppf "@.";
+    List.iter
+      (fun f ->
+        Format.fprintf ppf "  [%s/%s] %s@." f.f_checker f.f_kind f.f_detail)
+      r.rep_findings
+  end

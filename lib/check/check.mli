@@ -1,0 +1,187 @@
+(** Machcheck: shadow analysis of kernel resource use.
+
+    Three cooperating checkers observe the microkernel's hot paths and
+    report misuse that would otherwise be invisible across the
+    microkernel boundary — the fragility the paper attributes to leaked
+    port rights, stateful kernel wrappers and stacked managers:
+
+    - the {b rights sanitizer} shadow-accounts every port-right
+      transition (allocate / insert / move / deallocate / destroy) and
+      reports leaked rights (entries still naming a dead port), double
+      frees and downgraded rights;
+    - the {b deadlock detector} maintains a wait-for graph over every
+      blocking edge the IPC, RPC and synchronizer layers report and runs
+      cycle detection each time a thread blocks;
+    - the {b buffer-lifetime sanitizer} mirrors the kernel
+      message-buffer free list and reports double-release and
+      use-after-release.
+
+    The checker is pure host-side bookkeeping: it charges no simulated
+    cycles and never touches kernel state, so enabling it cannot perturb
+    a measurement, and with no checker attached every hook is a single
+    [None] match (the [Mach.Fault] pattern).
+
+    Because one checker instance may watch several booted systems in
+    sequence (a workload sweep boots a fresh machine per point), every
+    event is keyed by a {e space}: an id handed out by {!new_space} once
+    per attached system, so task/port/thread/buffer ids from different
+    boots never alias. *)
+
+type t
+
+type right = R_receive | R_send | R_send_once
+
+val right_rank : right -> int
+(** Receive > send > send-once, as in {!Mach.Port}. *)
+
+type finding = {
+  f_checker : string;  (* "rights" | "deadlock" | "buffer" *)
+  f_kind : string;  (* "leak" | "double-free" | "downgrade" | "wait-cycle"
+                       | "double-release" | "use-after-release" *)
+  f_detail : string;
+}
+
+type report = {
+  rep_spaces : int;
+  (* rights sanitizer *)
+  rep_right_transitions : int;
+  rep_live_rights : int;  (* shadow entries still held at report time *)
+  rep_leaked_rights : int;  (* live entries naming a dead port *)
+  rep_right_double_frees : int;
+  rep_right_downgrades : int;
+  rep_teardown_residual : int;
+      (* rights released implicitly because their task was torn down *)
+  (* deadlock detector *)
+  rep_blocks_tracked : int;
+  rep_wait_cycles : int;
+  (* buffer sanitizer *)
+  rep_buf_shadowed : int;  (* allocations observed *)
+  rep_buf_double_releases : int;
+  rep_buf_use_after_release : int;
+  rep_findings : finding list;  (* oldest first; includes leak findings *)
+}
+
+val create : unit -> t
+
+val new_space : t -> int
+(** Register one booted system with the checker; all events from that
+    system must carry the returned id. *)
+
+(* --- global attach point ------------------------------------------------ *)
+
+val install : t -> unit
+(** Make [t] the process-wide checker: systems booted while installed
+    attach themselves to it.  Workloads use this so the machines they
+    boot internally run under Machcheck. *)
+
+val uninstall : unit -> unit
+
+val installed : unit -> t option
+
+(* --- rights sanitizer --------------------------------------------------- *)
+
+val right_allocated :
+  t -> space:int -> task:int -> tname:string -> port:int -> pname:string ->
+  unit
+(** A receive right was deposited by port allocation. *)
+
+val right_inserted :
+  t -> space:int -> task:int -> tname:string -> port:int -> pname:string ->
+  right:right -> now:right -> unit
+(** A right was inserted; [now] is the right the kernel actually records
+    after its hierarchy rules.  If [now] is weaker than the shadow's
+    recorded right, a "downgrade" finding fires — the kernel weakened a
+    held capability. *)
+
+val right_deallocated : t -> space:int -> task:int -> port:int -> unit
+(** One reference dropped; the shadow entry dies at zero.  Deallocating
+    a right the shadow does not know is a "double-free" finding. *)
+
+val dealloc_missing :
+  t -> space:int -> task:int -> tname:string -> name:int -> unit
+(** The kernel itself rejected a deallocate ([Kern_invalid_name]): the
+    task freed a name it no longer holds — a "double-free" finding. *)
+
+val right_moved :
+  t -> space:int -> from_task:int -> from_name:string -> to_task:int ->
+  to_name:string -> port:int -> pname:string -> right:right -> now:right ->
+  unit
+(** One reference of [right] moved between port spaces; [now] is the
+    right the destination actually holds afterwards (a deposit into an
+    entry holding a stronger right keeps the stronger one — recording
+    anything weaker than the shadow is a "downgrade" finding). *)
+
+val port_destroyed : t -> space:int -> port:int -> unit
+(** Marks the port dead: any right entry still naming it is a leak. *)
+
+val task_teardown : t -> space:int -> task:int -> tname:string -> int
+(** Release every shadow entry the task still holds (the kernel reclaims
+    the port space with the task); returns the residual count, which is
+    also accumulated into {!report}[.rep_teardown_residual] rather than
+    silently dropped. *)
+
+val live_rights : t -> space:int -> task:int -> int
+val dead_rights : t -> space:int -> task:int -> int
+(** Entries the task holds that name a destroyed port — the residue that
+    must be zero after a supervised restart. *)
+
+(* --- deadlock detector -------------------------------------------------- *)
+
+val blocked_on :
+  t -> space:int -> tid:int -> tname:string -> res:string -> rdesc:string ->
+  holders:int list -> unit
+(** Thread [tid] blocked on resource [res] (a stable key; [rdesc] is the
+    human name).  [holders] are the threads that could unblock it, as
+    known at block time; resources with an owner registered via
+    {!acquired} contribute that owner as well.  Runs cycle detection
+    from [tid]; a cycle is a "wait-cycle" finding naming every edge. *)
+
+val unblocked : t -> space:int -> tid:int -> unit
+(** The thread resumed (normally, by timeout, or woken by a dying port):
+    its wait-for edge is removed. *)
+
+val retarget : t -> space:int -> tid:int -> holders:int list -> unit
+(** Narrow a blocked thread's holder set once the real peer is known
+    (e.g. the server thread that picked up its RPC). *)
+
+val acquired : t -> space:int -> tid:int -> res:string -> unit
+(** [tid] now owns [res] (mutex semantics). *)
+
+val released : t -> space:int -> res:string -> unit
+
+val thread_gone : t -> space:int -> tid:int -> unit
+(** The thread terminated: purge its wait-for edge and ownerships so no
+    stale deadlock edges survive a kill. *)
+
+val blocked_count : t -> int
+(** Threads currently in the wait-for graph (all spaces). *)
+
+(* --- buffer-lifetime sanitizer ------------------------------------------ *)
+
+val buf_allocated : t -> space:int -> addr:int -> bytes:int -> unit
+val buf_used : t -> space:int -> addr:int -> unit
+(** A kernel path read or wrote the buffer; if the shadow retired it, a
+    "use-after-release" finding fires. *)
+
+val buf_released : t -> space:int -> addr:int -> unit
+(** Live buffers retire; releasing a retired buffer is a
+    "double-release" finding; unknown addresses (handed out before the
+    checker attached, or orphaned by an arena recycle) are ignored. *)
+
+val buf_reset : t -> space:int -> unit
+(** The arena was recycled wholesale: all shadow state for the space is
+    dropped (outstanding handles legitimately dangle afterwards). *)
+
+(* --- reporting ---------------------------------------------------------- *)
+
+val findings : t -> finding list
+(** Findings recorded so far, oldest first (leak findings appear only in
+    {!report}, which scans live entries against dead ports). *)
+
+val report : t -> report
+val total_findings : report -> int
+val to_json : report -> string
+(** One JSON object with per-checker counts and the finding list —
+    the payload of [BENCH_check.json]. *)
+
+val pp_report : Format.formatter -> report -> unit

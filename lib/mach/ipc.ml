@@ -98,7 +98,14 @@ let send (sys : Sched.t) port ?reply_to (mb : message_builder) =
       end
       else if Queue.length port.msg_queue >= port.q_limit then begin
         Sched.enqueue_waiter th port.waiting_senders;
-        match Sched.block "msg-send-queue-full" with
+        (* wait-for edge: room opens up only if the receiving task runs *)
+        Mcheck.block_on sys th
+          ~res:("room:" ^ string_of_int port.port_id)
+          ~rdesc:("send-room(" ^ port.pname ^ ")")
+          ~holders:(Mcheck.receiver_tids port);
+        let r = Sched.block "msg-send-queue-full" in
+        Mcheck.unblock sys th;
+        match r with
         | Kern_success -> wait_for_room ()
         | err ->
             Sched.dequeue_waiter th port.waiting_senders;
@@ -152,7 +159,15 @@ let receive (sys : Sched.t) port =
         end
         else begin
           Sched.enqueue_waiter th port.waiting_receivers;
-          match Sched.block "msg-receive" with
+          (* a receive can be satisfied by any future sender: no holder
+             edge, but the node must exist so a kill can be audited *)
+          Mcheck.block_on sys th
+            ~res:("msgq:" ^ string_of_int port.port_id)
+            ~rdesc:("receive(" ^ port.pname ^ ")")
+            ~holders:[];
+          let r = Sched.block "msg-receive" in
+          Mcheck.unblock sys th;
+          match r with
           | Kern_success -> get ()
           | err ->
               Sched.dequeue_waiter th port.waiting_receivers;
@@ -165,6 +180,7 @@ let receive (sys : Sched.t) port =
       Error err
   | Ok msg ->
       Ktext.exec k ~frame [ Ktext.msg_dequeue k; Ktext.msg_copyout k ];
+      Mcheck.buf_use sys msg.msg_kbuf;
       Ktext.copy k ~src:msg.msg_kbuf ~dst:(default_buf receiver)
         ~bytes:msg.msg_inline_bytes;
       (* the inline body has landed in the receiver: the kernel buffer
@@ -172,9 +188,11 @@ let receive (sys : Sched.t) port =
          the msg-buffers region *)
       Ktext.buffer_free k msg.msg_kbuf;
       msg.msg_kbuf <- 0;
+      (* carried rights land in the receiver's port space *)
       List.iter
-        (fun (_right : port * right) ->
-          Ktext.exec1 k ~frame (Ktext.right_transfer k))
+        (fun ((p, r) : port * right) ->
+          Ktext.exec1 k ~frame (Ktext.right_transfer k);
+          ignore (Port.insert_right sys receiver p r : int))
         msg.msg_rights;
       (* out-of-line data arrives as a lazy copy-on-write mapping *)
       let msg =

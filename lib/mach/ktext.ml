@@ -37,6 +37,10 @@ type t = {
   mutable buf_recycles : int;
   mutable buf_in_use : int;
   mutable buf_peak : int;
+  (* Machcheck attachment: the buffer-lifetime sanitizer mirrors this
+     free list.  None = off, and every hook below is a single match. *)
+  mutable kt_checks : Check.t option;
+  mutable kt_space : int;
 }
 
 let create (m : Machine.t) =
@@ -60,7 +64,13 @@ let create (m : Machine.t) =
     buf_recycles = 0;
     buf_in_use = 0;
     buf_peak = 0;
+    kt_checks = (match Check.installed () with Some c -> Some c | None -> None);
+    kt_space = (match Check.installed () with Some c -> Check.new_space c | None -> 0);
   }
+
+let set_checks t chk =
+  t.kt_checks <- Some chk;
+  t.kt_space <- Check.new_space chk
 
 let machine t = t.machine
 let text t = t.text
@@ -353,7 +363,10 @@ let buffer_reset t =
   t.buf_free <- [ (0, t.buffers.Machine.Layout.size) ];
   t.buf_next <- 0;
   Hashtbl.reset t.buf_live;
-  t.buf_in_use <- 0
+  t.buf_in_use <- 0;
+  match t.kt_checks with
+  | None -> ()
+  | Some c -> Check.buf_reset c ~space:t.kt_space
 
 (* Next-fit within the sorted extent list: first hole at or after [from]
    that can hold [need] bytes.  The roving pointer makes transient
@@ -394,13 +407,26 @@ let rec buffer_alloc t ~bytes =
       t.buf_allocs <- t.buf_allocs + 1;
       t.buf_in_use <- t.buf_in_use + need;
       if t.buf_in_use > t.buf_peak then t.buf_peak <- t.buf_in_use;
+      (match t.kt_checks with
+      | None -> ()
+      | Some c -> Check.buf_allocated c ~space:t.kt_space ~addr ~bytes:need);
       addr
   | None ->
       t.buf_recycles <- t.buf_recycles + 1;
       buffer_reset t;
       buffer_alloc t ~bytes
 
+let buffer_use t addr =
+  (* A kernel path is about to read or write [addr]: let the sanitizer
+     flag it if the buffer was already released. *)
+  match t.kt_checks with
+  | None -> ()
+  | Some c -> Check.buf_used c ~space:t.kt_space ~addr
+
 let buffer_free t addr =
+  (match t.kt_checks with
+  | None -> ()
+  | Some c -> Check.buf_released c ~space:t.kt_space ~addr);
   match Hashtbl.find_opt t.buf_live addr with
   | None -> ()  (* stale handle from before a recycle, or never allocated *)
   | Some size ->

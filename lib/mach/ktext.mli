@@ -58,7 +58,19 @@ val buffer_alloc : t -> bytes:int -> int
 
 val buffer_free : t -> int -> unit
 (** Return a buffer to the free list (coalescing with neighbours).
-    Unknown or stale addresses are ignored. *)
+    Unknown or stale addresses are ignored by the allocator, but a
+    release of an already-released buffer is reported to an attached
+    Machcheck instance as a double-release. *)
+
+val buffer_use : t -> int -> unit
+(** Tell an attached Machcheck instance that a kernel path is touching
+    this buffer, so use-after-release can be flagged.  No-cost no-op
+    when no checker is attached. *)
+
+val set_checks : t -> Check.t -> unit
+(** Attach Machcheck's buffer-lifetime sanitizer to this kernel's
+    message-buffer free list.  [create] self-attaches to
+    [Check.installed ()] if a checker is globally installed. *)
 
 type buffer_stats = {
   bs_allocs : int;

@@ -5,6 +5,8 @@
 module Ktypes = Ktypes
 module Ktext = Ktext
 module Fault = Fault
+module Check = Check
+module Mcheck = Mcheck
 module Sched = Sched
 module Port = Port
 module Vm = Vm

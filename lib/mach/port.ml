@@ -21,6 +21,7 @@ let allocate (sys : Sched.t) ~receiver ~name =
   let entry = { re_port = port; re_right = Receive_right; re_refs = 1 } in
   Hashtbl.replace receiver.namespace receiver.next_name entry;
   receiver.next_name <- receiver.next_name + 1;
+  Mcheck.right_allocated sys receiver port;
   port
 
 let find_entry task port =
@@ -46,12 +47,14 @@ let insert_right (sys : Sched.t) task port right =
       entry.re_refs <- entry.re_refs + 1;
       if right_order right > right_order entry.re_right then
         entry.re_right <- right;
+      Mcheck.right_inserted sys task port ~right ~now:entry.re_right;
       name
   | None ->
       let name = task.next_name in
       task.next_name <- task.next_name + 1;
       Hashtbl.replace task.namespace name
         { re_port = port; re_right = right; re_refs = 1 };
+      Mcheck.right_inserted sys task port ~right ~now:right;
       name
 
 let lookup task name = Hashtbl.find_opt task.namespace name
@@ -62,10 +65,45 @@ let lookup_port task port =
 let deallocate_right (sys : Sched.t) task name =
   Ktext.exec1 sys.ktext (Ktext.cap_translate sys.ktext);
   match Hashtbl.find_opt task.namespace name with
-  | None -> Kern_invalid_name
+  | None ->
+      (* the task freed a name it no longer holds: report the misuse
+         through Machcheck instead of just failing silently *)
+      Mcheck.dealloc_missing sys task ~name;
+      Kern_invalid_name
   | Some entry ->
       entry.re_refs <- entry.re_refs - 1;
       if entry.re_refs <= 0 then Hashtbl.remove task.namespace name;
+      Mcheck.right_deallocated sys task entry.re_port;
+      Kern_success
+
+(* Move one reference of a right between port spaces: the sender's
+   reference is consumed, the destination gains one.  This is the
+   checkable form of handing a capability to another task (the implicit
+   transfers in [Ipc]/[Rpc] message rights go through [insert_right] on
+   the receive side). *)
+let move_right (sys : Sched.t) ~from ~into port =
+  Ktext.exec1 sys.ktext (Ktext.cap_translate sys.ktext);
+  match find_entry from port with
+  | None -> Kern_invalid_name
+  | Some (name, entry) ->
+      let right = entry.re_right in
+      entry.re_refs <- entry.re_refs - 1;
+      if entry.re_refs <= 0 then Hashtbl.remove from.namespace name;
+      let now =
+        match find_entry into port with
+        | Some (_, e) ->
+            e.re_refs <- e.re_refs + 1;
+            if right_order right > right_order e.re_right then
+              e.re_right <- right;
+            e.re_right
+        | None ->
+            let n = into.next_name in
+            into.next_name <- into.next_name + 1;
+            Hashtbl.replace into.namespace n
+              { re_port = port; re_right = right; re_refs = 1 };
+            right
+      in
+      Mcheck.right_moved sys ~from_task:from ~to_task:into port right ~now;
       Kern_success
 
 let request_notification (sys : Sched.t) port f =
@@ -81,6 +119,20 @@ let destroy (sys : Sched.t) port =
   if not port.dead then begin
     Ktext.exec1 sys.ktext (Ktext.port_dealloc_path sys.ktext);
     port.dead <- true;
+    Mcheck.port_destroyed sys port;
+    (* The receive right dies with the port: drop the receiver's
+       namespace entry rather than leaving a dangling dead-port name —
+       the residue that made restarted servers look leaky. *)
+    (match port.receiver with
+    | Some task -> (
+        match find_entry task port with
+        | Some (name, entry) ->
+            Hashtbl.remove task.namespace name;
+            for _ = 1 to entry.re_refs do
+              Mcheck.right_deallocated sys task port
+            done
+        | None -> ())
+    | None -> ());
     port.receiver <- None;
     (* queued messages die with the port: release their kernel buffers *)
     Queue.iter

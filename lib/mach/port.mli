@@ -31,10 +31,20 @@ val lookup_port : task -> port -> int option
 (** Reverse lookup: the task's name for a port, if any. *)
 
 val deallocate_right : Sched.t -> task -> int -> kern_return
+(** Drop one reference; the entry dies at zero.  Freeing a name the
+    space does not hold returns [Kern_invalid_name] and is reported to
+    an attached Machcheck instance as a double-free. *)
+
+val move_right : Sched.t -> from:task -> into:task -> port -> kern_return
+(** Move one reference of [from]'s right to [port] into [into]'s space
+    (consuming the source reference) — the explicit, checkable form of
+    handing a capability to another task. *)
 
 val destroy : Sched.t -> port -> unit
 (** Mark the port dead and wake every blocked sender/receiver/server/
-    client with [Kern_port_dead]. *)
+    client with [Kern_port_dead].  The receive right dies with the port:
+    the receiver's namespace entry is removed (it previously lingered as
+    a dangling dead-port name). *)
 
 val rights_held : task -> int
 (** Number of live right entries in the task's space. *)

@@ -113,12 +113,26 @@ let call (sys : Sched.t) port ?reply_bytes:_ ?deadline (mb : message_builder) =
           Queue.add rx port.pending_calls;
           Ktext.exec1 k ~frame (Ktext.rpc_handoff k);
           wake_one sys port.waiting_servers);
-      match Sched.block "rpc-call" with
+      (* wait-for edge towards the serving task; narrowed to the exact
+         server thread once one picks the exchange up (see [dequeue]) *)
+      Mcheck.block_on sys th
+        ~res:("rpc:" ^ string_of_int port.port_id)
+        ~rdesc:("rpc-call(" ^ port.pname ^ ")")
+        ~holders:(Mcheck.receiver_tids port);
+      let r = Sched.block "rpc-call" in
+      Mcheck.unblock sys th;
+      match r with
       | Kern_success -> (
           (* resumed by the server's reply; return to user *)
           Ktext.exec1 k ~frame (Ktext.trap_exit k);
           match rx.rx_reply with
-          | Some reply -> Ok reply
+          | Some reply ->
+              (* rights carried by the reply land in the client's space *)
+              List.iter
+                (fun ((p, r) : port * right) ->
+                  ignore (Port.insert_right sys client p r : int))
+                reply.msg_rights;
+              Ok reply
           | None -> Error Kern_aborted)
       | err ->
           Ktext.exec1 k ~frame (Ktext.trap_exit k);
@@ -177,6 +191,13 @@ let dequeue (sys : Sched.t) port th frame =
     | Some rx ->
         Sched.dequeue_waiter th port.waiting_servers;
         rx.rx_server <- Some th;
+        (* the client now waits on this exact thread, not the whole task *)
+        Mcheck.retarget sys rx.rx_client ~holders:[ th.tid ];
+        (* rights carried by the request land in the server's space *)
+        List.iter
+          (fun ((p, r) : port * right) ->
+            ignore (Port.insert_right sys server p r : int))
+          rx.rx_request.msg_rights;
         Ktext.exec k ~frame [ Ktext.rpc_handoff k; Ktext.trap_exit k ];
         Ktext.exec_in k server.text ~offset:0x140 ~bytes:192;
         Ok rx
@@ -188,7 +209,14 @@ let dequeue (sys : Sched.t) port th frame =
         end
         else begin
           Sched.enqueue_waiter th port.waiting_servers;
-          match Sched.block "rpc-receive" with
+          (* served by any future caller: node only, no holder edge *)
+          Mcheck.block_on sys th
+            ~res:("rpcq:" ^ string_of_int port.port_id)
+            ~rdesc:("rpc-receive(" ^ port.pname ^ ")")
+            ~holders:[];
+          let r = Sched.block "rpc-receive" in
+          Mcheck.unblock sys th;
+          match r with
           | Kern_success -> get ()
           | err ->
               Sched.dequeue_waiter th port.waiting_servers;

@@ -26,6 +26,8 @@ type t = {
   mutable reply_cache_misses : int;  (* Ipc.call had to allocate one *)
   mutable faults : Fault.t option;  (* fault-injection plan, None = off *)
   mutable retry_attempts : int;  (* re-issues performed by call_retry *)
+  mutable checks : Check.t option;  (* Machcheck attachment, None = off *)
+  mutable check_space : int;  (* this boot's id space at the checker *)
 }
 
 type _ Effect.t +=
@@ -62,7 +64,15 @@ let create machine ktext =
     reply_cache_misses = 0;
     faults = None;
     retry_attempts = 0;
+    checks = (match Check.installed () with Some c -> Some c | None -> None);
+    check_space =
+      (match Check.installed () with Some c -> Check.new_space c | None -> 0);
   }
+
+let enable_checks t chk =
+  t.checks <- Some chk;
+  t.check_space <- Check.new_space chk;
+  Ktext.set_checks t.ktext chk
 
 let virtual_alloc t ~bytes =
   let bytes = pages_of_bytes bytes * page_size in
@@ -159,12 +169,24 @@ let terminate t th =
       th.state <- Th_terminated;
       th.cont <- Finished);
   th.t_task.threads <- List.filter (fun x -> x.tid <> th.tid) th.t_task.threads;
-  ignore t
+  match t.checks with
+  | None -> ()
+  | Some c -> Check.thread_gone c ~space:t.check_space ~tid:th.tid
 
 let task_halt t task =
   task.halted <- true;
   List.iter (fun th -> terminate t th) task.threads;
-  task.threads <- []
+  task.threads <- [];
+  (* The kernel reclaims the port space with the task: account the
+     residual rights through Machcheck instead of dropping them. *)
+  match t.checks with
+  | None -> ()
+  | Some c ->
+      ignore
+        (Check.task_teardown c ~space:t.check_space ~task:task.task_id
+           ~tname:task.task_name
+          : int);
+      Hashtbl.reset task.namespace
 
 let charge_dispatch t th =
   if t.charge_switches then begin
@@ -189,7 +211,10 @@ let handler t th : (unit, unit) Effect.Deep.handler =
         th.state <- Th_terminated;
         th.cont <- Finished;
         th.t_task.threads <-
-          List.filter (fun x -> x.tid <> th.tid) th.t_task.threads);
+          List.filter (fun x -> x.tid <> th.tid) th.t_task.threads;
+        match t.checks with
+        | None -> ()
+        | Some c -> Check.thread_gone c ~space:t.check_space ~tid:th.tid);
     exnc = (fun e -> raise e);
     effc =
       (fun (type a) (eff : a Effect.t) ->

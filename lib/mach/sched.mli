@@ -39,9 +39,19 @@ type t = {
   mutable reply_cache_misses : int;  (* Ipc.call had to allocate one *)
   mutable faults : Fault.t option;  (* fault-injection plan, None = off *)
   mutable retry_attempts : int;  (* re-issues performed by call_retry *)
+  mutable checks : Check.t option;  (* Machcheck attachment, None = off *)
+  mutable check_space : int;  (* this boot's id space at the checker *)
 }
 
 val create : Machine.t -> Ktext.t -> t
+(** If a checker is globally installed ([Check.install]), the new system
+    attaches itself to it; otherwise checking is off and every hook costs
+    one [None] match. *)
+
+val enable_checks : t -> Check.t -> unit
+(** Attach Machcheck to an already-booted system: registers a fresh id
+    space for the scheduler's rights/deadlock events and attaches the
+    buffer sanitizer to the kernel text's free list. *)
 
 val task_create :
   t -> name:string -> ?personality:string -> ?text_bytes:int ->

@@ -1,13 +1,23 @@
 open Ktypes
 
 type semaphore = {
+  s_id : int;  (* process-unique: the wait-for graph's resource key *)
   s_name : string;
   mutable s_value : int;
   s_waiters : thread Queue.t;
 }
 
 type mutex = { m_sem : semaphore; mutable m_owner : thread option }
-type event = { e_name : string; e_waiters : thread Queue.t }
+type event = { e_id : int; e_name : string; e_waiters : thread Queue.t }
+
+let next_sync_id = ref 0
+
+let fresh_sync_id () =
+  incr next_sync_id;
+  !next_sync_id
+
+let sem_res s = "sem:" ^ string_of_int s.s_id
+let evt_res e = "evt:" ^ string_of_int e.e_id
 
 let trap_around (sys : Sched.t) inner =
   let th = Sched.self () in
@@ -34,7 +44,8 @@ let wake_one (sys : Sched.t) q =
 
 let semaphore_create (sys : Sched.t) ~name ~value =
   Ktext.exec sys.ktext [ Ktext.sync_fast sys.ktext ];
-  { s_name = name; s_value = value; s_waiters = Queue.create () }
+  { s_id = fresh_sync_id (); s_name = name; s_value = value;
+    s_waiters = Queue.create () }
 
 let semaphore_wait (sys : Sched.t) s =
   trap_around sys (fun th frame ->
@@ -48,9 +59,11 @@ let semaphore_wait (sys : Sched.t) s =
         else begin
           Ktext.exec k ~frame [ Ktext.sync_block k ];
           Queue.add th s.s_waiters;
-          match Sched.block ("sem-wait:" ^ s.s_name) with
-          | Kern_success -> wait ()
-          | err -> err
+          Mcheck.block_on sys th ~res:(sem_res s)
+            ~rdesc:("sem(" ^ s.s_name ^ ")") ~holders:[];
+          let r = Sched.block ("sem-wait:" ^ s.s_name) in
+          Mcheck.unblock sys th;
+          match r with Kern_success -> wait () | err -> err
         end
       in
       wait ())
@@ -82,7 +95,11 @@ let semaphore_wait_timeout (sys : Sched.t) s ~timeout =
           else begin
             Ktext.exec k ~frame [ Ktext.sync_block k ];
             Queue.add th s.s_waiters;
-            match Sched.block ("sem-wait-deadline:" ^ s.s_name) with
+            Mcheck.block_on sys th ~res:(sem_res s)
+              ~rdesc:("sem(" ^ s.s_name ^ ")") ~holders:[];
+            let r = Sched.block ("sem-wait-deadline:" ^ s.s_name) in
+            Mcheck.unblock sys th;
+            match r with
             | Kern_success -> wait ()
             | err ->
                 settled := true;
@@ -107,13 +124,22 @@ let mutex_create sys ~name =
 
 let mutex_lock (sys : Sched.t) m =
   let r = semaphore_wait sys m.m_sem in
-  if r = Kern_success then m.m_owner <- Some (Sched.self ());
+  if r = Kern_success then begin
+    let th = Sched.self () in
+    m.m_owner <- Some th;
+    Mcheck.acquired sys th ~res:(sem_res m.m_sem)
+  end;
   r
 
+(* Wrong-holder unlocks raise *before* any state changes: the owner edge
+   in the wait-for graph stays with the true holder, and the semaphore
+   is not signalled on behalf of a thread that never held it. *)
 let mutex_unlock (sys : Sched.t) m =
   let th = Sched.self () in
   (match m.m_owner with
-  | Some owner when owner.tid = th.tid -> m.m_owner <- None
+  | Some owner when owner.tid = th.tid ->
+      m.m_owner <- None;
+      Mcheck.released sys ~res:(sem_res m.m_sem)
   | Some _ | None -> raise (Kern_error Kern_invalid_argument));
   semaphore_signal sys m.m_sem
 
@@ -121,13 +147,17 @@ let mutex_locked m = Option.is_some m.m_owner
 
 let event_create (sys : Sched.t) ~name =
   Ktext.exec sys.ktext [ Ktext.sync_fast sys.ktext ];
-  { e_name = name; e_waiters = Queue.create () }
+  { e_id = fresh_sync_id (); e_name = name; e_waiters = Queue.create () }
 
 let event_wait (sys : Sched.t) e =
   trap_around sys (fun th frame ->
       Ktext.exec sys.ktext ~frame [ Ktext.sync_block sys.ktext ];
       Queue.add th e.e_waiters;
-      Sched.block ("event-wait:" ^ e.e_name))
+      Mcheck.block_on sys th ~res:(evt_res e)
+        ~rdesc:("event(" ^ e.e_name ^ ")") ~holders:[];
+      let r = Sched.block ("event-wait:" ^ e.e_name) in
+      Mcheck.unblock sys th;
+      r)
 
 let event_signal (sys : Sched.t) e =
   trap_around sys (fun _th frame ->

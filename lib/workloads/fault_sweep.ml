@@ -32,6 +32,7 @@ type result = {
   r_sessions : int;
   r_baseline_cycles_per_op : float;
   r_points : point list;
+  r_check : Check.report option;  (* Machcheck findings, when enabled *)
 }
 
 let service_path = "/services/file"
@@ -163,8 +164,14 @@ let run_point ~seed ~clients ~sessions ~crash_ppm =
 let default_rates = [ 2_000; 10_000; 30_000 ]
 
 let run ?(seed = 42) ?(clients = 4) ?(sessions = 10) ?(rates = default_rates)
-    () =
+    ?(checks = false) () =
   if rates = [] then invalid_arg "Fault_sweep.run: empty rate list";
+  (* Machcheck rides along by global install: each point's boot attaches
+     its kernel to the checker, including every supervised restart. *)
+  let chk = if checks then Some (Check.create ()) else None in
+  Option.iter Check.install chk;
+  Fun.protect ~finally:(fun () -> if checks then Check.uninstall ())
+  @@ fun () ->
   let baseline = run_point ~seed ~clients ~sessions ~crash_ppm:0 in
   let points =
     List.map (fun ppm -> run_point ~seed ~clients ~sessions ~crash_ppm:ppm)
@@ -176,6 +183,7 @@ let run ?(seed = 42) ?(clients = 4) ?(sessions = 10) ?(rates = default_rates)
     r_sessions = sessions;
     r_baseline_cycles_per_op = baseline.p_cycles_per_op;
     r_points = points;
+    r_check = Option.map Check.report chk;
   }
 
 let to_json r =
@@ -189,6 +197,9 @@ let to_json r =
   Printf.bprintf b "  \"ops\": %d,\n" (r.r_clients * r.r_sessions);
   Printf.bprintf b "  \"baseline_cycles_per_op\": %.1f,\n"
     r.r_baseline_cycles_per_op;
+  (match r.r_check with
+  | None -> ()
+  | Some rep -> Printf.bprintf b "  \"machcheck\": %s,\n" (Check.to_json rep));
   Buffer.add_string b "  \"results\": [\n";
   List.iteri
     (fun i p ->

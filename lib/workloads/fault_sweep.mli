@@ -28,13 +28,18 @@ type result = {
   r_sessions : int;
   r_baseline_cycles_per_op : float;
   r_points : point list;
+  r_check : Check.report option;
+      (** Machcheck report over the whole sweep when run with
+          [~checks:true]; [None] otherwise *)
 }
 
 val run :
-  ?seed:int -> ?clients:int -> ?sessions:int -> ?rates:int list -> unit ->
-  result
+  ?seed:int -> ?clients:int -> ?sessions:int -> ?rates:int list ->
+  ?checks:bool -> unit -> result
 (** Run the baseline plus one point per crash rate (ppm per request;
-    default [[2_000; 10_000; 30_000]]). *)
+    default [[2_000; 10_000; 30_000]]).  [~checks:true] runs the whole
+    sweep — including every supervised restart — under Machcheck and
+    fills [r_check]. *)
 
 val to_json : result -> string
 (** Machine-readable form, written to [BENCH_faults.json] by the bench

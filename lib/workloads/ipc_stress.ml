@@ -17,6 +17,7 @@ type result = {
   r_kbuf_frees : int;
   r_kbuf_recycles : int;
   r_kbuf_peak_bytes : int;
+  r_check : Check.report option;  (* Machcheck findings, when enabled *)
 }
 
 (* One sustained run: [workers] client/server pairs on one machine, each
@@ -96,8 +97,15 @@ let measure ~system ~workers ~iters ~bytes =
 
 let default_sizes = [ 0; 32; 512; 4096 ]
 
-let run ?(workers = 4) ?(iters = 200) ?(sizes = default_sizes) () =
+let run ?(workers = 4) ?(iters = 200) ?(sizes = default_sizes)
+    ?(checks = false) () =
   if sizes = [] then invalid_arg "Ipc_stress.run: empty size list";
+  (* Machcheck rides along by global install: every machine [measure]
+     boots attaches itself to the checker for the whole sweep. *)
+  let chk = if checks then Some (Check.create ()) else None in
+  Option.iter Check.install chk;
+  Fun.protect ~finally:(fun () -> if checks then Check.uninstall ())
+  @@ fun () ->
   let hits = ref 0 and misses = ref 0 in
   let allocs = ref 0 and frees = ref 0 and recycles = ref 0 and peak = ref 0 in
   let point system name bytes =
@@ -130,6 +138,7 @@ let run ?(workers = 4) ?(iters = 200) ?(sizes = default_sizes) () =
     r_kbuf_frees = !frees;
     r_kbuf_recycles = !recycles;
     r_kbuf_peak_bytes = !peak;
+    r_check = Option.map Check.report chk;
   }
 
 let to_json r =
@@ -145,6 +154,9 @@ let to_json r =
     "  \"kbuf\": { \"allocs\": %d, \"frees\": %d, \"recycles\": %d, \
      \"peak_bytes\": %d },\n"
     r.r_kbuf_allocs r.r_kbuf_frees r.r_kbuf_recycles r.r_kbuf_peak_bytes;
+  (match r.r_check with
+  | None -> ()
+  | Some rep -> Printf.bprintf b "  \"machcheck\": %s,\n" (Check.to_json rep));
   Buffer.add_string b "  \"results\": [\n";
   List.iteri
     (fun i p ->

@@ -15,4 +15,5 @@ let () =
       ("properties", Test_properties.suite);
       ("edge-cases", Test_more.suite);
       ("faults", Test_faults.suite);
+      ("machcheck", Test_check.suite);
     ]

@@ -208,6 +208,90 @@ let malloc_no_overlap =
             blocks)
         blocks)
 
+(* --- machcheck: rights are conserved under random churn and faults -------- *)
+
+let rights_op_gen =
+  (* (op, port index, task index, name selector) *)
+  QCheck.(
+    quad (int_bound 5) (int_bound 3) (int_bound 1) (int_bound 7))
+
+let rights_conservation =
+  QCheck.Test.make
+    ~name:"machcheck shadow rights mirror the namespaces under churn" ~count:30
+    QCheck.(pair small_nat (list_of_size Gen.(5 -- 40) rights_op_gen))
+    (fun (seed, ops) ->
+      let k = Test_util.kernel_on () in
+      let sys = k.Mach.Kernel.sys in
+      let chk = Check.create () in
+      Mach.Sched.enable_checks sys chk;
+      (* seeded faults: drop a fifth of the echo traffic in transit so the
+         timeout/error paths churn reply ports too *)
+      let plan = Mach.Fault.create ~seed () in
+      Mach.Fault.set_rates plan ~port:"echo" ~drop_ppm:200_000 ();
+      sys.Mach.Sched.faults <- Some plan;
+      let owner = Mach.Kernel.task_create k ~name:"owner" () in
+      let ta = Mach.Kernel.task_create k ~name:"ta" () in
+      let tb = Mach.Kernel.task_create k ~name:"tb" () in
+      let tasks = [| ta; tb |] in
+      let ports =
+        Array.init 4 (fun i ->
+            Mach.Port.allocate sys ~receiver:owner
+              ~name:(Printf.sprintf "pool%d" i))
+      in
+      let srv = Mach.Kernel.task_create k ~name:"echo-srv" () in
+      let echo = Mach.Port.allocate sys ~receiver:srv ~name:"echo" in
+      ignore
+        (Mach.Kernel.thread_spawn k srv ~name:"echo" (fun () ->
+             Mach.Ipc.serve sys echo (fun _ -> Mach.Ktypes.simple_message ()))
+          : Mach.Ktypes.thread);
+      let pick_name (task : Mach.Ktypes.task) sel =
+        let names =
+          Hashtbl.fold (fun n _ acc -> n :: acc) task.Mach.Ktypes.namespace []
+          |> List.sort compare
+        in
+        match names with
+        | [] -> None
+        | l -> Some (List.nth l (sel mod List.length l))
+      in
+      Test_util.run_in_thread k (fun () ->
+          List.iter
+            (fun (op, pi, ti, sel) ->
+              let p = ports.(pi) and t = tasks.(ti) in
+              match op with
+              | 0 when not p.Mach.Ktypes.dead ->
+                  ignore (Mach.Port.insert_right sys t p Mach.Ktypes.Send_right : int)
+              | 1 when not p.Mach.Ktypes.dead ->
+                  ignore
+                    (Mach.Port.insert_right sys t p Mach.Ktypes.Send_once_right : int)
+              | 2 ->
+                  ignore
+                    (Mach.Port.move_right sys ~from:t ~into:tasks.(1 - ti) p
+                      : Mach.Ktypes.kern_return)
+              | 3 -> (
+                  match pick_name t sel with
+                  | Some name ->
+                      ignore
+                        (Mach.Port.deallocate_right sys t name
+                          : Mach.Ktypes.kern_return)
+                  | None -> ())
+              | 4 when not p.Mach.Ktypes.dead -> Mach.Port.destroy sys p
+              | _ ->
+                  ignore
+                    (Mach.Ipc.call sys echo ~deadline:20_000
+                       (Mach.Ktypes.simple_message ())))
+            ops);
+      Mach.Kernel.run k;
+      let rep = Check.report chk in
+      (* conservation: the shadow agrees with every namespace exactly, and
+         nothing was freed twice or weakened *)
+      List.for_all
+        (fun (t : Mach.Ktypes.task) ->
+          Mach.Mcheck.live_rights sys t
+          = Hashtbl.length t.Mach.Ktypes.namespace)
+        [ owner; ta; tb; srv ]
+      && rep.Check.rep_right_double_frees = 0
+      && rep.Check.rep_right_downgrades = 0)
+
 let suite =
   List.map qtest
     [
@@ -221,4 +305,5 @@ let suite =
       jfs_roundtrip;
       vm_residency_bounded;
       malloc_no_overlap;
+      rights_conservation;
     ]
