@@ -173,7 +173,8 @@ let machcheck () =
   let b = Buffer.create 512 in
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"experiment\": \"machcheck\",\n";
-  Buffer.add_string b "  \"schema_version\": 1,\n";
+  Buffer.add_string b "  \"schema_version\": 2,\n";
+  Printf.bprintf b "  \"run\": %s,\n" (Workloads.Run_meta.json ());
   Printf.bprintf b "  \"total_findings\": %d,\n" total;
   Buffer.add_string b "  \"workloads\": {\n";
   (match ipc.Workloads.Ipc_stress.r_check with
@@ -470,6 +471,45 @@ let experiments =
     ("nameservice", nameservice);
   ]
 
+(* --- smoke: tiny-iteration pass over the JSON writers ------------------------- *)
+
+(* Exercised by the [bench-smoke] dune alias under [dune runtest]: every
+   BENCH_*.json writer runs end to end at throwaway iteration counts, so
+   a broken experiment or malformed JSON fails CI without paying for a
+   full sweep.  The files land in dune's sandbox, not the repo copies. *)
+let smoke () =
+  hr "smoke: tiny-iteration pass over every BENCH_*.json writer";
+  let write name json =
+    let oc = open_out name in
+    output_string oc json;
+    close_out oc;
+    (match Workloads.Ipc_stress.Json.parse json with
+    | Ok _ -> ()
+    | Error e -> failwith (Printf.sprintf "%s: invalid JSON: %s" name e));
+    Printf.printf "wrote %s (%d bytes)\n" name (String.length json)
+  in
+  let ipc =
+    Workloads.Ipc_stress.run ~workers:1 ~iters:3 ~sizes:[ 0; 4096 ]
+      ~checks:true ()
+  in
+  write "BENCH_ipc.json" (Workloads.Ipc_stress.to_json ipc);
+  let flt =
+    Workloads.Fault_sweep.run ~clients:1 ~sessions:2 ~rates:[ 10_000 ]
+      ~checks:true ()
+  in
+  write "BENCH_faults.json" (Workloads.Fault_sweep.to_json flt);
+  let findings =
+    List.fold_left
+      (fun acc -> function
+        | Some rep -> acc + Check.total_findings rep
+        | None -> acc)
+      0
+      [ ipc.Workloads.Ipc_stress.r_check; flt.Workloads.Fault_sweep.r_check ]
+  in
+  Printf.printf "machcheck findings across smoke runs: %d (expected 0)\n"
+    findings;
+  if findings > 0 then exit 1
+
 (* host-time measurements of the experiment cores, one Bechamel test per
    table/figure *)
 let bechamel () =
@@ -509,6 +549,7 @@ let () =
   let args = Array.to_list Sys.argv in
   match args with
   | _ :: "--bechamel" :: _ -> bechamel ()
+  | _ :: "--smoke" :: _ -> smoke ()
   | _ :: name :: _ -> (
       match List.assoc_opt name experiments with
       | Some f -> f ()

@@ -28,6 +28,10 @@ type report = {
   rep_buf_shadowed : int;
   rep_buf_double_releases : int;
   rep_buf_use_after_release : int;
+  rep_remap_moves : int;
+  rep_double_moves : int;
+  rep_write_after_move : int;
+  rep_mapout_evictions : int;
   rep_findings : finding list;
 }
 
@@ -63,6 +67,12 @@ type t = {
   buf_live : (int * int, int) Hashtbl.t;
   buf_retired : (int * int, unit) Hashtbl.t;
   mutable buf_shadowed : int;
+  (* remap ownership: (space, task) -> ranges the task has moved out and
+     no longer owns; (space, page addr) -> pinned flag for cache pages
+     currently mapped out to another task *)
+  moved_out : (int * int, (int * int * string) list ref) Hashtbl.t;
+  mapped_out : (int * int, bool) Hashtbl.t;
+  mutable remap_moves : int;
   (* findings, newest first, plus per-kind counters *)
   mutable recorded : finding list;
   mutable n_double_free : int;
@@ -70,6 +80,9 @@ type t = {
   mutable n_cycle : int;
   mutable n_buf_double : int;
   mutable n_buf_uar : int;
+  mutable n_double_move : int;
+  mutable n_write_after_move : int;
+  mutable n_mapout_evict : int;
 }
 
 let create () =
@@ -86,12 +99,18 @@ let create () =
     buf_live = Hashtbl.create 64;
     buf_retired = Hashtbl.create 64;
     buf_shadowed = 0;
+    moved_out = Hashtbl.create 16;
+    mapped_out = Hashtbl.create 32;
+    remap_moves = 0;
     recorded = [];
     n_double_free = 0;
     n_downgrade = 0;
     n_cycle = 0;
     n_buf_double = 0;
     n_buf_uar = 0;
+    n_double_move = 0;
+    n_write_after_move = 0;
+    n_mapout_evict = 0;
   }
 
 let new_space t =
@@ -312,6 +331,87 @@ let buf_reset t ~space =
   purge t.buf_live;
   purge t.buf_retired
 
+(* --- remap-ownership sanitizer ------------------------------------------ *)
+
+(* remap_move transfers ownership of a page range: after the donation the
+   sender must treat the range as gone.  We shadow each task's moved-out
+   ranges and flag (a) moving a range that was already moved (double
+   move), (b) a write landing inside a moved-out range (write after
+   move), and (c) a cache page being evicted or reused while it is still
+   mapped out to a client without a pin (the file server's zero-copy
+   reply protocol requires the pin). *)
+
+let ranges_overlap a1 b1 a2 b2 = a1 < a2 + b2 && a2 < a1 + b1
+
+let remap_moved t ~space ~task ~tname ~addr ~bytes =
+  t.remap_moves <- t.remap_moves + 1;
+  let key = (space, task) in
+  let lst =
+    match Hashtbl.find_opt t.moved_out key with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace t.moved_out key r;
+        r
+  in
+  List.iter
+    (fun (a, b, _) ->
+      if ranges_overlap addr bytes a b then begin
+        t.n_double_move <- t.n_double_move + 1;
+        record t ~checker:"remap" ~kind:"double-move"
+          (Printf.sprintf
+             "task %s: range 0x%x+%d moved out again (overlaps moved-out \
+              0x%x+%d)"
+             tname addr bytes a b)
+      end)
+    !lst;
+  lst := (addr, bytes, tname) :: !lst
+
+let remap_write t ~space ~task ~addr ~bytes =
+  match Hashtbl.find_opt t.moved_out (space, task) with
+  | None -> ()
+  | Some lst ->
+      let hit, rest =
+        List.partition (fun (a, b, _) -> ranges_overlap addr bytes a b) !lst
+      in
+      List.iter
+        (fun (a, b, tname) ->
+          t.n_write_after_move <- t.n_write_after_move + 1;
+          record t ~checker:"remap" ~kind:"write-after-move"
+            (Printf.sprintf
+               "task %s: write to 0x%x+%d lands in range 0x%x+%d whose \
+                pages were donated by remap_move"
+               tname addr bytes a b))
+        hit;
+      (* report once, then re-arm: the range stays gone but we do not
+         repeat the finding for every subsequent access *)
+      lst := rest
+
+let remap_clear t ~space ~task ~addr ~bytes =
+  match Hashtbl.find_opt t.moved_out (space, task) with
+  | None -> ()
+  | Some lst ->
+      lst := List.filter (fun (a, b, _) -> not (ranges_overlap addr bytes a b)) !lst
+
+let cache_mapped_out t ~space ~addr ~pinned =
+  Hashtbl.replace t.mapped_out (space, addr) pinned
+
+let cache_unmapped t ~space ~addr =
+  Hashtbl.remove t.mapped_out (space, addr)
+
+let cache_reused t ~space ~addr ~tag =
+  match Hashtbl.find_opt t.mapped_out (space, addr) with
+  | None -> ()
+  | Some pinned ->
+      t.n_mapout_evict <- t.n_mapout_evict + 1;
+      record t ~checker:"remap" ~kind:"mapout-eviction"
+        (Printf.sprintf
+           "cache page 0x%x (%s) reused while still mapped out to a \
+            client%s"
+           addr tag
+           (if pinned then " despite its pin" else " without a pin"));
+      Hashtbl.remove t.mapped_out (space, addr)
+
 (* --- reporting ---------------------------------------------------------- *)
 
 let findings t = List.rev t.recorded
@@ -353,12 +453,17 @@ let report t =
     rep_buf_shadowed = t.buf_shadowed;
     rep_buf_double_releases = t.n_buf_double;
     rep_buf_use_after_release = t.n_buf_uar;
+    rep_remap_moves = t.remap_moves;
+    rep_double_moves = t.n_double_move;
+    rep_write_after_move = t.n_write_after_move;
+    rep_mapout_evictions = t.n_mapout_evict;
     rep_findings = findings t @ leaks;
   }
 
 let total_findings r =
   r.rep_leaked_rights + r.rep_right_double_frees + r.rep_right_downgrades
   + r.rep_wait_cycles + r.rep_buf_double_releases + r.rep_buf_use_after_release
+  + r.rep_double_moves + r.rep_write_after_move + r.rep_mapout_evictions
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -390,6 +495,10 @@ let to_json r =
   field "buffers_shadowed" r.rep_buf_shadowed;
   field "buf_double_releases" r.rep_buf_double_releases;
   field "buf_use_after_release" r.rep_buf_use_after_release;
+  field "remap_moves" r.rep_remap_moves;
+  field "double_moves" r.rep_double_moves;
+  field "write_after_move" r.rep_write_after_move;
+  field "mapout_evictions" r.rep_mapout_evictions;
   field "total_findings" (total_findings r);
   Buffer.add_string b "\"findings\": [";
   List.iteri
@@ -409,11 +518,15 @@ let pp_report ppf r =
      rights   : %d transitions, %d live, %d leaked, %d double-free, %d \
      downgrade, %d teardown-residual@,\
      deadlock : %d blocks tracked, %d wait-cycle(s)@,\
-     buffers  : %d shadowed, %d double-release, %d use-after-release@]"
+     buffers  : %d shadowed, %d double-release, %d use-after-release@,\
+     remap    : %d moves, %d double-move, %d write-after-move, %d \
+     mapout-eviction@]"
     r.rep_spaces (total_findings r) r.rep_right_transitions r.rep_live_rights
     r.rep_leaked_rights r.rep_right_double_frees r.rep_right_downgrades
     r.rep_teardown_residual r.rep_blocks_tracked r.rep_wait_cycles
-    r.rep_buf_shadowed r.rep_buf_double_releases r.rep_buf_use_after_release;
+    r.rep_buf_shadowed r.rep_buf_double_releases r.rep_buf_use_after_release
+    r.rep_remap_moves r.rep_double_moves r.rep_write_after_move
+    r.rep_mapout_evictions;
   if r.rep_findings <> [] then begin
     Format.fprintf ppf "@.";
     List.iter

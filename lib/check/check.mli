@@ -58,6 +58,11 @@ type report = {
   rep_buf_shadowed : int;  (* allocations observed *)
   rep_buf_double_releases : int;
   rep_buf_use_after_release : int;
+  (* remap-ownership sanitizer *)
+  rep_remap_moves : int;  (* remap_move donations observed *)
+  rep_double_moves : int;
+  rep_write_after_move : int;
+  rep_mapout_evictions : int;
   rep_findings : finding list;  (* oldest first; includes leak findings *)
 }
 
@@ -171,6 +176,38 @@ val buf_released : t -> space:int -> addr:int -> unit
 val buf_reset : t -> space:int -> unit
 (** The arena was recycled wholesale: all shadow state for the space is
     dropped (outstanding handles legitimately dangle afterwards). *)
+
+(* --- remap-ownership sanitizer ------------------------------------------ *)
+
+val remap_moved :
+  t -> space:int -> task:int -> tname:string -> addr:int -> bytes:int -> unit
+(** The task donated [addr, addr+bytes) to another task via remap_move
+    and no longer owns those pages.  Donating a range that overlaps one
+    already moved out is a "double-move" finding. *)
+
+val remap_write :
+  t -> space:int -> task:int -> addr:int -> bytes:int -> unit
+(** A write by the task touched [addr, addr+bytes); if it lands inside a
+    moved-out range, a "write-after-move" finding fires (once — the
+    offending range is then dropped so one bug is one finding). *)
+
+val remap_clear :
+  t -> space:int -> task:int -> addr:int -> bytes:int -> unit
+(** The range was legitimately reused (deallocated and re-allocated):
+    forget any moved-out state overlapping it. *)
+
+val cache_mapped_out : t -> space:int -> addr:int -> pinned:bool -> unit
+(** A cache page at [addr] is now mapped out to a client (the file
+    server's zero-copy reply path); [pinned] says whether the cache
+    holds a pin that should keep the page from being recycled. *)
+
+val cache_unmapped : t -> space:int -> addr:int -> unit
+(** The client unmapped the page and the cache may reuse it. *)
+
+val cache_reused : t -> space:int -> addr:int -> tag:string -> unit
+(** The cache recycled the page for other data.  If it was still mapped
+    out, a "mapout-eviction" finding fires — the client now reads bytes
+    that belong to someone else. *)
 
 (* --- reporting ---------------------------------------------------------- *)
 

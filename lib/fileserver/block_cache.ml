@@ -10,6 +10,20 @@ type slot = {
   mutable next : slot;
 }
 
+(* Pages the cache lends to zero-copy replies.  A read that goes out by
+   remap assembles whole blocks into a pool page and COW-maps that page
+   into the client instead of copying the bytes through a message.  A
+   pinned page is never handed out again until released; reusing an
+   unpinned page that is still mapped out is exactly the lifetime bug
+   Machcheck's remap sanitizer reports. *)
+type pool_slot = { mutable p_out : bool; mutable p_pinned : bool }
+
+type pool = {
+  pool_base : int;  (* base address in the owning task's map *)
+  pool_slots : pool_slot array;
+  mutable pool_next : int;  (* roving ring pointer, like the kbuf arena *)
+}
+
 type t = {
   kernel : Mach.Kernel.t;
   disk : Machine.Disk.t;
@@ -17,6 +31,7 @@ type t = {
   slots : (int, slot) Hashtbl.t;
   lru : slot;  (* sentinel: [lru.next] = most recent, [lru.prev] = victim *)
   buf_region : Machine.Layout.region;  (* cache memory, for data costing *)
+  mutable pool : pool option;
   mutable hits : int;
   mutable misses : int;
   mutable writebacks : int;
@@ -46,6 +61,7 @@ let create (kernel : Mach.Kernel.t) disk ?(capacity = 256) () =
     slots = Hashtbl.create (capacity * 2);
     lru = sentinel;
     buf_region;
+    pool = None;
     hits = 0;
     misses = 0;
     writebacks = 0;
@@ -183,3 +199,101 @@ let lru_block t =
 let hits t = t.hits
 let misses t = t.misses
 let writebacks t = t.writebacks
+
+(* --- mapout pool --------------------------------------------------------- *)
+
+let pool_pages = 16
+
+let map_pool t task =
+  match t.pool with
+  | Some _ -> ()
+  | None ->
+      let sys = t.kernel.Mach.Kernel.sys in
+      let base =
+        Mach.Vm.allocate sys task
+          ~bytes:(pool_pages * Mach.Ktypes.page_size) ()
+      in
+      t.pool <-
+        Some
+          {
+            pool_base = base;
+            pool_slots =
+              Array.init pool_pages (fun _ ->
+                  { p_out = false; p_pinned = false });
+            pool_next = 0;
+          }
+
+let pool_acquire t ~pages ~pin =
+  match t.pool with
+  | None -> None
+  | Some p ->
+      let n = Array.length p.pool_slots in
+      if pages <= 0 || pages > n then None
+      else begin
+        (* ring scan for [pages] consecutive slots, none pinned *)
+        let found = ref None in
+        let cursor = ref p.pool_next in
+        let tries = ref 0 in
+        while !found = None && !tries < n do
+          let s = !cursor mod n in
+          if s + pages <= n then begin
+            let ok = ref true in
+            for i = s to s + pages - 1 do
+              if p.pool_slots.(i).p_pinned then ok := false
+            done;
+            if !ok then found := Some s
+          end;
+          incr cursor;
+          incr tries
+        done;
+        match !found with
+        | None -> None  (* every candidate run holds a pinned page *)
+        | Some s ->
+            p.pool_next <- s + pages;
+            let sys = t.kernel.Mach.Kernel.sys in
+            let tag =
+              Printf.sprintf "block-cache:%s" (Machine.Disk.name t.disk)
+            in
+            for i = s to s + pages - 1 do
+              let slot = p.pool_slots.(i) in
+              let addr = p.pool_base + (i * Mach.Ktypes.page_size) in
+              if slot.p_out then
+                (* still mapped out from an earlier reply, but not pinned:
+                   the reuse the checker is there to catch *)
+                Mach.Mcheck.cache_reused sys ~addr ~tag;
+              slot.p_out <- true;
+              slot.p_pinned <- pin;
+              Mach.Mcheck.cache_mapped_out sys ~addr ~pinned:pin
+            done;
+            Some (p.pool_base + (s * Mach.Ktypes.page_size))
+      end
+
+let pool_fill t ~dst block =
+  let data = read t block in
+  Machine.execute t.kernel.Mach.Kernel.machine
+    [ Machine.Footprint.store ~addr:dst ~bytes:(block_size t) ];
+  data
+
+let pool_release t ~addr ~pages =
+  match t.pool with
+  | None -> ()
+  | Some p ->
+      let sys = t.kernel.Mach.Kernel.sys in
+      let first = (addr - p.pool_base) / Mach.Ktypes.page_size in
+      for i = first to first + pages - 1 do
+        if i >= 0 && i < Array.length p.pool_slots then begin
+          let slot = p.pool_slots.(i) in
+          slot.p_out <- false;
+          slot.p_pinned <- false;
+          Mach.Mcheck.cache_unmapped sys
+            ~addr:(p.pool_base + (i * Mach.Ktypes.page_size))
+        end
+      done
+
+let pool_pinned t =
+  match t.pool with
+  | None -> 0
+  | Some p ->
+      Array.fold_left
+        (fun acc s -> if s.p_pinned then acc + 1 else acc)
+        0 p.pool_slots

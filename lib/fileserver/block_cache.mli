@@ -29,3 +29,32 @@ val block_size : t -> int
 val hits : t -> int
 val misses : t -> int
 val writebacks : t -> int
+
+(** {2 Mapout pool}
+
+    A small ring of pages the cache lends to zero-copy replies: the file
+    server assembles whole blocks into a pool page and COW-remaps that
+    page into the client instead of copying the bytes through a message.
+    Pages acquired with [pin:true] stay off-limits until released;
+    acquiring over an unpinned page that is still mapped out reports a
+    mapout-eviction finding through Machcheck. *)
+
+val map_pool : t -> Mach.Ktypes.task -> unit
+(** Allocate and map the pool into [task]'s address space (idempotent;
+    the first caller wins). *)
+
+val pool_acquire : t -> pages:int -> pin:bool -> int option
+(** A run of [pages] consecutive pool pages, or [None] when the pool is
+    unmapped or every candidate run holds a pinned page (callers fall
+    back to the copy path). *)
+
+val pool_fill : t -> dst:int -> int -> bytes
+(** Read a block through the cache and charge the store that lands it at
+    pool address [dst]; returns the block contents. *)
+
+val pool_release : t -> addr:int -> pages:int -> unit
+(** Unpin and forget a mapped-out run (the reply's pages, once the
+    client is done with them). *)
+
+val pool_pinned : t -> int
+(** Currently pinned pool pages (observability for tests). *)

@@ -284,6 +284,35 @@ let read_data t (i : inode) ~off ~len =
   copy 0;
   out
 
+(* Zero-copy read: land whole blocks in cache pool pages so the file
+   server can COW-remap them into the client instead of copying the
+   bytes through the reply message.  The data still comes back as bytes
+   (the simulation's ground truth); the pool pages carry the cost. *)
+let read_paged t (i : inode) ~off ~len =
+  let page_size = Mach.Ktypes.page_size in
+  let len = max 0 (min len (i.i_size - off)) in
+  if len = 0 || off mod block_size <> 0 then None
+  else begin
+    let pages = (len + page_size - 1) / page_size in
+    match Block_cache.pool_acquire t.cache ~pages ~pin:true with
+    | None -> None  (* pool unmapped or exhausted: copy path *)
+    | Some base ->
+        let out = Bytes.make len '\000' in
+        let rec fill pos =
+          if pos < len then begin
+            let fpos = off + pos in
+            (match nth_block t i (fpos / block_size) with
+            | None -> ()  (* hole: the pool page is already zero *)
+            | Some block ->
+                let b = Block_cache.pool_fill t.cache ~dst:(base + pos) block in
+                Bytes.blit b 0 out pos (min block_size (len - pos)));
+            fill (pos + block_size)
+          end
+        in
+        fill 0;
+        Some (base, pages * page_size, out)
+  end
+
 let write_data t (i : inode) ~off data =
   let len = Bytes.length data in
   let needed = (off + len + block_size - 1) / block_size in
@@ -462,6 +491,15 @@ let ops t =
       (fun ino ~off ~len ->
         let* i = ensure_inode t ino ~want_dir:(Some false) in
         Ok (read_data t i ~off ~len));
+    pfs_map_pool = (fun task -> Block_cache.map_pool t.cache task);
+    pfs_read_paged =
+      (fun ino ~off ~len ->
+        let* i = ensure_inode t ino ~want_dir:(Some false) in
+        Ok (read_paged t i ~off ~len));
+    pfs_release_paged =
+      (fun ~addr ~bytes ->
+        Block_cache.pool_release t.cache ~addr
+          ~pages:(Mach.Ktypes.pages_of_bytes bytes));
     pfs_write =
       (fun ino ~off data ->
         let* i = ensure_inode t ino ~want_dir:(Some false) in

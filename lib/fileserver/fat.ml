@@ -447,6 +447,11 @@ and ops t =
         Ok (List.sort compare !acc));
     pfs_stat = (fun id -> stat_of t id);
     pfs_read = (fun id ~off ~len -> read_file t id ~off ~len);
+    (* FAT's cluster chains don't feed the zero-copy pool; readers fall
+       back to the copy path *)
+    pfs_map_pool = (fun _task -> ());
+    pfs_read_paged = (fun _id ~off:_ ~len:_ -> Ok None);
+    pfs_release_paged = (fun ~addr:_ ~bytes:_ -> ());
     pfs_write = (fun id ~off data -> write_file t id ~off data);
     pfs_truncate =
       (fun id ~len ->

@@ -7,6 +7,9 @@ type open_file = {
   of_id : file_id;
   mutable of_pos : int;
   mutable of_mapped : bool;
+  mutable of_zc : (int * int) option;
+      (* outstanding zero-copy reply: (pool addr, mapped bytes), pinned
+         until the next request on this handle or close *)
 }
 
 (* Client-side resilience policy: when set, stub calls go through
@@ -44,6 +47,8 @@ type payload +=
   | FS_seek of { s_handle : int; s_pos : int }
   | FS_path_op of { p_sem : Vfs.semantics; p_op : string; p_path : string; p_path2 : string }
   | FS_sync
+  | FS_read_zc of { rz_handle : int; rz_bytes : int }
+  | FS_write_zc of { wz_handle : int; wz_bytes : bytes }
   | FS_r_handle of int
   | FS_r_data of bytes
   | FS_r_len of int
@@ -61,6 +66,8 @@ let op_write = 14
 let op_seek = 15
 let op_path = 16
 let op_sync = 17
+let op_read_zc = 18
+let op_write_zc = 19
 
 let charge t ~offset ~bytes =
   Mach.Ktext.exec_in t.kernel.Mach.Kernel.ktext t.fs_task.text ~offset ~bytes
@@ -103,7 +110,7 @@ let do_open t sem path create =
           in
           Hashtbl.replace t.opens fport.port_id
             { of_port = fport; of_pfs = pfs; of_id = id; of_pos = 0;
-              of_mapped = false };
+              of_mapped = false; of_zc = None };
           FS_r_handle fport.port_id)
 
 let do_path_op t sem op path path2 =
@@ -132,6 +139,15 @@ let do_path_op t sem op path path2 =
       | Error e -> FS_r_err e)
   | _ -> FS_r_err (E_io ("unknown op " ^ op))
 
+(* Pool pages backing an earlier zero-copy reply stay pinned until the
+   next request on the handle proves the client is done with them. *)
+let release_zc f =
+  match f.of_zc with
+  | Some (addr, bytes) ->
+      f.of_zc <- None;
+      f.of_pfs.pfs_release_paged ~addr ~bytes
+  | None -> ()
+
 let handle t (msg : message) : message_builder =
   t.served <- t.served + 1;
   let reply ?(bytes = 32) payload =
@@ -144,6 +160,7 @@ let handle t (msg : message) : message_builder =
       charge_open_table t;
       match handle_lookup t h with
       | Ok f ->
+          release_zc f;
           Hashtbl.remove t.opens h;
           Mach.Port.destroy t.kernel.Mach.Kernel.sys f.of_port;
           reply FS_r_unit
@@ -199,6 +216,55 @@ let handle t (msg : message) : message_builder =
           f.of_pos <- max 0 s_pos;
           reply FS_r_unit
       | Error e -> reply (FS_r_err e))
+  | FS_read_zc { rz_handle; rz_bytes } -> (
+      charge_open_table t;
+      match handle_lookup t rz_handle with
+      | Error e -> reply (FS_r_err e)
+      | Ok f -> (
+          release_zc f;
+          f.of_pfs.pfs_map_pool t.fs_task;
+          match
+            f.of_pfs.pfs_read_paged f.of_id ~off:f.of_pos ~len:rz_bytes
+          with
+          | Ok (Some (addr, map_bytes, data)) ->
+              f.of_pos <- f.of_pos + Bytes.length data;
+              f.of_zc <- Some (addr, map_bytes);
+              (* the bytes ride out by COW remap of the pool pages; only
+                 the 32-byte header is copied through the message *)
+              simple_message ~op:msg.msg_op ~inline_bytes:32
+                ~payload:(FS_r_data data)
+                ~ool_vec:[ (addr, map_bytes, Cow) ]
+                ()
+          | Ok None -> (
+              (* pool exhausted or unaligned position: copy path *)
+              match f.of_pfs.pfs_read f.of_id ~off:f.of_pos ~len:rz_bytes with
+              | Ok data ->
+                  f.of_pos <- f.of_pos + Bytes.length data;
+                  reply ~bytes:(Bytes.length data + 32) (FS_r_data data)
+              | Error e -> reply (FS_r_err e))
+          | Error e -> reply (FS_r_err e)))
+  | FS_write_zc { wz_handle; wz_bytes } ->
+      charge_open_table t;
+      (* the client's pages arrived by remap-move (no copy); [wz_bytes]
+         carries the same contents for the simulation's ground truth *)
+      let result =
+        match handle_lookup t wz_handle with
+        | Error e -> FS_r_err e
+        | Ok f -> (
+            release_zc f;
+            match f.of_pfs.pfs_write f.of_id ~off:f.of_pos wz_bytes with
+            | Ok n ->
+                f.of_pos <- f.of_pos + n;
+                FS_r_len n
+            | Error e -> FS_r_err e)
+      in
+      let sys = t.kernel.Mach.Kernel.sys in
+      List.iter
+        (fun r ->
+          if r.ool_mode = Move then
+            Mach.Vm.deallocate sys t.fs_task ~addr:r.ool_addr)
+        msg.msg_ool;
+      reply result
   | FS_path_op { p_sem; p_op; p_path; p_path2 } ->
       reply (do_path_op t p_sem p_op p_path p_path2)
   | FS_sync ->
@@ -336,18 +402,18 @@ let mapped_pageouts t = t.m_pageouts
 module Client = struct
   type handle = int
 
-  let rpc t ~op ~bytes payload =
+  let rpc_msg t ~op ~bytes ?(ool_vec = []) payload =
     let sys = t.kernel.Mach.Kernel.sys in
-    let mb = simple_message ~op ~inline_bytes:bytes ~payload () in
-    let result =
-      match t.fs_retry with
-      | None -> Mach.Rpc.call sys t.fs_port mb
-      | Some r ->
-          Mach.Rpc.call_retry sys ~attempts:r.rt_attempts
-            ~deadline:r.rt_deadline ~backoff:r.rt_backoff
-            ~resolve:r.rt_resolve mb
-    in
-    match result with
+    let mb = simple_message ~op ~inline_bytes:bytes ~payload ~ool_vec () in
+    match t.fs_retry with
+    | None -> Mach.Rpc.call sys t.fs_port mb
+    | Some r ->
+        Mach.Rpc.call_retry sys ~attempts:r.rt_attempts
+          ~deadline:r.rt_deadline ~backoff:r.rt_backoff
+          ~resolve:r.rt_resolve mb
+
+  let rpc t ~op ~bytes ?ool_vec payload =
+    match rpc_msg t ~op ~bytes ?ool_vec payload with
     | Ok reply -> reply.msg_payload
     | Error err -> FS_r_err (E_io (kern_return_to_string err))
 
@@ -370,6 +436,55 @@ module Client = struct
     | FS_r_data data -> Ok data
     | FS_r_err e -> Error e
     | _ -> Error (E_io "bad reply")
+
+  (* Zero-copy read: the reply's data pages arrive by COW remap instead
+     of an inline copy.  The client reads them where they landed (the
+     faults break the sharing page by page) and then drops the mapping,
+     which lets the server unpin the pool pages on the next request. *)
+  let read_zc t h ~bytes =
+    match
+      rpc_msg t ~op:op_read_zc ~bytes:40
+        (FS_read_zc { rz_handle = h; rz_bytes = bytes })
+    with
+    | Error err -> Error (E_io (kern_return_to_string err))
+    | Ok reply -> (
+        match reply.msg_payload with
+        | FS_r_data data ->
+            let sys = t.kernel.Mach.Kernel.sys in
+            let task = (Mach.Sched.self ()).t_task in
+            List.iter
+              (fun r ->
+                if not r.ool_copied then begin
+                  Mach.Vm.touch sys task ~addr:r.ool_addr ~bytes:r.ool_bytes ();
+                  Mach.Vm.deallocate sys task ~addr:r.ool_addr
+                end)
+              reply.msg_ool;
+            Ok data
+        | FS_r_err e -> Error e
+        | _ -> Error (E_io "bad reply"))
+
+  (* Zero-copy write: fill a fresh page-aligned buffer and donate it to
+     the server by remap-move.  The donated range becomes zero-fill in
+     this task, so it is dropped rather than reused. *)
+  let write_zc t h data =
+    let sys = t.kernel.Mach.Kernel.sys in
+    let task = (Mach.Sched.self ()).t_task in
+    let len = Bytes.length data in
+    let map_bytes = max page_size (pages_of_bytes len * page_size) in
+    let buf = Mach.Vm.allocate sys task ~bytes:map_bytes () in
+    Mach.Vm.touch sys task ~addr:buf ~write:true ~bytes:len ();
+    let result =
+      match
+        rpc t ~op:op_write_zc ~bytes:72
+          ~ool_vec:[ (buf, map_bytes, Move) ]
+          (FS_write_zc { wz_handle = h; wz_bytes = data })
+      with
+      | FS_r_len n -> Ok n
+      | FS_r_err e -> Error e
+      | _ -> Error (E_io "bad reply")
+    in
+    Mach.Vm.deallocate sys task ~addr:buf;
+    result
 
   let read_mapped t h ~bytes =
     match

@@ -73,6 +73,18 @@ module Client : sig
       into the client (one map operation); subsequent reads avoid the
       data copy.  Returns bytes made available. *)
 
+  val read_zc : t -> handle -> bytes:int -> (bytes, fs_error) result
+  (** Zero-copy read: the server assembles whole blocks into block-cache
+      pool pages and the reply COW-remaps those pages into the client —
+      the data never crosses the message as a copy.  The pool pages stay
+      pinned until the next request on the handle (or close).  Falls
+      back to the copying path when the position is unaligned, the pool
+      is exhausted, or the format cannot serve it. *)
+
+  val write_zc : t -> handle -> bytes -> (int, fs_error) result
+  (** Zero-copy write: the data is staged in a fresh page-aligned buffer
+      which the request donates to the server by remap-move. *)
+
   val write : t -> handle -> bytes -> (int, fs_error) result
   val seek : t -> handle -> pos:int -> unit
   val stat : t -> Vfs.semantics -> path:string -> (stat, fs_error) result

@@ -59,6 +59,16 @@ type pfs = {
   pfs_readdir : dir:file_id -> (string list, fs_error) result;
   pfs_stat : file_id -> (stat, fs_error) result;
   pfs_read : file_id -> off:int -> len:int -> (bytes, fs_error) result;
+  (* Zero-copy read path: assemble whole blocks into mapped-out cache
+     pool pages and return [(pool_addr, map_bytes, data)], where
+     [map_bytes] is the page-rounded extent to remap into the client.
+     [Ok None] means the format (or the pool) cannot serve the request
+     zero-copy and the caller should fall back to [pfs_read]. *)
+  pfs_map_pool : Mach.Ktypes.task -> unit;
+  pfs_read_paged :
+    file_id -> off:int -> len:int ->
+    ((int * int * bytes) option, fs_error) result;
+  pfs_release_paged : addr:int -> bytes:int -> unit;
   pfs_write : file_id -> off:int -> bytes -> (int, fs_error) result;
   pfs_truncate : file_id -> len:int -> (unit, fs_error) result;
   pfs_rename :

@@ -78,7 +78,9 @@ let send (sys : Sched.t) port ?reply_to (mb : message_builder) =
         msg_reply_to = reply_to;
         msg_ool =
           List.map
-            (fun (addr, bytes) -> { ool_addr = addr; ool_bytes = bytes; ool_copied = false })
+            (fun (addr, bytes, mode) ->
+              { ool_addr = addr; ool_bytes = bytes; ool_mode = mode;
+                ool_copied = false })
             mb.mb_ool;
         msg_rights = mb.mb_rights;
         msg_kbuf = kbuf;
@@ -194,7 +196,9 @@ let receive (sys : Sched.t) port =
           Ktext.exec1 k ~frame (Ktext.right_transfer k);
           ignore (Port.insert_right sys receiver p r : int))
         msg.msg_rights;
-      (* out-of-line data arrives as a lazy copy-on-write mapping *)
+      (* out-of-line data: [Copy] arrives as the classic lazy
+         copy-on-write mapping; [Move]/[Cow] take the zero-copy remap
+         path (per map entry plus a shootdown, never per page) *)
       let msg =
         match msg.msg_sender with
         | Some sender when msg.msg_ool <> [] ->
@@ -202,8 +206,16 @@ let receive (sys : Sched.t) port =
               List.map
                 (fun r ->
                   let addr =
-                    Vm.virtual_copy sys ~src_task:sender ~addr:r.ool_addr
-                      ~bytes:r.ool_bytes ~dst_task:receiver
+                    match r.ool_mode with
+                    | Copy ->
+                        Vm.virtual_copy sys ~src_task:sender ~addr:r.ool_addr
+                          ~bytes:r.ool_bytes ~dst_task:receiver
+                    | Move ->
+                        Vm.remap_move sys ~src_task:sender ~addr:r.ool_addr
+                          ~bytes:r.ool_bytes ~dst_task:receiver
+                    | Cow ->
+                        Vm.remap_cow sys ~src_task:sender ~addr:r.ool_addr
+                          ~bytes:r.ool_bytes ~dst_task:receiver
                   in
                   { r with ool_addr = addr })
                 msg.msg_ool

@@ -14,6 +14,7 @@ type buffer_stats = {
   bs_allocs : int;
   bs_frees : int;
   bs_recycles : int;
+  bs_resets : int;
   bs_in_use_bytes : int;
   bs_peak_bytes : int;
   bs_capacity_bytes : int;
@@ -32,9 +33,15 @@ type t = {
   mutable buf_free : (int * int) list;
   mutable buf_next : int;
   buf_live : (int, int) Hashtbl.t;
+  (* size-class quick lists: freed small buffers parked by rounded size
+     for LIFO reuse, the way kalloc front-ends the VM allocator.  A hit
+     here is a recycle; the extents only see small frees when the quick
+     lists are flushed under pressure. *)
+  buf_quick : (int, int list ref) Hashtbl.t;
   mutable buf_allocs : int;
   mutable buf_frees : int;
   mutable buf_recycles : int;
+  mutable buf_resets : int;
   mutable buf_in_use : int;
   mutable buf_peak : int;
   (* Machcheck attachment: the buffer-lifetime sanitizer mirrors this
@@ -59,9 +66,11 @@ let create (m : Machine.t) =
     buf_free = [ (0, buffers.Machine.Layout.size) ];
     buf_next = 0;
     buf_live = Hashtbl.create 64;
+    buf_quick = Hashtbl.create 16;
     buf_allocs = 0;
     buf_frees = 0;
     buf_recycles = 0;
+    buf_resets = 0;
     buf_in_use = 0;
     buf_peak = 0;
     kt_checks = (match Check.installed () with Some c -> Some c | None -> None);
@@ -163,6 +172,16 @@ let c_vm_map_enter =
 
 let c_vm_page_insert =
   chunk ~offset:0x3a00 ~bytes:256 ~stores:[ (Kdata 0x680, 32) ] ()
+
+(* Zero-copy remap: clip/split the source map entry, enter the object
+   into the destination map, adjust protections.  Charged once per map
+   entry regardless of how many bytes it covers — that independence from
+   byte count is the whole point of the remap path (the per-page cost is
+   the TLB shootdown the caller charges at the machine layer). *)
+let c_vm_remap_entry =
+  chunk ~offset:0x3c00 ~bytes:480
+    ~loads:[ (Kdata 0x600, 64); (Kdata 0x680, 32) ]
+    ~stores:[ (Kdata 0x640, 64) ] ()
 
 let c_pageout =
   chunk ~offset:0x3e00 ~bytes:640
@@ -347,22 +366,35 @@ let copy t ~src ~dst ~bytes =
   end
 
 (* --- Kernel message buffers -------------------------------------------- *)
-(* First-fit free-list allocator over the 64 KB [kernel.msg-buffers]
-   region, 32-byte granules.  Every handed-out buffer satisfies
-   [base <= addr && addr + bytes <= base + size]; freeing coalesces with
-   both neighbours.  If the region is genuinely exhausted (callers
-   leaked, or sustained queueing outran receives) the arena is recycled
-   wholesale — outstanding buffers alias from then on, which only
-   perturbs cache costing, never correctness — and the event is
-   counted so benchmarks can assert it never happens under normal
-   load. *)
+(* Two-level allocator over the 64 KB [kernel.msg-buffers] region,
+   32-byte granules.  Small frees park on per-size quick lists and are
+   handed back LIFO (a recycle); everything else lives in a sorted,
+   coalescing extent list served next-fit.  Every handed-out buffer
+   satisfies [base <= addr && addr + bytes <= base + size].  Under
+   pressure the quick lists are flushed back into the extents; if the
+   region is still genuinely exhausted (callers leaked, or sustained
+   queueing outran receives) the arena is reset wholesale — outstanding
+   buffers alias from then on, which only perturbs cache costing, never
+   correctness — and the reset is counted so benchmarks can assert it
+   never happens under normal load. *)
 
 let granule = 32
+
+(* Frees at or below this size park on a size-class quick list for LIFO
+   reuse instead of going straight back into the extents — the analogue
+   of Mach's kmsg zone, which serves small messages from a per-size zone
+   and sends large ones to the general allocator.  Message-sized buffers
+   dominate IPC traffic, so almost every alloc after warm-up is a
+   quick-list hit — counted as a recycle.  Larger buffers (bulk-data
+   bounces) keep the roving next-fit behaviour and stay cold in the
+   D-cache, as a hardware buffer ring behaves. *)
+let quick_max = 512
 
 let buffer_reset t =
   t.buf_free <- [ (0, t.buffers.Machine.Layout.size) ];
   t.buf_next <- 0;
   Hashtbl.reset t.buf_live;
+  Hashtbl.reset t.buf_quick;
   t.buf_in_use <- 0;
   match t.kt_checks with
   | None -> ()
@@ -390,31 +422,72 @@ let alloc_from t ~need ~from =
   in
   go [] t.buf_free
 
+(* Coalescing insertion into the sorted extent list. *)
+let insert_extent free ~off ~size =
+  let rec insert = function
+    | [] -> [ (off, size) ]
+    | (o, s) :: rest when off + size < o -> (off, size) :: (o, s) :: rest
+    | (o, s) :: rest when off + size = o -> (off, size + s) :: rest
+    | (o, s) :: rest when o + s = off -> (
+        match rest with
+        | (o2, s2) :: rest' when off + size = o2 -> (o, s + size + s2) :: rest'
+        | _ -> (o, s + size) :: rest)
+    | extent :: rest -> extent :: insert rest
+  in
+  insert free
+
+(* Return every parked quick-list buffer to the extents (coalescing), so
+   a large request can claim space the size classes were hoarding. *)
+let flush_quick t =
+  let any = Hashtbl.length t.buf_quick > 0 in
+  Hashtbl.iter
+    (fun size offs ->
+      List.iter
+        (fun off -> t.buf_free <- insert_extent t.buf_free ~off ~size)
+        !offs)
+    t.buf_quick;
+  Hashtbl.reset t.buf_quick;
+  any
+
+let finish_alloc t ~off ~need ~recycled =
+  let addr = t.buffers.Machine.Layout.base + off in
+  Hashtbl.replace t.buf_live addr need;
+  t.buf_allocs <- t.buf_allocs + 1;
+  if recycled then t.buf_recycles <- t.buf_recycles + 1;
+  t.buf_in_use <- t.buf_in_use + need;
+  if t.buf_in_use > t.buf_peak then t.buf_peak <- t.buf_in_use;
+  (match t.kt_checks with
+  | None -> ()
+  | Some c -> Check.buf_allocated c ~space:t.kt_space ~addr ~bytes:need);
+  addr
+
 let rec buffer_alloc t ~bytes =
   let size = t.buffers.Machine.Layout.size in
   let need = min ((max granule bytes + granule - 1) / granule * granule) size in
-  let found =
-    match alloc_from t ~need ~from:t.buf_next with
-    | Some _ as r -> r
-    | None -> alloc_from t ~need ~from:0  (* wrap *)
-  in
-  match found with
-  | Some (off, free') ->
-      t.buf_free <- free';
-      t.buf_next <- off + need;
-      let addr = t.buffers.Machine.Layout.base + off in
-      Hashtbl.replace t.buf_live addr need;
-      t.buf_allocs <- t.buf_allocs + 1;
-      t.buf_in_use <- t.buf_in_use + need;
-      if t.buf_in_use > t.buf_peak then t.buf_peak <- t.buf_in_use;
-      (match t.kt_checks with
-      | None -> ()
-      | Some c -> Check.buf_allocated c ~space:t.kt_space ~addr ~bytes:need);
-      addr
-  | None ->
-      t.buf_recycles <- t.buf_recycles + 1;
-      buffer_reset t;
-      buffer_alloc t ~bytes
+  match Hashtbl.find_opt t.buf_quick need with
+  | Some ({ contents = off :: rest } as offs) ->
+      (* size-class hit: LIFO reuse of the most recently freed buffer *)
+      offs := rest;
+      if rest = [] then Hashtbl.remove t.buf_quick need;
+      finish_alloc t ~off ~need ~recycled:true
+  | _ -> (
+      let found =
+        match alloc_from t ~need ~from:t.buf_next with
+        | Some _ as r -> r
+        | None -> alloc_from t ~need ~from:0  (* wrap *)
+      in
+      match found with
+      | Some (off, free') ->
+          t.buf_free <- free';
+          t.buf_next <- off + need;
+          finish_alloc t ~off ~need ~recycled:false
+      | None ->
+          if flush_quick t then buffer_alloc t ~bytes
+          else begin
+            t.buf_resets <- t.buf_resets + 1;
+            buffer_reset t;
+            buffer_alloc t ~bytes
+          end)
 
 let buffer_use t addr =
   (* A kernel path is about to read or write [addr]: let the sanitizer
@@ -428,29 +501,25 @@ let buffer_free t addr =
   | None -> ()
   | Some c -> Check.buf_released c ~space:t.kt_space ~addr);
   match Hashtbl.find_opt t.buf_live addr with
-  | None -> ()  (* stale handle from before a recycle, or never allocated *)
+  | None -> ()  (* stale handle from before a reset, or never allocated *)
   | Some size ->
       Hashtbl.remove t.buf_live addr;
       t.buf_frees <- t.buf_frees + 1;
       t.buf_in_use <- t.buf_in_use - size;
       let off = addr - t.buffers.Machine.Layout.base in
-      let rec insert = function
-        | [] -> [ (off, size) ]
-        | (o, s) :: rest when off + size < o -> (off, size) :: (o, s) :: rest
-        | (o, s) :: rest when off + size = o -> (off, size + s) :: rest
-        | (o, s) :: rest when o + s = off -> (
-            match rest with
-            | (o2, s2) :: rest' when off + size = o2 -> (o, s + size + s2) :: rest'
-            | _ -> (o, s + size) :: rest)
-        | extent :: rest -> extent :: insert rest
-      in
-      t.buf_free <- insert t.buf_free
+      if size <= quick_max then begin
+        match Hashtbl.find_opt t.buf_quick size with
+        | Some offs -> offs := off :: !offs
+        | None -> Hashtbl.replace t.buf_quick size (ref [ off ])
+      end
+      else t.buf_free <- insert_extent t.buf_free ~off ~size
 
 let buffer_stats t =
   {
     bs_allocs = t.buf_allocs;
     bs_frees = t.buf_frees;
     bs_recycles = t.buf_recycles;
+    bs_resets = t.buf_resets;
     bs_in_use_bytes = t.buf_in_use;
     bs_peak_bytes = t.buf_peak;
     bs_capacity_bytes = t.buffers.Machine.Layout.size;
@@ -492,6 +561,7 @@ let context_switch _ = c_context_switch
 let pmap_switch _ = c_pmap_switch
 let vm_fault_path _ = c_vm_fault
 let vm_map_enter _ = c_vm_map_enter
+let vm_remap_entry _ = c_vm_remap_entry
 let vm_page_insert _ = c_vm_page_insert
 let pageout_path _ = c_pageout
 let irq_entry _ = c_irq_entry

@@ -51,10 +51,12 @@ val copy : t -> src:int -> dst:int -> bytes:int -> unit
 
 val buffer_alloc : t -> bytes:int -> int
 (** Reserve a kernel message buffer from the [kernel.msg-buffers] free
-    list (next-fit over 32-byte granules, so transient buffers cycle
-    through the region the way a hardware buffer ring does).  The
-    returned address plus [bytes] never exceeds the region; exhaustion
-    recycles the arena and is counted in {!buffer_stats}. *)
+    list.  Small sizes are served LIFO from per-size quick lists (each
+    hit counts as a recycle in {!buffer_stats}); other requests fall
+    back to next-fit over 32-byte granule extents.  The returned address
+    plus [bytes] never exceeds the region; true exhaustion flushes the
+    quick lists and, as a last resort, resets the arena (counted as a
+    reset in {!buffer_stats}). *)
 
 val buffer_free : t -> int -> unit
 (** Return a buffer to the free list (coalescing with neighbours).
@@ -75,7 +77,8 @@ val set_checks : t -> Check.t -> unit
 type buffer_stats = {
   bs_allocs : int;
   bs_frees : int;
-  bs_recycles : int;  (** whole-arena resets forced by exhaustion *)
+  bs_recycles : int;  (** allocations served by reusing a freed buffer *)
+  bs_resets : int;  (** whole-arena resets forced by exhaustion *)
   bs_in_use_bytes : int;
   bs_peak_bytes : int;
   bs_capacity_bytes : int;
@@ -141,6 +144,12 @@ val context_switch : t -> chunk
 val pmap_switch : t -> chunk
 val vm_fault_path : t -> chunk
 val vm_map_enter : t -> chunk
+
+val vm_remap_entry : t -> chunk
+(** Per-map-entry cost of the zero-copy remap path (clip/split source
+    entry, enter into the destination map, adjust protections) — charged
+    once per region regardless of byte count. *)
+
 val vm_page_insert : t -> chunk
 val pageout_path : t -> chunk
 val irq_entry : t -> chunk

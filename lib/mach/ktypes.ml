@@ -133,9 +133,17 @@ and message = {
   msg_sender : task option;  (* for out-of-line mapping at receive time *)
 }
 
+(* How an out-of-line region crosses the task boundary.  [Copy] is the
+   rework's physical copy (per-byte cost); [Move] donates the sender's
+   pages to the receiver, leaving the sender zero-filled; [Cow] maps the
+   pages into the receiver copy-on-write.  Move/Cow are charged per map
+   entry plus a TLB shootdown, never per byte. *)
+and ool_mode = Copy | Move | Cow
+
 and ool_region = {
   ool_addr : int;
   ool_bytes : int;
+  ool_mode : ool_mode;
   mutable ool_copied : bool;  (* physical copy already materialised *)
 }
 
@@ -158,7 +166,7 @@ and vm_map = {
 and vm_entry = {
   ent_start : int;
   ent_size : int;
-  ent_obj : vm_object;
+  mutable ent_obj : vm_object;  (* remap/freeze may redirect the entry *)
   ent_offset : int;  (* offset of entry start within the object *)
   mutable ent_prot : protection;
   mutable ent_cow : bool;  (* writes must copy into a private page *)
@@ -173,6 +181,9 @@ and vm_object = {
   mutable obj_backing : backing_store option;
   mutable obj_shadow_of : vm_object option;  (* COW source *)
   mutable obj_tag : string;  (* diagnostic: who owns this memory *)
+  mutable obj_unmap_hook : (unit -> unit) option;
+      (* run when the last mapping of this object is torn down; the file
+         server uses it to unpin cache pages it has mapped out *)
 }
 
 and page = {
@@ -180,6 +191,10 @@ and page = {
   mutable pg_dirty : bool;
   mutable pg_wired : bool;
   mutable pg_written_back : bool;  (* has ever been paged out *)
+  mutable pg_stamp : int;
+      (* abstract page contents: the simulator carries no real bytes, so
+         transfer correctness (COW breaks, move-leaves-zero) is asserted
+         over this one-word summary.  0 = zero-filled. *)
 }
 
 and backing_store = {
@@ -195,21 +210,29 @@ type message_builder = {
   mb_inline_bytes : int;
   mb_inline_src : int option;  (* sender buffer address, for copy costing *)
   mb_payload : payload;
-  mb_ool : (int * int) list;  (* (addr, bytes) *)
+  mb_ool : (int * int * ool_mode) list;  (* (addr, bytes, mode) vector *)
   mb_rights : (port * right) list;
 }
 
 let simple_message ?(op = 0) ?(inline_bytes = 0) ?inline_src
-    ?(payload = P_unit) ?(ool = []) ?(rights = []) () =
+    ?(payload = P_unit) ?(ool = []) ?(ool_vec = []) ?(rights = []) () =
   {
     mb_op = op;
     mb_inline_bytes = inline_bytes;
     mb_inline_src = inline_src;
     mb_payload = payload;
-    mb_ool = ool;
+    mb_ool = List.map (fun (a, b) -> (a, b, Copy)) ool @ ool_vec;
     mb_rights = rights;
   }
 
 let page_size = 4096
 let page_of_addr addr = addr / page_size
 let pages_of_bytes bytes = (bytes + page_size - 1) / page_size
+
+(* Payloads at or above this size, when page-aligned, are worth moving
+   by remap instead of physical copy; below it the map manipulation and
+   shootdown cost more than the copy loop. *)
+let remap_threshold = page_size
+
+let page_aligned ~addr ~bytes =
+  addr mod page_size = 0 && bytes mod page_size = 0 && bytes > 0

@@ -88,3 +88,27 @@ let released sys ~res = on sys (fun c space -> Check.released c ~space ~res)
 
 let buf_use (sys : Sched.t) addr =
   if addr <> 0 then Ktext.buffer_use sys.ktext addr
+
+(* --- remap-ownership sanitizer ------------------------------------------ *)
+
+let remap_moved sys (task : task) ~addr ~bytes =
+  on sys (fun c space ->
+      Check.remap_moved c ~space ~task:task.task_id ~tname:task.task_name
+        ~addr ~bytes)
+
+let remap_write sys (task : task) ~addr ~bytes =
+  on sys (fun c space ->
+      Check.remap_write c ~space ~task:task.task_id ~addr ~bytes)
+
+let remap_clear sys (task : task) ~addr ~bytes =
+  on sys (fun c space ->
+      Check.remap_clear c ~space ~task:task.task_id ~addr ~bytes)
+
+let cache_mapped_out sys ~addr ~pinned =
+  on sys (fun c space -> Check.cache_mapped_out c ~space ~addr ~pinned)
+
+let cache_unmapped sys ~addr =
+  on sys (fun c space -> Check.cache_unmapped c ~space ~addr)
+
+let cache_reused sys ~addr ~tag =
+  on sys (fun c space -> Check.cache_reused c ~space ~addr ~tag)

@@ -43,18 +43,46 @@ let remove_pending port rx =
   Queue.clear port.pending_calls;
   Queue.transfer keep port.pending_calls
 
+(* Page-aligned payloads at or above the threshold are cheaper to remap
+   than to copy; a [Copy] request silently upgrades to [Cow] (never
+   [Move] — the caller may still own the buffer).  Explicit modes are
+   honoured as given. *)
+let select_mode (addr, bytes, mode) =
+  match mode with
+  | Copy when page_aligned ~addr ~bytes && bytes >= remap_threshold ->
+      (addr, bytes, Cow)
+  | _ -> (addr, bytes, mode)
+
+(* Transfer one out-of-line region and return the receiver's view of it.
+   [Copy] is the rework's physical copy (per-byte, lands in the
+   receiver's scratch buffer); [Move]/[Cow] remap pages and rewrite the
+   region address to where they appeared in the receiver's map. *)
+let transfer_ool (sys : Sched.t) ~src_task ~dst_task (addr, bytes, mode) =
+  match mode with
+  | Copy ->
+      Ktext.copy sys.Sched.ktext ~src:addr ~dst:(default_buf dst_task) ~bytes;
+      { ool_addr = addr; ool_bytes = bytes; ool_mode = Copy; ool_copied = true }
+  | Move ->
+      let dst = Vm.remap_move sys ~src_task ~addr ~bytes ~dst_task in
+      { ool_addr = dst; ool_bytes = bytes; ool_mode = Move; ool_copied = true }
+  | Cow ->
+      let dst = Vm.remap_cow sys ~src_task ~addr ~bytes ~dst_task in
+      { ool_addr = dst; ool_bytes = bytes; ool_mode = Cow; ool_copied = false }
+
 let copy_request (sys : Sched.t) port client (mb : message_builder) =
   let k = sys.ktext in
   match port.receiver with
   | Some server_task ->
       let src = Option.value ~default:(default_buf client) mb.mb_inline_src in
       Ktext.copy k ~src ~dst:(default_buf server_task) ~bytes:mb.mb_inline_bytes;
-      (* by-reference large data: one physical copy, sender to receiver *)
-      List.iter
-        (fun (addr, bytes) ->
-          Ktext.copy k ~src:addr ~dst:(default_buf server_task) ~bytes)
+      (* by-reference large data: one physical copy — or, when the region
+         qualifies, a zero-copy remap — sender to receiver *)
+      List.map
+        (fun r ->
+          transfer_ool sys ~src_task:client ~dst_task:server_task
+            (select_mode r))
         mb.mb_ool
-  | None -> ()
+  | None -> []
 
 let call (sys : Sched.t) port ?reply_bytes:_ ?deadline (mb : message_builder) =
   let th = Sched.self () in
@@ -71,7 +99,7 @@ let call (sys : Sched.t) port ?reply_bytes:_ ?deadline (mb : message_builder) =
     Error Kern_port_dead
   end
   else begin
-    copy_request sys port client mb;
+    let ool = copy_request sys port client mb in
     List.iter
       (fun (_r : port * right) -> Ktext.exec1 k ~frame (Ktext.cap_translate k))
       mb.mb_rights;
@@ -81,11 +109,7 @@ let call (sys : Sched.t) port ?reply_bytes:_ ?deadline (mb : message_builder) =
         msg_inline_bytes = mb.mb_inline_bytes;
         msg_payload = mb.mb_payload;
         msg_reply_to = None;
-        msg_ool =
-          List.map
-            (fun (addr, bytes) ->
-              { ool_addr = addr; ool_bytes = bytes; ool_copied = true })
-            mb.mb_ool;
+        msg_ool = ool;
         msg_rights = mb.mb_rights;
         msg_kbuf = 0;
         msg_sender = Some client;
@@ -241,6 +265,14 @@ let finish_reply (sys : Sched.t) rx (mb : message_builder) server =
   let client = rx.rx_client.t_task in
   let src = Option.value ~default:(default_buf server) mb.mb_inline_src in
   Ktext.copy k ~src ~dst:(default_buf client) ~bytes:mb.mb_inline_bytes;
+  (* out-of-line reply data rides the same mode-aware path, server to
+     client (the file server's zero-copy reads reply with Cow regions) *)
+  let ool =
+    List.map
+      (fun r ->
+        transfer_ool sys ~src_task:server ~dst_task:client (select_mode r))
+      mb.mb_ool
+  in
   rx.rx_reply <-
     Some
       {
@@ -248,7 +280,7 @@ let finish_reply (sys : Sched.t) rx (mb : message_builder) server =
         msg_inline_bytes = mb.mb_inline_bytes;
         msg_payload = mb.mb_payload;
         msg_reply_to = None;
-        msg_ool = [];
+        msg_ool = ool;
         msg_rights = mb.mb_rights;
         msg_kbuf = 0;
         msg_sender = Some server;

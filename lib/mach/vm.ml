@@ -18,6 +18,7 @@ let object_create (sys : Sched.t) ?backing ?(tag = "anon") ~bytes () =
       obj_backing = backing;
       obj_shadow_of = None;
       obj_tag = tag;
+      obj_unmap_hook = None;
     }
   in
   sys.next_obj_id <- sys.next_obj_id + 1;
@@ -44,10 +45,20 @@ let get_page obj idx =
   | None ->
       let p =
         { pg_resident = false; pg_dirty = false; pg_wired = false;
-          pg_written_back = false }
+          pg_written_back = false; pg_stamp = 0 }
       in
       Hashtbl.replace obj.obj_pages idx p;
       p
+
+(* The object that actually owns page [idx]: walk the shadow chain to
+   the first object holding a private copy (or the chain's bottom).
+   Remap re-shares lengthen chains only across sender write epochs, so
+   walks stay short. *)
+let rec chain_owner obj idx =
+  if Hashtbl.mem obj.obj_pages idx then obj
+  else match obj.obj_shadow_of with
+    | Some src -> chain_owner src idx
+    | None -> obj
 
 let backing_of (sys : Sched.t) obj =
   match obj.obj_backing with Some bs -> Some bs | None -> sys.default_backing
@@ -121,44 +132,57 @@ let fault (sys : Sched.t) entry addr ~write =
   let idx = (entry.ent_offset + (addr - entry.ent_start)) / page_size in
   let page_addr = addr / page_size * page_size in
   if write && entry.ent_cow then begin
+    let had_private = Hashtbl.mem obj.obj_pages idx in
     (* copy the page from the shadow source into a private page *)
-    (match obj.obj_shadow_of with
-    | Some src ->
-        let sp = Hashtbl.find_opt src.obj_pages idx in
-        let src_resident =
-          match sp with Some p -> p.pg_resident | None -> false
-        in
-        if not src_resident then
-          ignore
-            (make_resident sys src idx ~addr:page_addr
-               ~fill:(if (match sp with Some p -> p.pg_written_back | None -> false)
-                      || src.obj_backing <> None
-                      then `Pager else `Zero)
-              : page);
-        (* physical copy of the source page; cost uses a shifted pseudo
-           source address so both sides stream through the D-cache *)
-        Ktext.copy sys.ktext ~src:(page_addr lxor 0x0200_0000) ~dst:page_addr
-          ~bytes:page_size
-    | None ->
-        (* an anonymous page under copy protection: push the old
-           contents aside and take a private copy *)
-        Ktext.copy sys.ktext ~src:(page_addr lxor 0x0100_0000) ~dst:page_addr
-          ~bytes:page_size);
+    let src_stamp =
+      match obj.obj_shadow_of with
+      | Some src when not had_private ->
+          let owner = chain_owner src idx in
+          let sp = Hashtbl.find_opt owner.obj_pages idx in
+          let src_resident =
+            match sp with Some p -> p.pg_resident | None -> false
+          in
+          if not src_resident then
+            ignore
+              (make_resident sys owner idx ~addr:page_addr
+                 ~fill:(if (match sp with Some p -> p.pg_written_back | None -> false)
+                        || owner.obj_backing <> None
+                        then `Pager else `Zero)
+                : page);
+          (* physical copy of the source page; cost uses a shifted pseudo
+             source address so both sides stream through the D-cache *)
+          Ktext.copy sys.ktext ~src:(page_addr lxor 0x0200_0000) ~dst:page_addr
+            ~bytes:page_size;
+          (match Hashtbl.find_opt owner.obj_pages idx with
+          | Some sp -> sp.pg_stamp
+          | None -> 0)
+      | Some _ | None ->
+          (* an anonymous page under copy protection (or a re-break of a
+             page already private): push the old contents aside and take
+             a private copy *)
+          Ktext.copy sys.ktext ~src:(page_addr lxor 0x0100_0000) ~dst:page_addr
+            ~bytes:page_size;
+          (match Hashtbl.find_opt obj.obj_pages idx with
+          | Some p -> p.pg_stamp
+          | None -> 0)
+    in
     let p = make_resident sys obj idx ~addr:page_addr ~fill:`None in
-    p.pg_dirty <- true
+    p.pg_dirty <- true;
+    p.pg_stamp <- src_stamp
   end
   else begin
     match obj.obj_shadow_of with
-    | Some src when not (Hashtbl.mem obj.obj_pages idx) ->
-        (* read-through to the COW source *)
-        let sp = Hashtbl.find_opt src.obj_pages idx in
+    | Some _ when not (Hashtbl.mem obj.obj_pages idx) ->
+        (* read-through along the COW shadow chain to the page's owner *)
+        let owner = chain_owner obj idx in
+        let sp = Hashtbl.find_opt owner.obj_pages idx in
         let fill =
           match sp with
           | Some p when p.pg_written_back -> `Pager
           | Some _ | None ->
-              if src.obj_backing <> None then `Pager else `Zero
+              if owner.obj_backing <> None then `Pager else `Zero
         in
-        ignore (make_resident sys src idx ~addr:page_addr ~fill : page)
+        ignore (make_resident sys owner idx ~addr:page_addr ~fill : page)
     | Some _ | None ->
         let p = get_page obj idx in
         let fill =
@@ -183,10 +207,11 @@ let page_present (sys : Sched.t) entry addr ~write =
     | Some p when p.pg_resident -> true
     | Some _ -> false
     | None -> (
-        (* shadow read-through counts as present if the source is in *)
+        (* shadow read-through counts as present if the owner's copy is in *)
         match obj.obj_shadow_of with
-        | Some src -> (
-            match Hashtbl.find_opt src.obj_pages idx with
+        | Some _ -> (
+            let owner = chain_owner obj idx in
+            match Hashtbl.find_opt owner.obj_pages idx with
             | Some p -> p.pg_resident
             | None -> false)
         | None -> false)
@@ -271,6 +296,14 @@ let deallocate (sys : Sched.t) task ~addr =
   | None -> raise (Kern_error Kern_invalid_argument)
   | Some entry ->
       Ktext.exec sys.ktext [ Ktext.vm_map_enter sys.ktext ];
+      (* the range is leaving this map: any moved-out bookkeeping for it
+         is now moot, and a mapped-out object tells its owner *)
+      Mcheck.remap_clear sys task ~addr:entry.ent_start ~bytes:entry.ent_size;
+      (match entry.ent_obj.obj_unmap_hook with
+      | Some hook ->
+          entry.ent_obj.obj_unmap_hook <- None;
+          hook ()
+      | None -> ());
       (* only unshared anonymous entries release pages; coerced/shared
          objects stay resident for their other mappings *)
       if not entry.ent_coerced then release_entry_pages sys entry;
@@ -286,6 +319,7 @@ let touch (sys : Sched.t) task ~addr ?(write = false) ~bytes () =
           raise (Kern_error Kern_invalid_argument);
         if write && not entry.ent_prot.write then
           raise (Kern_error Kern_protection_failure);
+        if write then Mcheck.remap_write sys task ~addr ~bytes;
         let first = addr / page_size and last = (addr + bytes - 1) / page_size in
         for pg = first to last do
           let a = pg * page_size in
@@ -305,34 +339,204 @@ let touch (sys : Sched.t) task ~addr ?(write = false) ~bytes () =
         Machine.execute sys.machine [ op ]
   end
 
+let shadow_object (sys : Sched.t) orig ~tag =
+  let obj =
+    {
+      obj_id = sys.next_obj_id;
+      obj_size = orig.obj_size;
+      obj_pages = Hashtbl.create 8;
+      obj_backing = None;
+      obj_shadow_of = Some orig;
+      obj_tag = tag;
+      obj_unmap_hook = None;
+    }
+  in
+  sys.next_obj_id <- sys.next_obj_id + 1;
+  obj
+
 let virtual_copy (sys : Sched.t) ~src_task ~addr ~bytes ~dst_task =
   match find_entry src_task.vm addr with
   | None -> raise (Kern_error Kern_invalid_argument)
   | Some src_entry ->
       let pages = pages_of_bytes bytes in
       Ktext.exec_n sys.ktext pages (Ktext.virtual_copy_per_page sys.ktext);
-      let shadow =
-        {
-          obj_id = sys.next_obj_id;
-          obj_size = pages * page_size;
-          obj_pages = Hashtbl.create 8;
-          obj_backing = None;
-          obj_shadow_of = Some src_entry.ent_obj;
-          obj_tag = "ool-shadow";
-        }
+      let first =
+        (src_entry.ent_offset + (addr - src_entry.ent_start)) / page_size
       in
-      sys.next_obj_id <- sys.next_obj_id + 1;
       (* Mach semantics: the SOURCE side is also copy-protected — the
          sender's next write to the range must break, which is the
-         hidden cost of the virtual-copy strategy under buffer reuse *)
-      src_entry.ent_cow <- true;
-      let first = (src_entry.ent_offset + (addr - src_entry.ent_start)) / page_size in
+         hidden cost of the virtual-copy strategy under buffer reuse.
+         Freeze the sender's object and redirect the entry onto a shadow
+         of it, so the break lands in a private page and the receiver
+         keeps seeing the snapshot; an entry still frozen from the last
+         send (no write broke a page) shares the same snapshot instead
+         of growing the chain. *)
+      let base =
+        match src_entry.ent_obj.obj_shadow_of with
+        | Some under
+          when src_entry.ent_cow
+               && Hashtbl.length src_entry.ent_obj.obj_pages = 0 ->
+            under
+        | Some _ | None ->
+            let orig = src_entry.ent_obj in
+            src_entry.ent_obj <- shadow_object sys orig ~tag:"ool-src-shadow";
+            src_entry.ent_cow <- true;
+            orig
+      in
       for idx = first to first + pages - 1 do
-        match Hashtbl.find_opt src_entry.ent_obj.obj_pages idx with
+        match Hashtbl.find_opt base.obj_pages idx with
         | Some p -> p.pg_dirty <- false  (* re-protect *)
         | None -> ()
       done;
-      map_object sys dst_task shadow ~bytes:(pages * page_size) ~cow:true ()
+      let dst_shadow = shadow_object sys base ~tag:"ool-shadow" in
+      map_object sys dst_task dst_shadow ~offset:(first * page_size)
+        ~bytes:(pages * page_size) ~cow:true ()
+
+(* --- Zero-copy remap ---------------------------------------------------- *)
+(* Large page-aligned payloads cross the task boundary by map
+   manipulation: [remap_move] donates the pages outright, [remap_cow]
+   shares them copy-on-write.  Both charge one map-entry chunk plus a
+   TLB shootdown — never a per-byte copy loop. *)
+
+let require_page_aligned ~addr ~bytes =
+  if not (page_aligned ~addr ~bytes) then
+    raise (Kern_error Kern_invalid_argument)
+
+let entry_covering map ~addr ~bytes =
+  match find_entry map addr with
+  | Some e when addr + bytes <= e.ent_start + e.ent_size -> e
+  | Some _ | None -> raise (Kern_error Kern_invalid_argument)
+
+(* Rebuild the source map so [addr, addr+bytes) is served by
+   [range_entry], preserving any head/tail remainder of the clipped
+   original entry.  Pure list surgery: the cost is the remap chunk the
+   callers charge. *)
+let replace_range map entry ~addr ~bytes ~range_entry =
+  let head =
+    if addr > entry.ent_start then
+      Some { entry with ent_size = addr - entry.ent_start }
+    else None
+  in
+  let tail =
+    let range_end = addr + bytes
+    and ent_end = entry.ent_start + entry.ent_size in
+    if range_end < ent_end then
+      Some
+        { entry with
+          ent_start = range_end;
+          ent_size = ent_end - range_end;
+          ent_offset = entry.ent_offset + (range_end - entry.ent_start);
+        }
+    else None
+  in
+  map.entries <-
+    List.sort
+      (fun a b -> compare a.ent_start b.ent_start)
+      ((range_entry :: Option.to_list head)
+      @ Option.to_list tail
+      @ List.filter (fun e -> e != entry) map.entries)
+
+let shootdown (sys : Sched.t) ~addr ~bytes =
+  Machine.Cpu.tlb_shootdown sys.machine.Machine.cpu ~addr
+    ~pages:(bytes / page_size)
+
+let remap_move (sys : Sched.t) ~src_task ~addr ~bytes ~dst_task =
+  require_page_aligned ~addr ~bytes;
+  let entry = entry_covering src_task.vm ~addr ~bytes in
+  let orig = entry.ent_obj in
+  let first = (entry.ent_offset + (addr - entry.ent_start)) / page_size in
+  Ktext.exec1 sys.ktext (Ktext.vm_remap_entry sys.ktext);
+  Mcheck.remap_moved sys src_task ~addr ~bytes;
+  (* the receiver maps the donated object over the moved range *)
+  let dst_addr =
+    map_object sys dst_task orig ~offset:(first * page_size) ~bytes ()
+  in
+  (* the sender's range becomes fresh zero-fill memory *)
+  let fresh =
+    object_create sys ~tag:(src_task.task_name ^ ".moved-out") ~bytes ()
+  in
+  let range_entry =
+    {
+      ent_start = addr;
+      ent_size = bytes;
+      ent_obj = fresh;
+      ent_offset = 0;
+      ent_prot = entry.ent_prot;
+      ent_cow = false;
+      ent_eager = false;
+      ent_coerced = false;
+    }
+  in
+  replace_range src_task.vm entry ~addr ~bytes ~range_entry;
+  shootdown sys ~addr ~bytes;
+  dst_addr
+
+let remap_cow (sys : Sched.t) ~src_task ~addr ~bytes ~dst_task =
+  require_page_aligned ~addr ~bytes;
+  let entry = entry_covering src_task.vm ~addr ~bytes in
+  Ktext.exec1 sys.ktext (Ktext.vm_remap_entry sys.ktext);
+  let src_offset = entry.ent_offset + (addr - entry.ent_start) in
+  let base, dst_offset =
+    match entry.ent_obj.obj_shadow_of with
+    | Some under
+      when entry.ent_cow && Hashtbl.length entry.ent_obj.obj_pages = 0 ->
+        (* still frozen since the last remap (no write broke a page):
+           share the same snapshot instead of growing the shadow chain *)
+        (under, src_offset)
+    | Some _ | None ->
+        (* freeze the range: the sender's entry becomes a shadow of the
+           original, so its next write breaks into a private page and the
+           receiver keeps seeing the snapshot *)
+        let orig = entry.ent_obj in
+        let src_shadow = shadow_object sys orig ~tag:"remap-cow-src" in
+        let range_entry =
+          {
+            ent_start = addr;
+            ent_size = bytes;
+            ent_obj = src_shadow;
+            ent_offset = src_offset;
+            ent_prot = entry.ent_prot;
+            ent_cow = true;
+            ent_eager = false;
+            ent_coerced = false;
+          }
+        in
+        replace_range src_task.vm entry ~addr ~bytes ~range_entry;
+        (orig, src_offset)
+  in
+  let dst_shadow = shadow_object sys base ~tag:"remap-cow-dst" in
+  let dst_addr =
+    map_object sys dst_task dst_shadow ~offset:dst_offset ~bytes ~cow:true ()
+  in
+  shootdown sys ~addr ~bytes;
+  dst_addr
+
+let set_unmap_hook obj hook = obj.obj_unmap_hook <- Some hook
+
+(* --- Page stamps -------------------------------------------------------- *)
+(* The simulator carries no real memory contents; a one-word stamp per
+   page stands in for them so transfer correctness (COW isolation,
+   move-leaves-zero) is testable.  Reading or writing a stamp performs
+   the same fault work a real access would. *)
+
+let write_stamp (sys : Sched.t) task ~addr stamp =
+  touch sys task ~addr ~write:true ~bytes:1 ();
+  match find_entry task.vm addr with
+  | None -> ()
+  | Some e ->
+      let idx = (e.ent_offset + (addr - e.ent_start)) / page_size in
+      (get_page e.ent_obj idx).pg_stamp <- stamp
+
+let read_stamp (sys : Sched.t) task ~addr =
+  touch sys task ~addr ~bytes:1 ();
+  match find_entry task.vm addr with
+  | None -> 0
+  | Some e -> (
+      let idx = (e.ent_offset + (addr - e.ent_start)) / page_size in
+      let owner = chain_owner e.ent_obj idx in
+      match Hashtbl.find_opt owner.obj_pages idx with
+      | Some p -> p.pg_stamp
+      | None -> 0)
 
 let resident_pages (sys : Sched.t) = sys.pages_resident
 

@@ -55,6 +55,35 @@ val virtual_copy :
     manipulation now and the copy on first write.  Returns the address in
     the destination map. *)
 
+val remap_move :
+  Sched.t -> src_task:task -> addr:int -> bytes:int -> dst_task:task -> int
+(** Zero-copy donation: the receiver maps the sender's pages over
+    [addr, addr+bytes) and the sender's range becomes fresh zero-fill
+    memory.  Charged one map-entry chunk plus a TLB shootdown — never
+    per byte.  Returns the address in the destination map.
+    @raise Kern_error [Kern_invalid_argument] unless the range is
+    page-aligned and covered by a single map entry. *)
+
+val remap_cow :
+  Sched.t -> src_task:task -> addr:int -> bytes:int -> dst_task:task -> int
+(** Zero-copy sharing: both sides end up shadowing a frozen snapshot of
+    the range, so a later write on either side breaks into a private
+    page and can never be observed by the other.  Same cost shape and
+    alignment requirements as {!remap_move}. *)
+
+val set_unmap_hook : vm_object -> (unit -> unit) -> unit
+(** Arrange for [hook] to run when a mapping of this object is torn down
+    by {!deallocate} (used by the file server to unpin cache pages that
+    are mapped out to a client).  One-shot: the hook is cleared before
+    it runs. *)
+
+val write_stamp : Sched.t -> task -> addr:int -> int -> unit
+val read_stamp : Sched.t -> task -> addr:int -> int
+(** Page-content stamps: the simulator carries no real bytes, so a
+    one-word stamp per page stands in for contents when tests assert
+    transfer correctness.  Both perform the access (faults, COW breaks,
+    cache traffic) that a real one-word load/store at [addr] would. *)
+
 val find_entry : vm_map -> int -> vm_entry option
 
 val resident_pages : Sched.t -> int

@@ -90,6 +90,19 @@ let store t ~addr ~bytes =
   charge_bus t (words * c.write_bus_cycles);
   charge t (float_of_int words *. 0.5)
 
+(* A remap that edits live mappings must invalidate stale translations
+   before either side runs again.  Priced as one IPI-class operation
+   (same order as an address-space switch) plus a short per-page
+   [invlpg]; deliberately independent of the bytes remapped. *)
+let tlb_shootdown t ~addr ~pages =
+  let c = t.config in
+  Perf.tlb_shootdown t.perf;
+  charge t (float_of_int c.address_space_switch_cycles);
+  for p = 0 to pages - 1 do
+    Tlb.invalidate t.tlb (addr + (p * c.page_size));
+    charge t 2.
+  done
+
 let execute_item t (item : Footprint.item) =
   let c = t.config in
   match item with

@@ -36,6 +36,11 @@ val fetch : t -> Layout.region -> offset:int -> bytes:int -> unit
 val load : t -> addr:int -> bytes:int -> unit
 val store : t -> addr:int -> bytes:int -> unit
 
+val tlb_shootdown : t -> addr:int -> pages:int -> unit
+(** Charge one TLB shootdown covering [pages] pages starting at [addr]:
+    an IPI-class fixed cost plus a per-page invalidate.  The zero-copy
+    remap paths call this instead of paying per byte. *)
+
 val advance_to : t -> int -> unit
 (** Idle (no instructions, no bus traffic) until the given cycle time.
     A no-op if the time is in the past. *)

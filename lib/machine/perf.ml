@@ -8,6 +8,7 @@ type t = {
   mutable dcache_misses : int;
   mutable tlb_misses : int;
   mutable address_space_switches : int;
+  mutable tlb_shootdowns : int;
   mutable interrupts : int;
 }
 
@@ -35,6 +36,7 @@ let create () : t =
     dcache_misses = 0;
     tlb_misses = 0;
     address_space_switches = 0;
+    tlb_shootdowns = 0;
     interrupts = 0;
   }
 
@@ -68,6 +70,9 @@ let tlb_miss (t : t) = t.tlb_misses <- t.tlb_misses + 1
 
 let address_space_switch (t : t) =
   t.address_space_switches <- t.address_space_switches + 1
+
+let tlb_shootdown (t : t) = t.tlb_shootdowns <- t.tlb_shootdowns + 1
+let tlb_shootdowns (t : t) = t.tlb_shootdowns
 
 let interrupt (t : t) = t.interrupts <- t.interrupts + 1
 

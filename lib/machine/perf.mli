@@ -34,6 +34,14 @@ val icache_access : t -> hit:bool -> unit
 val dcache_access : t -> hit:bool -> unit
 val tlb_miss : t -> unit
 val address_space_switch : t -> unit
+
+val tlb_shootdown : t -> unit
+(** Count one remap-driven TLB shootdown (IPI + invalidate round). *)
+
+val tlb_shootdowns : t -> int
+(** Shootdowns so far.  Kept outside {!snapshot} — the remap benches
+    read it directly rather than through window diffs. *)
+
 val interrupt : t -> unit
 
 val snapshot : t -> snapshot

@@ -32,6 +32,12 @@ let access t vaddr =
       t.stamps.(!victim) <- t.tick;
       false
 
+let invalidate t vaddr =
+  let page = vaddr / t.page_size in
+  for i = 0 to Array.length t.pages - 1 do
+    if t.pages.(i) = page then t.pages.(i) <- -1
+  done
+
 let flush t = Array.fill t.pages 0 (Array.length t.pages) (-1)
 let entries t = Array.length t.pages
 

@@ -13,6 +13,11 @@ val access : t -> int -> bool
 (** [access t vaddr] is [true] when the page holding [vaddr] is resident;
     on miss the translation is installed (evicting LRU). *)
 
+val invalidate : t -> int -> unit
+(** [invalidate t vaddr] drops the translation for the page holding
+    [vaddr], if resident.  Other entries are untouched — this is the
+    single-page [invlpg] a remap shootdown issues, not a full flush. *)
+
 val flush : t -> unit
 val entries : t -> int
 val resident : t -> int

@@ -6,6 +6,8 @@ type packet = {
   p_dst : int;
   p_bytes : int;
   p_conn : int;  (* TCP connection id *)
+  p_zc : bool;  (* payload travels by page remap, not through the layers *)
+  p_chunks : int;  (* scatter/gather descriptors (1 for a plain send) *)
 }
 
 type sock_kind =
@@ -30,6 +32,7 @@ type t = {
   mutable next_conn : int;
   mutable packets : int;
   mutable checksummed : int;
+  mutable zc_sends : int;
 }
 
 let wire_latency = 2_000  (* cycles on the simulated segment *)
@@ -63,24 +66,59 @@ let create kernel ~style =
     next_conn = 1;
     packets = 0;
     checksummed = 0;
+    zc_sends = 0;
   }
 
 let objects t = t.objrt
 let packets_processed t = t.packets
 let checksum_bytes t = t.checksummed
+let zero_copy_sends t = t.zc_sends
 
 (* walk the stack: one framework invocation per layer, work scaling with
-   the bytes each layer handles; the IP layer also checksums *)
-let walk_stack t ~bytes =
+   the bytes each layer handles; the IP layer also checksums.  A
+   zero-copy packet's payload never passes through the layers — each one
+   handles the header plus a descriptor of remapped pages, so only the
+   header is touched and checksummed *)
+let walk_stack t ~bytes ~zc =
   t.packets <- t.packets + 1;
-  t.checksummed <- t.checksummed + bytes + header_bytes;
+  let touched = if zc then header_bytes else bytes + header_bytes in
+  t.checksummed <- t.checksummed + touched;
   Array.iter
     (fun layer ->
-      Finegrain.invoke t.objrt layer
-        ~work_units:(2 + ((bytes + header_bytes) / 64)))
+      Finegrain.invoke t.objrt layer ~work_units:(2 + (touched / 64)))
     t.layers
 
 let sys t = t.kernel.Mach.Kernel.sys
+
+(* Payloads of at least a page go out by remap: the layers see a
+   descriptor, the pages change hands at the map level.  Below that the
+   map edit and shootdown cost more than just copying. *)
+let zc_threshold = Mach.Ktypes.page_size
+
+(* The pages the zero-copy path cycles through, for shootdown
+   addressing — distinct from any kernel buffer so the invalidations
+   don't alias the kbuf working set. *)
+let zc_region t =
+  let layout = t.kernel.Mach.Kernel.machine.Machine.layout in
+  match Machine.Layout.find layout "net.zc-pages" with
+  | Some r -> r
+  | None ->
+      Machine.Layout.alloc layout ~name:"net.zc-pages"
+        ~kind:Machine.Layout.Data
+        ~size:(64 * Mach.Ktypes.page_size)
+
+(* What a zero-copy transfer actually costs at each end of the wire: a
+   map-entry edit per scatter/gather chunk plus one TLB shootdown over
+   the remapped pages — never a per-byte term. *)
+let charge_remap t ~chunks ~bytes =
+  let ktext = (sys t).Mach.Sched.ktext in
+  for _ = 1 to chunks do
+    Mach.Ktext.exec1 ktext (Mach.Ktext.vm_remap_entry ktext)
+  done;
+  let region = zc_region t in
+  Machine.Cpu.tlb_shootdown t.kernel.Mach.Kernel.machine.Machine.cpu
+    ~addr:region.Machine.Layout.base
+    ~pages:(Mach.Ktypes.pages_of_bytes bytes)
 
 let wake_sock t s =
   match s.s_waiter with
@@ -95,7 +133,8 @@ let wait_on t s reason =
   ignore t
 
 let rec deliver t (pkt : packet) =
-  walk_stack t ~bytes:pkt.p_bytes;
+  walk_stack t ~bytes:pkt.p_bytes ~zc:pkt.p_zc;
+  if pkt.p_zc then charge_remap t ~chunks:pkt.p_chunks ~bytes:pkt.p_bytes;
   match Hashtbl.find_opt t.sockets pkt.p_dst with
   | None -> ()  (* dropped: no listener *)
   | Some s -> (
@@ -110,7 +149,7 @@ let rec deliver t (pkt : packet) =
           s.s_established <- true;
           transmit t
             { p_proto = Tcp_ack; p_src = s.s_port; p_dst = pkt.p_src;
-              p_bytes = 0; p_conn = conn };
+              p_bytes = 0; p_conn = conn; p_zc = false; p_chunks = 1 };
           wake_sock t s
       | Tcp_ack, S_tcp conn when conn = pkt.p_conn ->
           s.s_established <- true;
@@ -121,7 +160,11 @@ let rec deliver t (pkt : packet) =
       | (Udp | Tcp_syn | Tcp_synack | Tcp_ack | Tcp_data), _ -> ())
 
 and transmit t pkt =
-  walk_stack t ~bytes:pkt.p_bytes;
+  walk_stack t ~bytes:pkt.p_bytes ~zc:pkt.p_zc;
+  if pkt.p_zc then begin
+    t.zc_sends <- t.zc_sends + 1;
+    charge_remap t ~chunks:pkt.p_chunks ~bytes:pkt.p_bytes
+  end;
   let m = t.kernel.Mach.Kernel.machine in
   Machine.Event_queue.schedule m.Machine.events
     ~at:(Machine.now m + wire_latency)
@@ -150,7 +193,18 @@ let udp_socket t ~port = alloc_sock t ~port S_udp
 let udp_send t s ~dst_port ~bytes =
   transmit t
     { p_proto = Udp; p_src = s.s_port; p_dst = dst_port; p_bytes = bytes;
-      p_conn = 0 }
+      p_conn = 0; p_zc = bytes >= zc_threshold; p_chunks = 1 }
+
+(* Vectored (scatter/gather) datagram: the chunks go out as one packet
+   whose header is walked once; each chunk costs its own map-entry edit
+   on the zero-copy path.  Small gathers fall back to the copying walk
+   over the summed bytes. *)
+let udp_send_vec t s ~dst_port ~iov =
+  let bytes = List.fold_left ( + ) 0 iov in
+  let chunks = max 1 (List.length iov) in
+  transmit t
+    { p_proto = Udp; p_src = s.s_port; p_dst = dst_port; p_bytes = bytes;
+      p_conn = 0; p_zc = bytes >= zc_threshold; p_chunks = chunks }
 
 let rec udp_recv t s =
   match Queue.take_opt s.rx with
@@ -181,7 +235,7 @@ let rec tcp_accept t s =
           in
           transmit t
             { p_proto = Tcp_synack; p_src = port; p_dst = peer;
-              p_bytes = 0; p_conn = conn };
+              p_bytes = 0; p_conn = conn; p_zc = false; p_chunks = 1 };
           child
       | None ->
           wait_on t s "tcp-accept";
@@ -197,13 +251,13 @@ let tcp_connect t ~dst_port =
   | Ok s ->
       transmit t
         { p_proto = Tcp_syn; p_src = port; p_dst = dst_port; p_bytes = 0;
-          p_conn = conn };
+          p_conn = conn; p_zc = false; p_chunks = 1 };
       while not s.s_established do
         wait_on t s "tcp-connect"
       done;
       Ok s
 
-let tcp_send t s ~bytes =
+let tcp_send_gather t s ~iov name =
   match s.s_kind with
   | S_tcp conn -> (
       (* we do not model the peer port table per connection; data is
@@ -218,11 +272,17 @@ let tcp_send t s ~bytes =
         t.sockets;
       match !peer with
       | Some dst ->
+          let bytes = List.fold_left ( + ) 0 iov in
           transmit t
             { p_proto = Tcp_data; p_src = s.s_port; p_dst = dst;
-              p_bytes = bytes; p_conn = conn }
+              p_bytes = bytes; p_conn = conn;
+              p_zc = bytes >= zc_threshold;
+              p_chunks = max 1 (List.length iov) }
       | None -> ())
-  | S_udp | S_listen _ -> invalid_arg "tcp_send: not a TCP socket"
+  | S_udp | S_listen _ -> invalid_arg (name ^ ": not a TCP socket")
+
+let tcp_send t s ~bytes = tcp_send_gather t s ~iov:[ bytes ] "tcp_send"
+let tcp_send_vec t s ~iov = tcp_send_gather t s ~iov "tcp_send_vec"
 
 let rec tcp_recv t s =
   match Queue.take_opt s.rx with

@@ -21,13 +21,27 @@ val objects : t -> Finegrain.t
 val packets_processed : t -> int
 val checksum_bytes : t -> int
 
+val zero_copy_sends : t -> int
+(** Transmits whose payload went out by page remap rather than through
+    the layers.  Payloads of at least a page (4 KiB) take this path
+    automatically: each layer handles only the 54-byte header plus a
+    descriptor, and the transfer is charged a map-entry edit per
+    scatter/gather chunk and one TLB shootdown per side — never per
+    byte. *)
+
 (** {1 UDP} *)
 
 val udp_socket : t -> port:int -> (socket, string) result
 (** [Error] when the port is taken. *)
 
 val udp_send : t -> socket -> dst_port:int -> bytes:int -> unit
-(** Transmit a datagram to a local port over the simulated wire. *)
+(** Transmit a datagram to a local port over the simulated wire (bulk
+    payloads go zero-copy — see {!zero_copy_sends}). *)
+
+val udp_send_vec : t -> socket -> dst_port:int -> iov:int list -> unit
+(** Scatter/gather datagram: the chunks leave as one packet whose header
+    is walked once; on the zero-copy path each chunk costs its own
+    map-entry edit. *)
 
 val udp_recv : t -> socket -> int * int
 (** Blocks for the next datagram; returns [(source port, bytes)]. *)
@@ -44,6 +58,9 @@ val tcp_connect : t -> dst_port:int -> (socket, string) result
 (** Blocks through the three-way handshake. *)
 
 val tcp_send : t -> socket -> bytes:int -> unit
+val tcp_send_vec : t -> socket -> iov:int list -> unit
+(** Gathered segment; same zero-copy selection as {!udp_send_vec}. *)
+
 val tcp_recv : t -> socket -> int
 (** Blocks for the next in-order segment; returns its size. *)
 

@@ -190,7 +190,8 @@ let to_json r =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"experiment\": \"fault-sweep\",\n";
-  Buffer.add_string b "  \"schema_version\": 1,\n";
+  Buffer.add_string b "  \"schema_version\": 2,\n";
+  Printf.bprintf b "  \"run\": %s,\n" (Run_meta.json ~seed:r.r_seed ());
   Printf.bprintf b "  \"seed\": %d,\n" r.r_seed;
   Printf.bprintf b "  \"clients\": %d,\n" r.r_clients;
   Printf.bprintf b "  \"sessions\": %d,\n" r.r_sessions;

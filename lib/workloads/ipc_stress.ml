@@ -16,6 +16,7 @@ type result = {
   r_kbuf_allocs : int;
   r_kbuf_frees : int;
   r_kbuf_recycles : int;
+  r_kbuf_resets : int;
   r_kbuf_peak_bytes : int;
   r_check : Check.report option;  (* Machcheck findings, when enabled *)
 }
@@ -68,17 +69,37 @@ let measure ~system ~workers ~iters ~bytes =
                done;
                Mach.Port.destroy sys port)
             : thread)
-    | `Ibm_rpc ->
+    | `Ibm_rpc | `Rpc_copy | `Rpc_remap ->
         ignore
           (Mach.Kernel.thread_spawn k server ~name:"srv" (fun () ->
                Mach.Rpc.serve sys port (fun _msg -> simple_message ()))
             : thread);
         ignore
           (Mach.Kernel.thread_spawn k client ~name:"cl" (fun () ->
+               (* Large payloads go out of line; the RPC layer remaps
+                  page-aligned regions and physically copies the rest, so
+                  `Rpc_copy (the copy-vs-remap baseline) defeats the
+                  auto-selection by offsetting into the page.  Filled
+                  once: the remap path shares pages copy-on-write, so a
+                  prepared buffer can be sent over and over. *)
+               let ool = bytes > Micro.ool_threshold in
+               let buffer =
+                 if not ool then 0
+                 else begin
+                   let b =
+                     Mach.Vm.allocate sys client ~bytes:(bytes + page_size) ()
+                   in
+                   Mach.Vm.touch sys client ~addr:b ~write:true ~bytes ();
+                   if system = `Rpc_copy then b + 32 else b
+                 end
+               in
+               let message () =
+                 if ool then
+                   simple_message ~inline_bytes:64 ~ool:[ (buffer, bytes) ] ()
+                 else simple_message ~inline_bytes:bytes ()
+               in
                for _ = 1 to iters do
-                 ignore
-                   (Mach.Rpc.call sys port
-                      (simple_message ~inline_bytes:(min bytes 16384) ()))
+                 ignore (Mach.Rpc.call sys port (message ()))
                done;
                Mach.Port.destroy sys port)
             : thread)
@@ -95,7 +116,7 @@ let measure ~system ~workers ~iters ~bytes =
     Mach.Ipc.reply_cache_misses sys,
     stats )
 
-let default_sizes = [ 0; 32; 512; 4096 ]
+let default_sizes = [ 0; 32; 512; 4096; 16384; 65536 ]
 
 let run ?(workers = 4) ?(iters = 200) ?(sizes = default_sizes)
     ?(checks = false) () =
@@ -107,7 +128,8 @@ let run ?(workers = 4) ?(iters = 200) ?(sizes = default_sizes)
   Fun.protect ~finally:(fun () -> if checks then Check.uninstall ())
   @@ fun () ->
   let hits = ref 0 and misses = ref 0 in
-  let allocs = ref 0 and frees = ref 0 and recycles = ref 0 and peak = ref 0 in
+  let allocs = ref 0 and frees = ref 0 and recycles = ref 0 in
+  let resets = ref 0 and peak = ref 0 in
   let point system name bytes =
     let sim, host, h, ms, (kb : Mach.Ktext.buffer_stats) =
       measure ~system ~workers ~iters ~bytes
@@ -117,6 +139,7 @@ let run ?(workers = 4) ?(iters = 200) ?(sizes = default_sizes)
     allocs := !allocs + kb.Mach.Ktext.bs_allocs;
     frees := !frees + kb.Mach.Ktext.bs_frees;
     recycles := !recycles + kb.Mach.Ktext.bs_recycles;
+    resets := !resets + kb.Mach.Ktext.bs_resets;
     if kb.Mach.Ktext.bs_peak_bytes > !peak then
       peak := kb.Mach.Ktext.bs_peak_bytes;
     { pt_system = name; pt_bytes = bytes; pt_sim_cycles_per_op = sim;
@@ -125,7 +148,15 @@ let run ?(workers = 4) ?(iters = 200) ?(sizes = default_sizes)
   let points =
     List.concat_map
       (fun bytes ->
-        [ point `Mach_msg "mach_msg" bytes; point `Ibm_rpc "ibm_rpc" bytes ])
+        [ point `Mach_msg "mach_msg" bytes; point `Ibm_rpc "ibm_rpc" bytes ]
+        @
+        (* the copy-vs-remap series: same transport, same payload, the
+           transfer pinned to each path (remap only engages at page
+           granularity, so smaller sizes have no remap point) *)
+        if bytes >= Mach.Ktypes.remap_threshold then
+          [ point `Rpc_copy "rpc_copy" bytes;
+            point `Rpc_remap "rpc_remap" bytes ]
+        else [])
       sizes
   in
   {
@@ -137,6 +168,7 @@ let run ?(workers = 4) ?(iters = 200) ?(sizes = default_sizes)
     r_kbuf_allocs = !allocs;
     r_kbuf_frees = !frees;
     r_kbuf_recycles = !recycles;
+    r_kbuf_resets = !resets;
     r_kbuf_peak_bytes = !peak;
     r_check = Option.map Check.report chk;
   }
@@ -145,15 +177,17 @@ let to_json r =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"experiment\": \"ipc-stress\",\n";
-  Buffer.add_string b "  \"schema_version\": 1,\n";
+  Buffer.add_string b "  \"schema_version\": 2,\n";
+  Printf.bprintf b "  \"run\": %s,\n" (Run_meta.json ());
   Printf.bprintf b "  \"workers\": %d,\n" r.r_workers;
   Printf.bprintf b "  \"iters\": %d,\n" r.r_iters;
   Printf.bprintf b "  \"reply_cache\": { \"hits\": %d, \"misses\": %d },\n"
     r.r_reply_hits r.r_reply_misses;
   Printf.bprintf b
     "  \"kbuf\": { \"allocs\": %d, \"frees\": %d, \"recycles\": %d, \
-     \"peak_bytes\": %d },\n"
-    r.r_kbuf_allocs r.r_kbuf_frees r.r_kbuf_recycles r.r_kbuf_peak_bytes;
+     \"resets\": %d, \"peak_bytes\": %d },\n"
+    r.r_kbuf_allocs r.r_kbuf_frees r.r_kbuf_recycles r.r_kbuf_resets
+    r.r_kbuf_peak_bytes;
   (match r.r_check with
   | None -> ()
   | Some rep -> Printf.bprintf b "  \"machcheck\": %s,\n" (Check.to_json rep));

@@ -6,7 +6,11 @@
     message-buffer statistics the run generated. *)
 
 type point = {
-  pt_system : string;  (** ["mach_msg"] or ["ibm_rpc"] *)
+  pt_system : string;
+      (** ["mach_msg"], ["ibm_rpc"], or — at page-sized payloads — the
+          copy-vs-remap comparison pair ["rpc_copy"] / ["rpc_remap"]
+          (same transport with the out-of-line transfer pinned to the
+          physical-copy or page-remap path respectively) *)
   pt_bytes : int;
   pt_sim_cycles_per_op : float;
   pt_host_ns_per_op : float;
@@ -21,6 +25,7 @@ type result = {
   r_kbuf_allocs : int;  (** kernel msg-buffer stats, summed over runs *)
   r_kbuf_frees : int;
   r_kbuf_recycles : int;
+  r_kbuf_resets : int;  (** whole-arena exhaustion resets, summed *)
   r_kbuf_peak_bytes : int;  (** max peak across runs *)
   r_check : Check.report option;
       (** Machcheck report over the whole sweep when run with
@@ -28,7 +33,7 @@ type result = {
 }
 
 val default_sizes : int list
-(** [[0; 32; 512; 4096]] *)
+(** [[0; 32; 512; 4096; 16384; 65536]] *)
 
 val run :
   ?workers:int -> ?iters:int -> ?sizes:int list -> ?checks:bool -> unit ->

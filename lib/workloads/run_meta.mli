@@ -1,0 +1,17 @@
+(** Shared provenance for the BENCH_*.json writers: git revision, seed
+    and ISO-8601 timestamp, so the bench trajectory is comparable across
+    commits.  All values are memoized per process — every writer in one
+    run emits the same stamp, and re-running a workload with the checker
+    toggled stays byte-identical. *)
+
+val git_rev : unit -> string
+(** The commit hash of HEAD, resolved by reading [.git] directly
+    (searching upward from the working directory); ["unknown"] outside a
+    work tree (e.g. the test sandbox). *)
+
+val timestamp : unit -> string
+(** UTC, [YYYY-MM-DDThh:mm:ssZ]; frozen at first use. *)
+
+val json : ?seed:int -> unit -> string
+(** The [{ "git_rev": ..., "seed": ..., "timestamp": ... }] object for a
+    ["run"] field.  [seed] defaults to 0 for unseeded workloads. *)

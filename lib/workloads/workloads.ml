@@ -8,3 +8,4 @@ module Table1 = Table1
 module Micro = Micro
 module Ipc_stress = Ipc_stress
 module Fault_sweep = Fault_sweep
+module Run_meta = Run_meta

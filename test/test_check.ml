@@ -277,6 +277,139 @@ let test_buffer_clean_traffic () =
   Alcotest.(check int) "no findings at all" 0
     (Check.total_findings rep)
 
+(* --- remap checker: seeded known-bads ------------------------------------ *)
+
+let test_remap_double_move () =
+  let k, sys, chk = checked_kernel () in
+  let src = Mach.Sched.task_create sys ~name:"donor" () in
+  let dst = Mach.Sched.task_create sys ~name:"dst" () in
+  let bytes = page_size in
+  Test_util.run_in_thread k (fun () ->
+      let a = Mach.Vm.allocate sys src ~bytes () in
+      ignore (Mach.Vm.remap_move sys ~src_task:src ~addr:a ~bytes ~dst_task:dst : int);
+      (* the range was donated; moving it again ships pages the task no
+         longer owns *)
+      ignore (Mach.Vm.remap_move sys ~src_task:src ~addr:a ~bytes ~dst_task:dst : int));
+  let rep = Check.report chk in
+  Alcotest.(check int) "two moves recorded" 2 rep.Check.rep_remap_moves;
+  Alcotest.(check int) "one double move" 1 rep.Check.rep_double_moves;
+  match find_kind rep "double-move" with
+  | [ f ] ->
+      Alcotest.(check bool) "names the task" true (contains f.Check.f_detail "donor")
+  | fs ->
+      Alcotest.failf "expected exactly one double-move finding, got %d"
+        (List.length fs)
+
+let test_remap_write_after_move () =
+  let k, sys, chk = checked_kernel () in
+  let src = Mach.Sched.task_create sys ~name:"scribbler" () in
+  let dst = Mach.Sched.task_create sys ~name:"dst" () in
+  let bytes = page_size in
+  Test_util.run_in_thread k (fun () ->
+      let a = Mach.Vm.allocate sys src ~bytes () in
+      Mach.Vm.touch sys src ~addr:a ~write:true ~bytes ();
+      ignore (Mach.Vm.remap_move sys ~src_task:src ~addr:a ~bytes ~dst_task:dst : int);
+      (* the sender scribbles on the range it just donated *)
+      Mach.Vm.touch sys src ~addr:a ~write:true ~bytes:8 ());
+  let rep = Check.report chk in
+  Alcotest.(check int) "one write-after-move" 1 rep.Check.rep_write_after_move;
+  (match find_kind rep "write-after-move" with
+  | [ f ] ->
+      Alcotest.(check bool) "names the task" true
+        (contains f.Check.f_detail "scribbler")
+  | fs ->
+      Alcotest.failf "expected exactly one write-after-move finding, got %d"
+        (List.length fs));
+  (* deallocating the range clears the tracking: a fresh allocation at
+     the same address is innocent *)
+  let k2, sys2, chk2 = checked_kernel () in
+  Test_util.run_in_thread k2 (fun () ->
+      let src2 = Mach.Sched.task_create sys2 ~name:"clean" () in
+      let dst2 = Mach.Sched.task_create sys2 ~name:"dst" () in
+      let a = Mach.Vm.allocate sys2 src2 ~bytes () in
+      ignore (Mach.Vm.remap_move sys2 ~src_task:src2 ~addr:a ~bytes ~dst_task:dst2 : int);
+      Mach.Vm.deallocate sys2 src2 ~addr:a;
+      let b = Mach.Vm.allocate sys2 src2 ~bytes () in
+      Mach.Vm.touch sys2 src2 ~addr:b ~write:true ~bytes ());
+  Alcotest.(check int) "cleared range is silent" 0
+    (Check.report chk2).Check.rep_write_after_move
+
+let test_remap_mapout_eviction () =
+  let k, sys, chk = checked_kernel () in
+  let t = Mach.Sched.task_create sys ~name:"fs" () in
+  let disk = k.Mach.Kernel.machine.Machine.disk in
+  let cache = F.Block_cache.create k disk () in
+  F.Block_cache.map_pool cache t;
+  Test_util.run_in_thread k (fun () ->
+      (* a page mapped out WITHOUT a pin, then the ring wraps over it *)
+      (match F.Block_cache.pool_acquire cache ~pages:1 ~pin:false with
+      | Some _ -> ()
+      | None -> Alcotest.fail "pool acquire failed");
+      match F.Block_cache.pool_acquire cache ~pages:16 ~pin:false with
+      | Some _ -> ()
+      | None -> Alcotest.fail "wrapping acquire failed");
+  let rep = Check.report chk in
+  Alcotest.(check int) "one unpinned eviction" 1 rep.Check.rep_mapout_evictions;
+  (match find_kind rep "mapout-eviction" with
+  | [ f ] ->
+      Alcotest.(check bool) "without a pin" true
+        (contains f.Check.f_detail "without a pin")
+  | fs ->
+      Alcotest.failf "expected exactly one mapout-eviction finding, got %d"
+        (List.length fs));
+  (* a pinned page blocks the ring instead of being stolen *)
+  let k2, sys2, chk2 = checked_kernel () in
+  let t2 = Mach.Sched.task_create sys2 ~name:"fs" () in
+  let disk2 = k2.Mach.Kernel.machine.Machine.disk in
+  let cache2 = F.Block_cache.create k2 disk2 () in
+  F.Block_cache.map_pool cache2 t2;
+  Test_util.run_in_thread k2 (fun () ->
+      (match F.Block_cache.pool_acquire cache2 ~pages:1 ~pin:true with
+      | Some _ -> ()
+      | None -> Alcotest.fail "pinned acquire failed");
+      match F.Block_cache.pool_acquire cache2 ~pages:16 ~pin:false with
+      | Some _ -> Alcotest.fail "whole-ring acquire stole a pinned page"
+      | None -> ());
+  Alcotest.(check int) "pin held: no finding" 0
+    (Check.report chk2).Check.rep_mapout_evictions;
+  Alcotest.(check int) "one page still pinned" 1 (F.Block_cache.pool_pinned cache2)
+
+let test_remap_zero_copy_clean () =
+  (* the file server's zero-copy read/write protocol, end to end under
+     the checker: donations recorded, nothing flagged *)
+  let k, sys, chk = checked_kernel () in
+  let runtime = Mk_services.Runtime.install k in
+  let disk = k.Mach.Kernel.machine.Machine.disk in
+  F.Hpfs.mkfs disk ();
+  let vfs = F.Vfs.create () in
+  let cache = F.Block_cache.create k disk () in
+  (match F.Hpfs.mount cache () with
+  | Ok pfs -> (
+      match F.Vfs.mount vfs ~at:"/os2" pfs with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail (F.Fs_types.fs_error_to_string e));
+  let fs = F.File_server.start k runtime vfs () in
+  let sem = F.Vfs.os2_semantics in
+  let ok label = function
+    | Ok v -> v
+    | Error e -> Alcotest.failf "%s: %s" label (F.Fs_types.fs_error_to_string e)
+  in
+  Test_util.run_in_thread k (fun () ->
+      let h =
+        ok "open" (F.File_server.Client.open_ fs sem ~path:"/os2/zc" ~create:true ())
+      in
+      let data = Bytes.init 8192 (fun i -> Char.chr (i land 0x7f)) in
+      ignore (ok "write_zc" (F.File_server.Client.write_zc fs h data) : int);
+      F.File_server.Client.seek fs h ~pos:0;
+      let got = ok "read_zc" (F.File_server.Client.read_zc fs h ~bytes:8192) in
+      Alcotest.(check int) "round trip length" 8192 (Bytes.length got);
+      F.File_server.Client.close fs h);
+  ignore sys;
+  let rep = Check.report chk in
+  Alcotest.(check bool) "donation observed" true (rep.Check.rep_remap_moves >= 1);
+  Alcotest.(check int) "zero findings" 0 (Check.total_findings rep)
+
 (* --- supervised restart: the dead incarnation holds nothing -------------- *)
 
 let test_restart_zero_residual_rights () =
@@ -452,6 +585,14 @@ let suite =
       test_buffer_use_after_release;
     Alcotest.test_case "buffers: sustained traffic clean" `Quick
       test_buffer_clean_traffic;
+    Alcotest.test_case "remap: double move detected" `Quick
+      test_remap_double_move;
+    Alcotest.test_case "remap: write after move detected" `Quick
+      test_remap_write_after_move;
+    Alcotest.test_case "remap: unpinned mapout eviction detected" `Quick
+      test_remap_mapout_eviction;
+    Alcotest.test_case "remap: zero-copy file protocol clean" `Quick
+      test_remap_zero_copy_clean;
     Alcotest.test_case "restart leaves zero residual rights" `Quick
       test_restart_zero_residual_rights;
     Alcotest.test_case "table1+micro clean under machcheck" `Quick

@@ -365,6 +365,31 @@ let test_file_server_mapped_read () =
       ignore k;
       F.File_server.Client.close fs h)
 
+let test_file_server_zero_copy () =
+  with_file_server (fun _k fs ->
+      let sem = F.Vfs.os2_semantics in
+      let h =
+        ok "open" (F.File_server.Client.open_ fs sem ~path:"/os2/zc" ~create:true ())
+      in
+      let data = Bytes.init 8192 (fun i -> Char.chr (i land 0x7f)) in
+      let self = (Mach.Sched.self ()).Mach.Ktypes.t_task in
+      let entries0 = Mach.Vm.entry_count self in
+      let n = ok "write_zc" (F.File_server.Client.write_zc fs h data) in
+      Alcotest.(check int) "donated write" 8192 n;
+      Alcotest.(check int) "donated buffer torn down" entries0
+        (Mach.Vm.entry_count self);
+      F.File_server.Client.seek fs h ~pos:0;
+      let got = ok "read_zc" (F.File_server.Client.read_zc fs h ~bytes:8192) in
+      Alcotest.(check bytes) "round trip" data got;
+      Alcotest.(check int) "reply mapping torn down" entries0
+        (Mach.Vm.entry_count self);
+      (* the next request drops the previous reply's pin, so the pool
+         can be reused for a second read *)
+      F.File_server.Client.seek fs h ~pos:0;
+      let got2 = ok "read_zc again" (F.File_server.Client.read_zc fs h ~bytes:4096) in
+      Alcotest.(check bytes) "prefix" (Bytes.sub data 0 4096) got2;
+      F.File_server.Client.close fs h)
+
 let test_stale_handle () =
   with_file_server (fun _k fs ->
       let sem = F.Vfs.os2_semantics in
@@ -417,6 +442,8 @@ let suite =
     Alcotest.test_case "vfs paths" `Quick test_vfs_paths;
     Alcotest.test_case "file server client" `Quick test_file_server_client;
     Alcotest.test_case "file server mapped read" `Quick test_file_server_mapped_read;
+    Alcotest.test_case "file server zero-copy read/write" `Quick
+      test_file_server_zero_copy;
     Alcotest.test_case "stale handle" `Quick test_stale_handle;
   ]
 

@@ -292,6 +292,59 @@ let rights_conservation =
       && rep.Check.rep_right_double_frees = 0
       && rep.Check.rep_right_downgrades = 0)
 
+(* --- zero-copy transfers: stamps arrive intact and never alias ------------- *)
+
+(* Random sequences of the three out-of-line transfer shapes (donate,
+   snapshot-share, lazy Mach copy).  After any of them the receiver must
+   read the stamp the sender wrote, a move must leave the sender with
+   zero-fill memory, and post-transfer writes on either side must stay
+   private — page remapping is an optimization, never a channel. *)
+let remap_transfer_correct =
+  QCheck.Test.make ~name:"remap transfers deliver stamps and never alias"
+    ~count:30
+    QCheck.(
+      list_of_size Gen.(1 -- 12) (pair (int_bound 2) (int_range 1 10_000)))
+    (fun ops ->
+      let k = Test_util.kernel_on () in
+      let sys = k.Mach.Kernel.sys in
+      let src = Mach.Kernel.task_create k ~name:"sender" () in
+      let dst = Mach.Kernel.task_create k ~name:"receiver" () in
+      let holds = ref true in
+      let expect cond = if not cond then holds := false in
+      ignore
+        (Mach.Kernel.thread_spawn k src ~name:"sender" (fun () ->
+             List.iter
+               (fun (mode, stamp) ->
+                 let bytes = Mach.Ktypes.page_size in
+                 let a = Mach.Vm.allocate sys src ~bytes () in
+                 Mach.Vm.write_stamp sys src ~addr:a stamp;
+                 let b =
+                   match mode with
+                   | 0 ->
+                       Mach.Vm.remap_move sys ~src_task:src ~addr:a ~bytes
+                         ~dst_task:dst
+                   | 1 ->
+                       Mach.Vm.remap_cow sys ~src_task:src ~addr:a ~bytes
+                         ~dst_task:dst
+                   | _ ->
+                       Mach.Vm.virtual_copy sys ~src_task:src ~addr:a ~bytes
+                         ~dst_task:dst
+                 in
+                 expect (Mach.Vm.read_stamp sys dst ~addr:b = stamp);
+                 if mode = 0 then
+                   (* donation leaves the sender fresh zero-fill *)
+                   expect (Mach.Vm.read_stamp sys src ~addr:a = 0);
+                 Mach.Vm.write_stamp sys src ~addr:a (stamp + 1);
+                 expect (Mach.Vm.read_stamp sys dst ~addr:b = stamp);
+                 Mach.Vm.write_stamp sys dst ~addr:b (stamp + 2);
+                 expect (Mach.Vm.read_stamp sys src ~addr:a = stamp + 1);
+                 Mach.Vm.deallocate sys src ~addr:a;
+                 Mach.Vm.deallocate sys dst ~addr:b)
+               ops)
+          : Mach.Ktypes.thread);
+      Mach.Kernel.run k;
+      !holds)
+
 let suite =
   List.map qtest
     [
@@ -306,4 +359,5 @@ let suite =
       vm_residency_bounded;
       malloc_no_overlap;
       rights_conservation;
+      remap_transfer_correct;
     ]
