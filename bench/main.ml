@@ -132,14 +132,15 @@ let fault_sweep () =
   Printf.printf
     "%d clients x %d edit sessions per point; seed %d; baseline %.0f cycles/op\n\n"
     r.r_clients r.r_sessions r.r_seed r.r_baseline_cycles_per_op;
-  Printf.printf "%10s %10s %10s %8s %8s %9s %8s %14s %12s\n" "crash_ppm"
-    "completed" "crashes" "restarts" "retries" "reopens" "gave_up"
+  Printf.printf "%10s %10s %10s %10s %8s %8s %9s %8s %14s %12s\n" "crash_ppm"
+    "completed" "crashes" "disk_flts" "restarts" "retries" "reopens" "gave_up"
     "cycles/op" "added/op";
   List.iter
     (fun p ->
-      Printf.printf "%10d %6d/%-3d %10d %8d %8d %9d %8b %14.0f %12.0f\n"
-        p.p_crash_ppm p.p_completed p.p_ops p.p_injected_crashes p.p_restarts
-        p.p_retries p.p_reopens p.p_gave_up p.p_cycles_per_op
+      Printf.printf "%10d %6d/%-3d %10d %10d %8d %8d %9d %8b %14.0f %12.0f\n"
+        p.p_crash_ppm p.p_completed p.p_ops p.p_injected_crashes
+        p.p_disk_faults p.p_restarts p.p_retries p.p_reopens p.p_gave_up
+        p.p_cycles_per_op
         (p.p_cycles_per_op -. r.r_baseline_cycles_per_op))
     r.r_points;
   let json = to_json r in
@@ -148,12 +149,63 @@ let fault_sweep () =
   close_out oc;
   Printf.printf "\nwrote BENCH_faults.json\n"
 
+(* --- recovery-sweep: crash-point enumeration over the journalled FS ----------- *)
+
+let recovery_sweep () =
+  hr "recovery-sweep: power cut at every disk write, recover, verify";
+  (* exhaustive: the cap sits far above the script's write count, so
+     every single crash point is enumerated, none sampled *)
+  let r = Workloads.Recovery_sweep.run ~max_points:1024 () in
+  let open Workloads.Recovery_sweep in
+  Printf.printf
+    "%d scripted ops issue %d disk writes; %d crash point(s) checked%s\n\
+     lost acknowledged writes: %d   torn recovered states: %d   (expected 0/0)\n\n"
+    r.r_ops r.r_total_writes r.r_points_checked
+    (if r.r_exhaustive then " (exhaustive)" else " (sampled)")
+    r.r_lost_writes r.r_torn_states;
+  Printf.printf "%8s %8s %10s %10s %10s %6s %6s %14s\n" "write" "acked"
+    "replayed" "blocks" "discarded" "lost" "torn" "recovery_cyc";
+  List.iter
+    (fun p ->
+      Printf.printf "%8d %8d %10d %10d %10d %6d %6d %14d\n" p.cp_write
+        p.cp_acked p.cp_replayed_txns p.cp_replayed_blocks p.cp_discarded
+        p.cp_lost p.cp_torn p.cp_recovery_cycles)
+    r.r_points;
+  Printf.printf "\njournal overhead vs the same engine without a journal:\n";
+  Printf.printf "%6s %16s %16s %10s %12s %12s %10s\n" "ops" "plain cyc/op"
+    "jfs cyc/op" "overhead" "plain wr" "jfs wr" "jrecords";
+  List.iter
+    (fun p ->
+      Printf.printf "%6d %16.0f %16.0f %9.1f%% %12d %12d %10d\n" p.ov_ops
+        p.ov_plain_cycles_per_op p.ov_jfs_cycles_per_op
+        (if p.ov_plain_cycles_per_op > 0.0 then
+           (p.ov_jfs_cycles_per_op -. p.ov_plain_cycles_per_op)
+           /. p.ov_plain_cycles_per_op *. 100.0
+         else 0.0)
+        p.ov_plain_disk_writes p.ov_jfs_disk_writes p.ov_journal_records)
+    r.r_overhead;
+  Printf.printf "\nrecovery latency vs journal fill:\n";
+  Printf.printf "%6s %10s %10s %10s %14s\n" "ops" "jrecords" "replayed"
+    "blocks" "recovery_cyc";
+  List.iter
+    (fun p ->
+      Printf.printf "%6d %10d %10d %10d %14d\n" p.lt_ops p.lt_journal_records
+        p.lt_replayed_txns p.lt_replayed_blocks p.lt_recovery_cycles)
+    r.r_latency;
+  let json = to_json r in
+  let oc = open_out "BENCH_recovery.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\nwrote BENCH_recovery.json\n";
+  if r.r_lost_writes > 0 || r.r_torn_states > 0 then exit 1
+
 (* --- machcheck: the analysis layer over the stress workloads ------------------ *)
 
 let machcheck () =
   hr "machcheck: rights / deadlock / buffer sanitizers over the stress workloads";
   let ipc = Workloads.Ipc_stress.run ~checks:true () in
   let flt = Workloads.Fault_sweep.run ~checks:true () in
+  let rcv = Workloads.Recovery_sweep.run ~ops:8 ~max_points:32 ~checks:true () in
   let print name = function
     | Some rep ->
         Printf.printf "%s:\n%s\n" name
@@ -162,13 +214,18 @@ let machcheck () =
   in
   print "ipc-stress" ipc.Workloads.Ipc_stress.r_check;
   print "fault-sweep" flt.Workloads.Fault_sweep.r_check;
+  print "recovery-sweep" rcv.Workloads.Recovery_sweep.r_check;
   let total =
     List.fold_left
       (fun acc -> function
         | Some rep -> acc + Check.total_findings rep
         | None -> acc)
       0
-      [ ipc.Workloads.Ipc_stress.r_check; flt.Workloads.Fault_sweep.r_check ]
+      [
+        ipc.Workloads.Ipc_stress.r_check;
+        flt.Workloads.Fault_sweep.r_check;
+        rcv.Workloads.Recovery_sweep.r_check;
+      ]
   in
   let b = Buffer.create 512 in
   Buffer.add_string b "{\n";
@@ -181,7 +238,11 @@ let machcheck () =
   | Some rep -> Printf.bprintf b "    \"ipc-stress\": %s,\n" (Check.to_json rep)
   | None -> ());
   (match flt.Workloads.Fault_sweep.r_check with
-  | Some rep -> Printf.bprintf b "    \"fault-sweep\": %s\n" (Check.to_json rep)
+  | Some rep -> Printf.bprintf b "    \"fault-sweep\": %s,\n" (Check.to_json rep)
+  | None -> ());
+  (match rcv.Workloads.Recovery_sweep.r_check with
+  | Some rep ->
+      Printf.bprintf b "    \"recovery-sweep\": %s\n" (Check.to_json rep)
   | None -> ());
   Buffer.add_string b "  }\n}\n";
   let oc = open_out "BENCH_check.json" in
@@ -462,6 +523,7 @@ let experiments =
     ("figure-ipc", figure_ipc);
     ("ipc-stress", ipc_stress);
     ("fault-sweep", fault_sweep);
+    ("recovery-sweep", recovery_sweep);
     ("machcheck", machcheck);
     ("figure1", figure1);
     ("fileserver-factor", fileserver_factor);
@@ -498,13 +560,29 @@ let smoke () =
       ~checks:true ()
   in
   write "BENCH_faults.json" (Workloads.Fault_sweep.to_json flt);
+  let rcv =
+    Workloads.Recovery_sweep.run ~ops:4 ~max_points:12 ~series:[ 4 ]
+      ~checks:true ()
+  in
+  write "BENCH_recovery.json" (Workloads.Recovery_sweep.to_json rcv);
+  if
+    rcv.Workloads.Recovery_sweep.r_lost_writes > 0
+    || rcv.Workloads.Recovery_sweep.r_torn_states > 0
+  then begin
+    Printf.printf "recovery smoke found lost/torn state\n";
+    exit 1
+  end;
   let findings =
     List.fold_left
       (fun acc -> function
         | Some rep -> acc + Check.total_findings rep
         | None -> acc)
       0
-      [ ipc.Workloads.Ipc_stress.r_check; flt.Workloads.Fault_sweep.r_check ]
+      [
+        ipc.Workloads.Ipc_stress.r_check;
+        flt.Workloads.Fault_sweep.r_check;
+        rcv.Workloads.Recovery_sweep.r_check;
+      ]
   in
   Printf.printf "machcheck findings across smoke runs: %d (expected 0)\n"
     findings;

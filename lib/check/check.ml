@@ -32,6 +32,9 @@ type report = {
   rep_double_moves : int;
   rep_write_after_move : int;
   rep_mapout_evictions : int;
+  rep_crash_points : int;
+  rep_lost_writes : int;
+  rep_torn_states : int;
   rep_findings : finding list;
 }
 
@@ -83,6 +86,10 @@ type t = {
   mutable n_double_move : int;
   mutable n_write_after_move : int;
   mutable n_mapout_evict : int;
+  (* crash consistency: points enumerated, recovery invariant breaks *)
+  mutable crash_points : int;
+  mutable n_lost_writes : int;
+  mutable n_torn_states : int;
 }
 
 let create () =
@@ -111,6 +118,9 @@ let create () =
     n_double_move = 0;
     n_write_after_move = 0;
     n_mapout_evict = 0;
+    crash_points = 0;
+    n_lost_writes = 0;
+    n_torn_states = 0;
   }
 
 let new_space t =
@@ -412,6 +422,18 @@ let cache_reused t ~space ~addr ~tag =
            (if pinned then " despite its pin" else " without a pin"));
       Hashtbl.remove t.mapped_out (space, addr)
 
+(* --- crash-consistency checker ------------------------------------------ *)
+
+let crash_point_checked t ~space:_ = t.crash_points <- t.crash_points + 1
+
+let crash_lost_write t ~space:_ detail =
+  t.n_lost_writes <- t.n_lost_writes + 1;
+  record t ~checker:"crash" ~kind:"lost-write" detail
+
+let crash_torn_state t ~space:_ detail =
+  t.n_torn_states <- t.n_torn_states + 1;
+  record t ~checker:"crash" ~kind:"torn-state" detail
+
 (* --- reporting ---------------------------------------------------------- *)
 
 let findings t = List.rev t.recorded
@@ -457,6 +479,9 @@ let report t =
     rep_double_moves = t.n_double_move;
     rep_write_after_move = t.n_write_after_move;
     rep_mapout_evictions = t.n_mapout_evict;
+    rep_crash_points = t.crash_points;
+    rep_lost_writes = t.n_lost_writes;
+    rep_torn_states = t.n_torn_states;
     rep_findings = findings t @ leaks;
   }
 
@@ -464,6 +489,7 @@ let total_findings r =
   r.rep_leaked_rights + r.rep_right_double_frees + r.rep_right_downgrades
   + r.rep_wait_cycles + r.rep_buf_double_releases + r.rep_buf_use_after_release
   + r.rep_double_moves + r.rep_write_after_move + r.rep_mapout_evictions
+  + r.rep_lost_writes + r.rep_torn_states
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -499,6 +525,9 @@ let to_json r =
   field "double_moves" r.rep_double_moves;
   field "write_after_move" r.rep_write_after_move;
   field "mapout_evictions" r.rep_mapout_evictions;
+  field "crash_points" r.rep_crash_points;
+  field "lost_writes" r.rep_lost_writes;
+  field "torn_states" r.rep_torn_states;
   field "total_findings" (total_findings r);
   Buffer.add_string b "\"findings\": [";
   List.iteri
@@ -520,13 +549,15 @@ let pp_report ppf r =
      deadlock : %d blocks tracked, %d wait-cycle(s)@,\
      buffers  : %d shadowed, %d double-release, %d use-after-release@,\
      remap    : %d moves, %d double-move, %d write-after-move, %d \
-     mapout-eviction@]"
+     mapout-eviction@,\
+     crash    : %d point(s) checked, %d lost-write, %d torn-state@]"
     r.rep_spaces (total_findings r) r.rep_right_transitions r.rep_live_rights
     r.rep_leaked_rights r.rep_right_double_frees r.rep_right_downgrades
     r.rep_teardown_residual r.rep_blocks_tracked r.rep_wait_cycles
     r.rep_buf_shadowed r.rep_buf_double_releases r.rep_buf_use_after_release
     r.rep_remap_moves r.rep_double_moves r.rep_write_after_move
-    r.rep_mapout_evictions;
+    r.rep_mapout_evictions r.rep_crash_points r.rep_lost_writes
+    r.rep_torn_states;
   if r.rep_findings <> [] then begin
     Format.fprintf ppf "@.";
     List.iter

@@ -35,9 +35,11 @@ val right_rank : right -> int
 (** Receive > send > send-once, as in {!Mach.Port}. *)
 
 type finding = {
-  f_checker : string;  (* "rights" | "deadlock" | "buffer" *)
+  f_checker : string;  (* "rights" | "deadlock" | "buffer" | "remap"
+                          | "crash" *)
   f_kind : string;  (* "leak" | "double-free" | "downgrade" | "wait-cycle"
-                       | "double-release" | "use-after-release" *)
+                       | "double-release" | "use-after-release"
+                       | "lost-write" | "torn-state" | ... *)
   f_detail : string;
 }
 
@@ -63,6 +65,10 @@ type report = {
   rep_double_moves : int;
   rep_write_after_move : int;
   rep_mapout_evictions : int;
+  (* crash-consistency checker *)
+  rep_crash_points : int;  (* crash points enumerated and verified *)
+  rep_lost_writes : int;  (* acknowledged writes missing after recovery *)
+  rep_torn_states : int;  (* recovery left a structural invariant broken *)
   rep_findings : finding list;  (* oldest first; includes leak findings *)
 }
 
@@ -208,6 +214,22 @@ val cache_reused : t -> space:int -> addr:int -> tag:string -> unit
 (** The cache recycled the page for other data.  If it was still mapped
     out, a "mapout-eviction" finding fires — the client now reads bytes
     that belong to someone else. *)
+
+(* --- crash-consistency checker ------------------------------------------ *)
+
+val crash_point_checked : t -> space:int -> unit
+(** One crash point (power cut after the Nth disk write) was enumerated,
+    recovered from, and its invariants verified.  Counter only — the
+    interesting outputs are the findings below, or their absence. *)
+
+val crash_lost_write : t -> space:int -> string -> unit
+(** A write the file system acknowledged before the crash is missing or
+    wrong after recovery — a "lost-write" finding. *)
+
+val crash_torn_state : t -> space:int -> string -> unit
+(** Recovery left the volume structurally inconsistent (an fsck
+    invariant failed, or an un-acknowledged op is partially visible) —
+    a "torn-state" finding. *)
 
 (* --- reporting ---------------------------------------------------------- *)
 

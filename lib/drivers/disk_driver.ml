@@ -232,4 +232,30 @@ let requests t = t.reqs
 let interrupts_taken t = t.intrs
 let driver_task t = t.u_task
 
+(* --- storage fault injection -------------------------------------------- *)
+
+(* Route every media write of [disk] through the kernel's fault plan.
+   The interceptor reads [sys.faults] at each write, so plans can be
+   installed, swapped, or cleared without re-arming; with no plan (or
+   Machcheck-style off mode) the write passes untouched.  Reorder holds
+   are bounded to a small window — barriers flush them regardless. *)
+let arm_faults (kernel : Mach.Kernel.t) disk =
+  let sys = kernel.Mach.Kernel.sys in
+  let dname = Machine.Disk.name disk in
+  Machine.Disk.set_write_interceptor disk
+    (Some
+       (fun ~block:_ ~data:_ ->
+         match sys.Mach.Sched.faults with
+         | None -> Machine.Disk.Wf_pass
+         | Some plan -> (
+             match Mach.Fault.on_disk_write plan ~disk:dname with
+             | Mach.Fault.D_pass -> Machine.Disk.Wf_pass
+             | Mach.Fault.D_power_cut -> Machine.Disk.Wf_power_cut
+             | Mach.Fault.D_torn r -> Machine.Disk.Wf_torn r
+             | Mach.Fault.D_bit_rot r -> Machine.Disk.Wf_bit_rot r
+             | Mach.Fault.D_reorder r ->
+                 Machine.Disk.Wf_reorder (1 + (r mod 4)))))
+
+let disarm_faults disk = Machine.Disk.set_write_interceptor disk None
+
 let _ = block_size

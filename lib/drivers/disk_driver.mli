@@ -33,3 +33,12 @@ val requests : t -> int
 val interrupts_taken : t -> int
 val driver_task : t -> Mach.Ktypes.task option
 (** The driver task ([Some] only for the user-level architecture). *)
+
+val arm_faults : Mach.Kernel.t -> Machine.Disk.t -> unit
+(** Install a write interceptor on the disk that consults the kernel's
+    fault plan ([sys.faults]) at every media write, mapping
+    {!Mach.Fault.disk_decision}s to device faults (power-cut, torn
+    write, bit-rot, bounded reordering).  With no plan installed every
+    write passes untouched. *)
+
+val disarm_faults : Machine.Disk.t -> unit

@@ -192,13 +192,40 @@ let flush t =
       end)
     t.slots
 
+(* Blocking barrier: returns once every write submitted so far has
+   reached the media (and any reorder-held writes have landed).  Outside
+   a thread everything was written synchronously, so the barrier
+   completes immediately unless the device is mid-request. *)
+let barrier_wait t =
+  if in_thread t then begin
+    let sys = t.kernel.Mach.Kernel.sys in
+    let th = Mach.Sched.self () in
+    let arrived = ref false in
+    Machine.Disk.barrier t.disk (fun () ->
+        arrived := true;
+        Mach.Sched.wake sys th);
+    while not !arrived do
+      ignore (Mach.Sched.block "disk-barrier" : Mach.Ktypes.kern_return)
+    done
+  end
+  else Machine.Disk.barrier t.disk (fun () -> ())
+
+let flush_wait t =
+  flush t;
+  barrier_wait t
+
 let lru_block t =
   let victim = t.lru.prev in
   if victim == t.lru then None else Some victim.s_block
 
+let dirty_blocks t =
+  Hashtbl.fold (fun _ s acc -> if s.dirty then acc + 1 else acc) t.slots 0
+
 let hits t = t.hits
 let misses t = t.misses
 let writebacks t = t.writebacks
+let kernel t = t.kernel
+let disk t = t.disk
 
 (* --- mapout pool --------------------------------------------------------- *)
 
@@ -297,3 +324,30 @@ let pool_pinned t =
       Array.fold_left
         (fun acc s -> if s.p_pinned then acc + 1 else acc)
         0 p.pool_slots
+
+(* Forget every mapout from a dead incarnation.  The pages belonged to
+   replies that no longer have a client (the server's ports died with
+   it), so unmapping them is reclamation, not a lifetime violation. *)
+let pool_reset t =
+  match t.pool with
+  | None -> ()
+  | Some p ->
+      let sys = t.kernel.Mach.Kernel.sys in
+      Array.iteri
+        (fun i slot ->
+          if slot.p_out then
+            Mach.Mcheck.cache_unmapped sys
+              ~addr:(p.pool_base + (i * Mach.Ktypes.page_size));
+          slot.p_out <- false;
+          slot.p_pinned <- false)
+        p.pool_slots;
+      p.pool_next <- 0
+
+(* Drop every slot without writeback — used on the journalled recovery
+   path, where the journal (not the dirty cache) is the truth and stale
+   cached copies would mask replayed blocks. *)
+let invalidate t =
+  Hashtbl.reset t.slots;
+  t.lru.next <- t.lru;
+  t.lru.prev <- t.lru;
+  pool_reset t

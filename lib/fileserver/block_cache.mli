@@ -21,6 +21,21 @@ val flush : t -> unit
 (** Queue write-back of every dirty block (fire-and-forget: the disk
     services them in order, delaying subsequent misses). *)
 
+val flush_wait : t -> unit
+(** Durable flush: queue write-back of every dirty block, then block the
+    calling thread on a disk barrier until all of it (and any
+    reorder-held writes) has reached the media.  The journal checkpoints
+    through this. *)
+
+val barrier_wait : t -> unit
+(** The barrier half of {!flush_wait} alone. *)
+
+val invalidate : t -> unit
+(** Drop every cached block {e without} write-back and reset the mapout
+    pool.  Used when recovering a journalled file system: the journal is
+    the truth, and dirty blocks from the dead incarnation must not mask
+    replayed state. *)
+
 val lru_block : t -> int option
 (** The block that would be evicted next (least recently accessed), if
     the cache is non-empty. *)
@@ -29,6 +44,12 @@ val block_size : t -> int
 val hits : t -> int
 val misses : t -> int
 val writebacks : t -> int
+
+val dirty_blocks : t -> int
+(** Currently dirty cached blocks (observability for tests). *)
+
+val kernel : t -> Mach.Kernel.t
+val disk : t -> Machine.Disk.t
 
 (** {2 Mapout pool}
 
@@ -58,3 +79,8 @@ val pool_release : t -> addr:int -> pages:int -> unit
 
 val pool_pinned : t -> int
 (** Currently pinned pool pages (observability for tests). *)
+
+val pool_reset : t -> unit
+(** Unpin and unmap every pool page — restart reclamation for a dead
+    server incarnation whose replies can no longer be released by their
+    clients. *)

@@ -45,7 +45,13 @@ type t = {
   cache : Block_cache.t;
   cfg : config;
   g : geom;
-  mutable journal_head : int;
+  journal : Journal.t option;  (* Some iff the config is journalled *)
+  (* Transaction overlay: while an operation is open, mutated blocks are
+     buffered here instead of the cache, so nothing (not even an
+     eviction) can reach the disk before the journal commit.  On success
+     the overlay is journalled, then applied to the cache; on error it
+     is simply dropped — operation-level rollback. *)
+  mutable txn : (int * bytes) list option;  (* newest first *)
 }
 
 (* journal write counters per cache, for observability *)
@@ -60,6 +66,16 @@ let journal_counter cache =
       r
 
 let journal_writes cache = !(journal_counter cache)
+
+(* last recovery scan per cache, for observability *)
+let recoveries : (Block_cache.t * Journal.recovery) list ref = ref []
+
+let set_recovery cache rv =
+  recoveries :=
+    (cache, rv) :: List.filter (fun (c, _) -> c != cache) !recoveries
+
+let last_recovery cache =
+  Option.map snd (List.find_opt (fun (c, _) -> c == cache) !recoveries)
 
 let get16 b off = Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
 
@@ -94,22 +110,52 @@ let geom_of cfg ~start ~blocks ~inodes =
     data_blocks = blocks - data_start;
   }
 
-(* --- metadata writes (journalled) --------------------------------------- *)
+(* --- block access through the transaction overlay ----------------------- *)
 
-let journal_append t =
-  if t.cfg.cfg_journalled && t.g.journal_blocks > 0 then begin
-    let slot = t.journal_head mod t.g.journal_blocks in
-    t.journal_head <- t.journal_head + 1;
-    incr (journal_counter t.cache);
-    let rec_block = t.g.start + t.g.journal_start + slot in
-    let b = Bytes.make block_size '\000' in
-    set32 b 0 t.journal_head;
-    Block_cache.write t.cache rec_block b
-  end
+let cache_read t block =
+  match t.txn with
+  | Some ov -> (
+      match List.assoc_opt block ov with
+      | Some d -> Bytes.copy d
+      | None -> Block_cache.read t.cache block)
+  | None -> Block_cache.read t.cache block
 
-let meta_write t block data =
-  journal_append t;
-  Block_cache.write t.cache block data
+let cache_write t block data =
+  match t.txn with
+  | Some ov ->
+      t.txn <- Some ((block, Bytes.copy data) :: List.remove_assoc block ov)
+  | None -> Block_cache.write t.cache block data
+
+let meta_write t block data = cache_write t block data
+
+(* Run one mutating operation as a journal transaction.  On [Ok] the
+   overlay is committed (journal records + barrier, the durability
+   point) and applied to the write-back cache; on [Error] or an
+   exception the overlay is discarded and the volume is untouched.
+   Non-journalled configs run the operation directly. *)
+let in_txn t f =
+  match t.journal with
+  | None -> f ()
+  | Some _ when t.txn <> None -> f ()  (* nested: join the open txn *)
+  | Some j -> (
+      t.txn <- Some [];
+      match f () with
+      | exception e ->
+          t.txn <- None;
+          raise e
+      | Error _ as r ->
+          t.txn <- None;
+          r
+      | Ok _ as r ->
+          let ov =
+            match t.txn with Some o -> List.rev o | None -> []
+          in
+          t.txn <- None;
+          if ov <> [] then begin
+            Journal.commit j ov;
+            List.iter (fun (b, d) -> Block_cache.write t.cache b d) ov
+          end;
+          r)
 
 (* --- bitmap -------------------------------------------------------------- *)
 
@@ -122,12 +168,12 @@ let bitmap_locate t data_block =
 
 let block_used t data_block =
   let block, byte, mask = bitmap_locate t data_block in
-  let b = Block_cache.read t.cache block in
+  let b = cache_read t block in
   Char.code (Bytes.get b byte) land mask <> 0
 
 let set_block t data_block used =
   let block, byte, mask = bitmap_locate t data_block in
-  let b = Block_cache.read t.cache block in
+  let b = cache_read t block in
   let v = Char.code (Bytes.get b byte) in
   let v = if used then v lor mask else v land lnot mask in
   Bytes.set b byte (Char.chr (v land 0xff));
@@ -160,7 +206,7 @@ let read_inode t ino =
   if ino < 0 || ino >= t.g.inodes then Error E_bad_handle
   else begin
     let block, off = inode_location t ino in
-    let b = Block_cache.read t.cache block in
+    let b = cache_read t block in
     let flags = get32 b off in
     let extents = ref [] in
     for i = max_extents - 1 downto 0 do
@@ -180,7 +226,7 @@ let read_inode t ino =
 
 let write_inode t (i : inode) =
   let block, off = inode_location t i.ino in
-  let b = Block_cache.read t.cache block in
+  let b = cache_read t block in
   set32 b off ((if i.i_used then 1 else 0) lor if i.i_dir then 2 else 0);
   set32 b (off + 4) i.i_size;
   List.iteri
@@ -274,7 +320,7 @@ let read_data t (i : inode) ~off ~len =
       match nth_block t i (fpos / block_size) with
       | None -> ()  (* hole *)
       | Some block ->
-          let b = Block_cache.read t.cache block in
+          let b = cache_read t block in
           let boff = fpos mod block_size in
           let n = min (block_size - boff) (len - pos) in
           Bytes.blit b boff out pos n;
@@ -332,10 +378,10 @@ let write_data t (i : inode) ~off data =
           let n = min (block_size - boff) (len - pos) in
           let b =
             if n = block_size then Bytes.make block_size '\000'
-            else Block_cache.read t.cache block
+            else cache_read t block
           in
           Bytes.blit data pos b boff n;
-          Block_cache.write t.cache block b;
+          cache_write t block b;
           copy (pos + n)
     end
   in
@@ -387,7 +433,6 @@ let write_entries t (i : inode) entries =
     entries;
   Buffer.add_string buf "\000\000\000\000\000\000\000\000";
   let data = Buffer.to_bytes buf in
-  journal_append t;
   let* (_ : int) = write_data t i ~off:0 data in
   i.i_size <- Bytes.length data;
   write_inode t i;
@@ -396,6 +441,148 @@ let write_entries t (i : inode) entries =
 let find_in_dir t (i : inode) name =
   let cname = canon t name in
   List.find_opt (fun (n, _) -> canon t n = cname) (dir_entries t i)
+
+(* --- fsck ----------------------------------------------------------------- *)
+
+(* Full invariant scan of the volume, trusting nothing: extent ranges,
+   cross-links, bitmap-vs-extents agreement, strict directory-entry
+   parsing, dangling and duplicate entries, reference counts, and sizes
+   against held blocks.  Every violation is one human-readable finding;
+   a consistent volume yields none. *)
+let fsck_scan t =
+  let findings = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> findings := s :: !findings) fmt in
+  let sb = cache_read t t.g.start in
+  if Bytes.sub_string sb 0 4 <> magic then add "superblock: bad magic";
+  let claims = Array.make t.g.data_blocks 0 in
+  let inodes = Array.make t.g.inodes None in
+  for ino = 0 to t.g.inodes - 1 do
+    match read_inode t ino with
+    | Error _ -> add "inode %d: unreadable" ino
+    | Ok i ->
+        if i.i_used then begin
+          inodes.(ino) <- Some i;
+          List.iter
+            (fun (s, l) ->
+              if s < 0 || l <= 0 || s + l > t.g.data_blocks then
+                add "inode %d: extent (%d,%d) out of range" ino s l
+              else
+                for b = s to s + l - 1 do
+                  claims.(b) <- claims.(b) + 1
+                done)
+            i.i_extents;
+          if i.i_size < 0 || i.i_size > blocks_held i * block_size then
+            add "inode %d: size %d exceeds %d held bytes" ino i.i_size
+              (blocks_held i * block_size)
+        end
+  done;
+  Array.iteri
+    (fun b c -> if c > 1 then add "block %d: cross-linked (%d claims)" b c)
+    claims;
+  (* bitmap vs extents, one bitmap block at a time *)
+  for bb = 0 to t.g.bitmap_blocks - 1 do
+    let b = cache_read t (t.g.start + t.g.bitmap_start + bb) in
+    for byte = 0 to block_size - 1 do
+      let v = Char.code (Bytes.get b byte) in
+      for bit = 0 to 7 do
+        let db = (bb * block_size * 8) + (byte * 8) + bit in
+        if db < t.g.data_blocks then begin
+          let used = v land (1 lsl bit) <> 0 in
+          if used && claims.(db) = 0 then
+            add "block %d: allocated but unreferenced" db
+          else if (not used) && claims.(db) > 0 then
+            add "block %d: in use but free in bitmap" db
+        end
+      done
+    done
+  done;
+  (* directory walk from the root, with strict entry parsing *)
+  let refs = Array.make t.g.inodes 0 in
+  let visited = Array.make t.g.inodes false in
+  let rec walk ino =
+    if not visited.(ino) then begin
+      visited.(ino) <- true;
+      match inodes.(ino) with
+      | Some i when i.i_dir ->
+          let data = read_data t i ~off:0 ~len:i.i_size in
+          let seen = Hashtbl.create 8 in
+          let rec parse off =
+            if off + 8 > Bytes.length data then ()
+            else
+              let total = get16 data off in
+              if total = 0 then ()
+              else if total < 8 || off + total > Bytes.length data then
+                add "dir %d: torn entry at offset %d" ino off
+              else begin
+                let e_ino = get32 data (off + 2) in
+                let nlen = get16 data (off + 6) in
+                if nlen <> total - 8 || nlen = 0 then
+                  add "dir %d: malformed entry at offset %d" ino off
+                else begin
+                  let name = Bytes.sub_string data (off + 8) nlen in
+                  (match valid_name t name with
+                  | Error _ -> add "dir %d: invalid name %S" ino name
+                  | Ok _ -> ());
+                  let cname = canon t name in
+                  if Hashtbl.mem seen cname then
+                    add "dir %d: duplicate entry %S" ino name
+                  else Hashtbl.add seen cname ();
+                  if e_ino < 0 || e_ino >= t.g.inodes || inodes.(e_ino) = None
+                  then add "dir %d: entry %S references free inode %d" ino name e_ino
+                  else begin
+                    refs.(e_ino) <- refs.(e_ino) + 1;
+                    match inodes.(e_ino) with
+                    | Some c when c.i_dir -> walk e_ino
+                    | _ -> ()
+                  end
+                end;
+                parse (off + total)
+              end
+          in
+          parse 0
+      | Some _ | None -> ()
+    end
+  in
+  (match inodes.(0) with
+  | Some i when i.i_dir -> walk 0
+  | _ -> add "root inode missing or not a directory");
+  Array.iteri
+    (fun ino u ->
+      match u with
+      | Some _ when ino <> 0 ->
+          if refs.(ino) = 0 then
+            add "inode %d: orphaned (no directory entry)" ino
+          else if refs.(ino) > 1 then
+            add "inode %d: referenced %d times" ino refs.(ino)
+      | _ -> ())
+    inodes;
+  List.rev !findings
+
+(* --- recovery ------------------------------------------------------------- *)
+
+(* Supervised-restart recovery.  Journalled volumes drop the dead
+   incarnation's cache entirely (the journal, not dirty memory, is the
+   truth), replay, and scan; non-journalled volumes keep their cache —
+   invalidating it would lose acknowledged writes that have no journal
+   copy — and just reclaim the mapout pool before scanning. *)
+let recover t =
+  match t.journal with
+  | None ->
+      Block_cache.pool_reset t.cache;
+      {
+        rr_journal_txns = 0;
+        rr_journal_blocks = 0;
+        rr_fsck_findings = fsck_scan t;
+      }
+  | Some j ->
+      Block_cache.invalidate t.cache;
+      let rv = Journal.recover j in
+      set_recovery t.cache rv;
+      {
+        rr_journal_txns = rv.Journal.rv_replayed_txns;
+        rr_journal_blocks = rv.Journal.rv_replayed_blocks;
+        rr_fsck_findings = fsck_scan t;
+      }
 
 (* --- mkfs / mount ---------------------------------------------------------- *)
 
@@ -450,29 +637,33 @@ let ops t =
         | None -> Error E_not_found);
     pfs_create =
       (fun ~dir name ~is_dir ->
-        let* name = valid_name t name in
-        let* d = ensure_inode t dir ~want_dir:(Some true) in
-        match find_in_dir t d name with
-        | Some _ -> Error E_exists
-        | None ->
-            let* i = alloc_inode t ~dir:is_dir in
-            let* () = write_entries t d (dir_entries t d @ [ (name, i.ino) ]) in
-            Ok i.ino);
+        in_txn t (fun () ->
+            let* name = valid_name t name in
+            let* d = ensure_inode t dir ~want_dir:(Some true) in
+            match find_in_dir t d name with
+            | Some _ -> Error E_exists
+            | None ->
+                let* i = alloc_inode t ~dir:is_dir in
+                let* () =
+                  write_entries t d (dir_entries t d @ [ (name, i.ino) ])
+                in
+                Ok i.ino));
     pfs_remove =
       (fun ~dir name ->
-        let* name = valid_name t name in
-        let* d = ensure_inode t dir ~want_dir:(Some true) in
-        match find_in_dir t d name with
-        | None -> Error E_not_found
-        | Some (ename, ino) ->
-            let* i = ensure_inode t ino ~want_dir:None in
-            let* () =
-              if i.i_dir && dir_entries t i <> [] then Error E_dir_not_empty
-              else Ok ()
-            in
-            free_inode t i;
-            write_entries t d
-              (List.filter (fun (n, _) -> n <> ename) (dir_entries t d)));
+        in_txn t (fun () ->
+            let* name = valid_name t name in
+            let* d = ensure_inode t dir ~want_dir:(Some true) in
+            match find_in_dir t d name with
+            | None -> Error E_not_found
+            | Some (ename, ino) ->
+                let* i = ensure_inode t ino ~want_dir:None in
+                let* () =
+                  if i.i_dir && dir_entries t i <> [] then Error E_dir_not_empty
+                  else Ok ()
+                in
+                free_inode t i;
+                write_entries t d
+                  (List.filter (fun (n, _) -> n <> ename) (dir_entries t d))));
     pfs_readdir =
       (fun ~dir ->
         let* d = ensure_inode t dir ~want_dir:(Some true) in
@@ -502,41 +693,46 @@ let ops t =
           ~pages:(Mach.Ktypes.pages_of_bytes bytes));
     pfs_write =
       (fun ino ~off data ->
-        let* i = ensure_inode t ino ~want_dir:(Some false) in
-        write_data t i ~off data);
+        in_txn t (fun () ->
+            let* i = ensure_inode t ino ~want_dir:(Some false) in
+            write_data t i ~off data));
     pfs_truncate =
       (fun ino ~len ->
-        let* i = ensure_inode t ino ~want_dir:(Some false) in
-        if len > i.i_size then Error E_no_space
-        else begin
-          i.i_size <- len;
-          write_inode t i;
-          Ok ()
-        end);
+        in_txn t (fun () ->
+            let* i = ensure_inode t ino ~want_dir:(Some false) in
+            if len > i.i_size then Error E_no_space
+            else begin
+              i.i_size <- len;
+              write_inode t i;
+              Ok ()
+            end));
     pfs_rename =
       (fun ~src_dir name ~dst_dir new_name ->
-        let* name = valid_name t name in
-        let* new_name = valid_name t new_name in
-        let* sd = ensure_inode t src_dir ~want_dir:(Some true) in
-        match find_in_dir t sd name with
-        | None -> Error E_not_found
-        | Some (ename, ino) ->
-            let* dd = ensure_inode t dst_dir ~want_dir:(Some true) in
-            (match find_in_dir t dd new_name with
-            | Some _ -> Error E_exists
-            | None ->
-                if src_dir = dst_dir then
-                  write_entries t sd
-                    (List.map
-                       (fun (n, x) ->
-                         if n = ename then (new_name, x) else (n, x))
-                       (dir_entries t sd))
-                else
-                  let* () =
-                    write_entries t sd
-                      (List.filter (fun (n, _) -> n <> ename) (dir_entries t sd))
-                  in
-                  write_entries t dd (dir_entries t dd @ [ (new_name, ino) ])));
+        in_txn t (fun () ->
+            let* name = valid_name t name in
+            let* new_name = valid_name t new_name in
+            let* sd = ensure_inode t src_dir ~want_dir:(Some true) in
+            match find_in_dir t sd name with
+            | None -> Error E_not_found
+            | Some (ename, ino) ->
+                let* dd = ensure_inode t dst_dir ~want_dir:(Some true) in
+                (match find_in_dir t dd new_name with
+                | Some _ -> Error E_exists
+                | None ->
+                    if src_dir = dst_dir then
+                      write_entries t sd
+                        (List.map
+                           (fun (n, x) ->
+                             if n = ename then (new_name, x) else (n, x))
+                           (dir_entries t sd))
+                    else
+                      let* () =
+                        write_entries t sd
+                          (List.filter
+                             (fun (n, _) -> n <> ename)
+                             (dir_entries t sd))
+                      in
+                      write_entries t dd (dir_entries t dd @ [ (new_name, ino) ]))));
     pfs_sync = (fun () -> Block_cache.flush t.cache);
     pfs_free_blocks =
       (fun () ->
@@ -545,6 +741,7 @@ let ops t =
           if not (block_used t b) then incr free
         done;
         !free);
+    pfs_recover = (fun () -> recover t);
   }
 
 let mount cache cfg ?(start = 0) () =
@@ -555,5 +752,34 @@ let mount cache cfg ?(start = 0) () =
     let blocks = get32 sb 4 in
     let inodes = get32 sb 8 in
     let g = geom_of cfg ~start ~blocks ~inodes in
-    Ok (ops { cache; cfg; g; journal_head = 0 })
+    let journal =
+      if cfg.cfg_journalled && g.journal_blocks > 0 then begin
+        (* attaching runs recovery: committed-but-unapplied transactions
+           from a previous incarnation replay into the cache before the
+           first operation can observe the volume *)
+        let j, rv =
+          Journal.attach (Block_cache.kernel cache) (Block_cache.disk cache)
+            ~start:(start + g.journal_start) ~blocks:g.journal_blocks
+            ~note_write:(fun () -> incr (journal_counter cache))
+            ~home_write:(fun b d -> Block_cache.write cache b d)
+            ~flush_home:(fun () -> Block_cache.flush_wait cache)
+        in
+        set_recovery cache rv;
+        Some j
+      end
+      else None
+    in
+    Ok (ops { cache; cfg; g; journal; txn = None })
+  end
+
+(* Standalone invariant scan for tools and the crash-point enumerator:
+   mounts nothing, journals nothing, reads through the given cache. *)
+let fsck cache cfg ?(start = 0) () =
+  let sb = Block_cache.read cache start in
+  if Bytes.sub_string sb 0 4 <> magic then [ "superblock: bad magic" ]
+  else begin
+    let blocks = get32 sb 4 in
+    let inodes = get32 sb 8 in
+    let g = geom_of cfg ~start ~blocks ~inodes in
+    fsck_scan { cache; cfg; g; journal = None; txn = None }
   end

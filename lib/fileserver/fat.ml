@@ -499,4 +499,10 @@ and ops t =
           if fat_get t c = 0 then incr free
         done;
         !free);
+    (* FAT has no journal and no invariant scanner: restart recovery is
+       pool reclamation only *)
+    pfs_recover =
+      (fun () ->
+        Block_cache.pool_reset t.cache;
+        clean_recovery);
   }

@@ -36,6 +36,7 @@ type t = {
   mutable m_pageins : int;
   mutable m_pageouts : int;
   mutable fs_retry : retry option;
+  mutable fs_last_recovery : recover_report option;  (* set per restart *)
 }
 
 type payload +=
@@ -299,6 +300,7 @@ let start (kernel : Mach.Kernel.t) runtime fs_vfs ?(server_threads = 1) () =
           m_pageins = 0;
           m_pageouts = 0;
           fs_retry = None;
+          fs_last_recovery = None;
         }
       in
       for i = 1 to server_threads do
@@ -312,15 +314,22 @@ let start (kernel : Mach.Kernel.t) runtime fs_vfs ?(server_threads = 1) () =
       t)
 
 (* Bring a crashed instance back: volatile state (the open-file table)
-   is gone, the service port is reallocated, fresh serve threads start.
-   Clients holding old handles get [E_bad_handle] and must re-open. *)
+   is gone, the service port is reallocated, the mounted volumes run
+   crash recovery (journal replay + invariant scan where the format has
+   them), fresh serve threads start.  Clients holding old handles get
+   [E_bad_handle] and must re-open. *)
 let restart t =
   let sys = t.kernel.Mach.Kernel.sys in
   Mach.Sched.with_uncharged sys (fun () ->
       Hashtbl.iter
-        (fun _ f -> if not f.of_port.dead then Mach.Port.destroy sys f.of_port)
+        (fun _ f ->
+          (* unpin pool pages backing in-flight zero-copy replies — the
+             clients died with the incarnation, nobody will release them *)
+          release_zc f;
+          if not f.of_port.dead then Mach.Port.destroy sys f.of_port)
         t.opens;
       Hashtbl.reset t.opens;
+      t.fs_last_recovery <- Some (Vfs.recover t.fs_vfs);
       t.fs_generation <- t.fs_generation + 1;
       let fs_port =
         Mach.Port.allocate sys ~receiver:t.fs_task ~name:"file-service"
@@ -353,6 +362,7 @@ let task t = t.fs_task
 let vfs t = t.fs_vfs
 let open_files t = Hashtbl.length t.opens
 let requests_served t = t.served
+let last_recovery t = t.fs_last_recovery
 
 (* The file server as an external memory manager: a mapped file's pages
    are read from (and written back to) the physical file system on

@@ -22,10 +22,13 @@ val start :
 
 val restart : t -> Mach.Ktypes.port
 (** Bring a crashed instance back up: the open-file table is lost (as a
-    real crash would lose it — stale handles return [E_bad_handle]), a
-    fresh service port is allocated and new serve threads started.
-    Returns the new port, for re-registration; the supervisor's
-    [restart] closure is the intended caller. *)
+    real crash would lose it — stale handles return [E_bad_handle]),
+    pool pages pinned by in-flight zero-copy replies are reclaimed, the
+    mounted volumes run crash recovery ({!Vfs.recover} — journal replay
+    plus invariant scan where the format supports them), a fresh service
+    port is allocated and new serve threads started.  Returns the new
+    port, for re-registration; the supervisor's [restart] closure is the
+    intended caller. *)
 
 val set_retry :
   t -> ?attempts:int -> ?deadline:int -> ?backoff:int ->
@@ -42,6 +45,9 @@ val task : t -> Mach.Ktypes.task
 val vfs : t -> Vfs.t
 val open_files : t -> int
 val requests_served : t -> int
+
+val last_recovery : t -> Fs_types.recover_report option
+(** The merged recovery report from the most recent {!restart}. *)
 
 val map_file :
   t -> Vfs.semantics -> Mach.Ktypes.task -> path:string ->

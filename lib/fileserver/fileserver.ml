@@ -6,6 +6,7 @@
 
 module Fs_types = Fs_types
 module Block_cache = Block_cache
+module Journal = Journal
 module Fat = Fat
 module Extfs = Extfs
 module Hpfs = Hpfs

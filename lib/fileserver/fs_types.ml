@@ -48,6 +48,25 @@ type format_limits = {
   fl_journalled : bool;
 }
 
+(* What a physical file system reports after crash recovery: journal
+   replay volume plus any fsck-style invariant violations found in the
+   recovered image.  A clean recovery has an empty findings list. *)
+type recover_report = {
+  rr_journal_txns : int;
+  rr_journal_blocks : int;
+  rr_fsck_findings : string list;
+}
+
+let clean_recovery =
+  { rr_journal_txns = 0; rr_journal_blocks = 0; rr_fsck_findings = [] }
+
+let merge_recovery a b =
+  {
+    rr_journal_txns = a.rr_journal_txns + b.rr_journal_txns;
+    rr_journal_blocks = a.rr_journal_blocks + b.rr_journal_blocks;
+    rr_fsck_findings = a.rr_fsck_findings @ b.rr_fsck_findings;
+  }
+
 (* The physical-file-system operations record — the extended vnode
    architecture's per-format plug. *)
 type pfs = {
@@ -76,6 +95,10 @@ type pfs = {
     (unit, fs_error) result;
   pfs_sync : unit -> unit;
   pfs_free_blocks : unit -> int;
+  (* Crash recovery after a supervised restart: reclaim incarnation
+     state (mapout pool), replay the journal if the format has one, and
+     scan the recovered image for invariant violations. *)
+  pfs_recover : unit -> recover_report;
 }
 
 let ( let* ) = Result.bind

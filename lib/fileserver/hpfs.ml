@@ -8,3 +8,4 @@ let config =
 
 let mkfs disk ?start ?blocks () = Extfs.mkfs disk config ?start ?blocks ()
 let mount cache ?start () = Extfs.mount cache config ?start ()
+let fsck cache ?start () = Extfs.fsck cache config ?start ()

@@ -8,3 +8,6 @@ open Fs_types
 val config : Extfs.config
 val mkfs : Machine.Disk.t -> ?start:int -> ?blocks:int -> unit -> unit
 val mount : Block_cache.t -> ?start:int -> unit -> (pfs, fs_error) result
+
+val fsck : Block_cache.t -> ?start:int -> unit -> string list
+(** Invariant scan of the volume; [] when consistent. *)

@@ -1,0 +1,324 @@
+(* Write-ahead journal over a reserved ring of disk blocks.
+
+   One transaction = the block images mutated by one file-system
+   operation.  Committing writes, in FIFO disk order:
+
+     [header][data] ... [header][data] [commit]  -- then a barrier
+
+   and blocks the calling thread only on the barrier, so a transaction
+   costs one synchronous wait however many blocks it carries.  Each
+   header carries the target block number and a checksum of the data
+   image that follows it; the commit record is the durability point —
+   an operation is acknowledged only after its commit (and everything
+   before it, by FIFO order plus the barrier) has reached the media.
+   Home-location writes happen after that, through the write-back cache.
+
+   The ring is reused under a checkpoint discipline.  Every record
+   occupies exactly one slot and one sequence number, with
+   slot = seq mod ring-size, so the ring always holds a contiguous
+   suffix of record history.  Before a slot holding an un-checkpointed
+   record would be overwritten, the engine durably flushes the home
+   cache (so every committed transaction's effects are on the media)
+   and writes a checkpoint record carrying "checkpointed through
+   sequence S".  Recovery replays only committed transactions with
+   sequence numbers above the newest checkpoint — anything older is
+   already home, and replaying it could clobber newer durable state. *)
+
+let magic_header = "WJH1"
+let magic_commit = "WJC1"
+let magic_checkpoint = "WJK1"
+
+type recovery = {
+  rv_scanned : int;  (* journal slots scanned *)
+  rv_replayed_txns : int;
+  rv_replayed_blocks : int;
+  rv_discarded : int;  (* incomplete or checksum-invalid transactions *)
+}
+
+let clean_scan = {
+  rv_scanned = 0; rv_replayed_txns = 0; rv_replayed_blocks = 0;
+  rv_discarded = 0;
+}
+
+type t = {
+  kernel : Mach.Kernel.t;
+  disk : Machine.Disk.t;
+  start : int;  (* first journal block on disk *)
+  blocks : int;  (* ring size in blocks *)
+  note_write : unit -> unit;  (* per journal-record write (stats) *)
+  home_write : int -> bytes -> unit;  (* replay target: the block cache *)
+  flush_home : unit -> unit;  (* durable cache flush, incl. barrier *)
+  mutable seq : int;  (* next record sequence; slot = seq mod blocks *)
+  mutable checkpointed : int;  (* highest seq covered by a checkpoint *)
+  mutable txn_id : int;
+  mutable records : int;
+  mutable commits : int;
+}
+
+(* --- little-endian fields and checksums --------------------------------- *)
+
+let get32 b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let set32 b off v =
+  Bytes.set b off (Char.chr (v land 0xFF));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xFF))
+
+(* FNV-1a, 32-bit *)
+let cksum b off len =
+  let h = ref 0x811C9DC5 in
+  for i = off to off + len - 1 do
+    h := (!h lxor Char.code (Bytes.get b i)) * 0x01000193 land 0xFFFFFFFF
+  done;
+  !h
+
+(* Record layout within one block-sized slot:
+     0..3   magic        4..7   seq          8..11  txn id
+     12..15 field A      16..19 field B      20..23 checksum of 0..19
+   A/B: header = target block / data checksum; commit = data-block
+   count / 0; checkpoint = checkpointed-through seq / 0. *)
+let encode t ~magic ~seq ~txn ~a ~b =
+  let bs = (Machine.Disk.geometry t.disk).Machine.Disk.block_size in
+  let r = Bytes.make bs '\000' in
+  Bytes.blit_string magic 0 r 0 4;
+  set32 r 4 seq;
+  set32 r 8 txn;
+  set32 r 12 a;
+  set32 r 16 b;
+  set32 r 20 (cksum r 0 20);
+  r
+
+type parsed =
+  | P_header of { seq : int; txn : int; target : int; dsum : int }
+  | P_commit of { seq : int; txn : int; count : int }
+  | P_checkpoint of { seq : int; through : int }
+  | P_raw
+
+let parse_slot ~blocks ~slot raw =
+  if Bytes.length raw < 24 then P_raw
+  else
+    let m = Bytes.sub_string raw 0 4 in
+    if m <> magic_header && m <> magic_commit && m <> magic_checkpoint then
+      P_raw
+    else if get32 raw 20 <> cksum raw 0 20 then P_raw
+    else
+      let seq = get32 raw 4 in
+      (* the slot discipline: a genuine record's seq names its slot *)
+      if seq < 0 || seq mod blocks <> slot then P_raw
+      else if m = magic_header then
+        P_header { seq; txn = get32 raw 8; target = get32 raw 12;
+                   dsum = get32 raw 16 }
+      else if m = magic_commit then
+        P_commit { seq; txn = get32 raw 8; count = get32 raw 12 }
+      else P_checkpoint { seq; through = get32 raw 12 }
+
+(* --- simulated I/O helpers ---------------------------------------------- *)
+
+let in_thread (t : t) =
+  Option.is_some t.kernel.Mach.Kernel.sys.Mach.Sched.current
+
+let read_slot_blocking t block =
+  if in_thread t then begin
+    let sys = t.kernel.Mach.Kernel.sys in
+    let th = Mach.Sched.self () in
+    let result = ref None in
+    Machine.Disk.read t.disk ~block ~count:1 (fun data ->
+        result := Some data;
+        Mach.Sched.wake sys th);
+    let rec wait () =
+      match !result with
+      | Some data -> data
+      | None ->
+          ignore (Mach.Sched.block "journal-read" : Mach.Ktypes.kern_return);
+          wait ()
+    in
+    wait ()
+  end
+  else Machine.Disk.read_now t.disk ~block ~count:1
+
+let barrier_sync t =
+  if in_thread t then begin
+    let sys = t.kernel.Mach.Kernel.sys in
+    let th = Mach.Sched.self () in
+    let arrived = ref false in
+    Machine.Disk.barrier t.disk (fun () ->
+        arrived := true;
+        Mach.Sched.wake sys th);
+    while not !arrived do
+      ignore (Mach.Sched.block "journal-barrier" : Mach.Ktypes.kern_return)
+    done
+  end
+  else Machine.Disk.barrier t.disk (fun () -> ())
+
+(* Write the next record slot (fire-and-forget; durability comes from
+   the barrier that ends the commit or checkpoint). *)
+let put t data =
+  let block = t.start + (t.seq mod t.blocks) in
+  if in_thread t then Machine.Disk.write t.disk ~block data (fun () -> ())
+  else Machine.Disk.write_now t.disk ~block data;
+  t.seq <- t.seq + 1;
+  t.records <- t.records + 1;
+  t.note_write ()
+
+(* --- checkpoints and ring room ------------------------------------------ *)
+
+let checkpoint t =
+  (* every committed transaction's home effects become durable first,
+     so records at or below [through] are dead weight from here on *)
+  t.flush_home ();
+  let through = t.seq - 1 in
+  put t (encode t ~magic:magic_checkpoint ~seq:(t.seq) ~txn:0 ~a:through ~b:0);
+  barrier_sync t;
+  t.checkpointed <- through
+
+(* Writing seq n reuses the slot that held seq n - blocks; that record
+   must already be checkpointed or it could still be needed by replay. *)
+let ensure_room t needed =
+  while t.seq + needed - 1 - t.blocks > t.checkpointed do
+    checkpoint t
+  done
+
+(* --- commit -------------------------------------------------------------- *)
+
+let max_data_per_txn t = (t.blocks - 2) / 2
+
+let rec take n = function
+  | [] -> ([], [])
+  | x :: rest when n > 0 ->
+      let a, b = take (n - 1) rest in
+      (x :: a, b)
+  | rest -> ([], rest)
+
+let rec commit t writes =
+  match writes with
+  | [] -> ()
+  | _ when List.length writes > max_data_per_txn t ->
+      (* An oversized operation cannot fit the ring as one transaction;
+         commit it in bounded batches.  Each batch keeps the write-ahead
+         ordering, at the cost of whole-operation atomicity. *)
+      let batch, rest = take (max_data_per_txn t) writes in
+      commit t batch;
+      commit t rest
+  | _ ->
+      let k = List.length writes in
+      ensure_room t (2 * k + 1);
+      let txn = t.txn_id in
+      t.txn_id <- t.txn_id + 1;
+      List.iter
+        (fun (target, data) ->
+          let dsum = cksum data 0 (Bytes.length data) in
+          put t (encode t ~magic:magic_header ~seq:t.seq ~txn ~a:target ~b:dsum);
+          put t (Bytes.copy data))
+        writes;
+      put t (encode t ~magic:magic_commit ~seq:t.seq ~txn ~a:k ~b:0);
+      (* durability point: everything above reached the media, in order *)
+      barrier_sync t;
+      t.commits <- t.commits + 1
+
+(* --- recovery ------------------------------------------------------------ *)
+
+(* Scan the ring, replay committed-but-uncheckpointed transactions into
+   the home cache, and fence the result behind a fresh checkpoint so a
+   second crash cannot replay twice over newer state. *)
+let scan_and_replay t =
+  let parsed = Array.make t.blocks P_raw in
+  let raw = Array.make t.blocks Bytes.empty in
+  for slot = 0 to t.blocks - 1 do
+    let data = read_slot_blocking t (t.start + slot) in
+    raw.(slot) <- data;
+    parsed.(slot) <- parse_slot ~blocks:t.blocks ~slot data
+  done;
+  let max_seq = ref (-1) in
+  let through = ref (-1) in
+  Array.iter
+    (function
+      | P_header { seq; _ } -> max_seq := max !max_seq (seq + 1)
+      | P_commit { seq; _ } -> max_seq := max !max_seq seq
+      | P_checkpoint { seq; through = s } ->
+          max_seq := max !max_seq seq;
+          through := max !through s
+      | P_raw -> ())
+    parsed;
+  let commits =
+    Array.fold_left
+      (fun acc p ->
+        match p with
+        | P_commit { seq; txn; count } when seq > !through ->
+            (seq, txn, count) :: acc
+        | _ -> acc)
+      [] parsed
+    |> List.sort compare
+  in
+  let replayed_txns = ref 0 in
+  let replayed_blocks = ref 0 in
+  let discarded = ref 0 in
+  List.iter
+    (fun (cseq, txn, count) ->
+      let ok = ref (count > 0 && count <= max_data_per_txn t) in
+      let writes = ref [] in
+      if !ok then
+        for i = count - 1 downto 0 do
+          let hseq = cseq - (2 * (count - i)) in
+          if hseq < 0 then ok := false
+          else
+            match parsed.(hseq mod t.blocks) with
+            | P_header { seq; txn = htxn; target; dsum }
+              when seq = hseq && htxn = txn ->
+                let data = raw.((hseq + 1) mod t.blocks) in
+                if cksum data 0 (Bytes.length data) = dsum then
+                  writes := (target, data) :: !writes
+                else ok := false
+            | _ -> ok := false
+        done;
+      if !ok then begin
+        incr replayed_txns;
+        List.iter
+          (fun (target, data) ->
+            incr replayed_blocks;
+            t.home_write target data)
+          !writes
+      end
+      else incr discarded)
+    commits;
+  if !replayed_blocks > 0 then t.flush_home ();
+  (* position the engine after everything the scan saw *)
+  t.seq <- !max_seq + 1;
+  t.checkpointed <- !through;
+  if !max_seq >= 0 then checkpoint t;
+  {
+    rv_scanned = t.blocks;
+    rv_replayed_txns = !replayed_txns;
+    rv_replayed_blocks = !replayed_blocks;
+    rv_discarded = !discarded;
+  }
+
+let attach kernel disk ~start ~blocks ~note_write ~home_write ~flush_home =
+  if blocks < 8 then invalid_arg "Journal.attach: ring too small";
+  let t =
+    {
+      kernel;
+      disk;
+      start;
+      blocks;
+      note_write;
+      home_write;
+      flush_home;
+      seq = 0;
+      checkpointed = -1;
+      txn_id = 0;
+      records = 0;
+      commits = 0;
+    }
+  in
+  let rv = scan_and_replay t in
+  (t, rv)
+
+let recover t = scan_and_replay t
+let records_written t = t.records
+let txns_committed t = t.commits
+let ring_blocks t = t.blocks

@@ -1,0 +1,61 @@
+(** Write-ahead journal over a reserved ring of disk blocks.
+
+    A transaction is the set of block images mutated by one file-system
+    operation.  {!commit} writes header+data record pairs followed by a
+    commit record, in FIFO disk order, and blocks the calling thread
+    only on the closing barrier — the commit record is the durability
+    point, after which the caller applies the same images to the
+    write-back cache (home locations).
+
+    Every record occupies one ring slot and one sequence number with
+    [slot = seq mod ring-size], so the ring always holds a contiguous
+    suffix of record history.  Slots are reused only past a checkpoint:
+    the engine durably flushes the home cache, then writes a checkpoint
+    record carrying "checkpointed through sequence S".  Recovery replays
+    committed transactions with sequences above the newest checkpoint
+    and fences the result behind a fresh checkpoint, so replay is
+    idempotent across repeated crashes. *)
+
+type t
+
+type recovery = {
+  rv_scanned : int;  (** journal slots scanned *)
+  rv_replayed_txns : int;
+  rv_replayed_blocks : int;
+  rv_discarded : int;
+      (** transactions dropped: no commit record, or a record failed its
+          checksum (torn or rotted journal write) *)
+}
+
+val clean_scan : recovery
+
+val attach :
+  Mach.Kernel.t ->
+  Machine.Disk.t ->
+  start:int ->
+  blocks:int ->
+  note_write:(unit -> unit) ->
+  home_write:(int -> bytes -> unit) ->
+  flush_home:(unit -> unit) ->
+  t * recovery
+(** Bind an engine to the ring at [start] and run recovery immediately:
+    scan, replay committed-but-uncheckpointed transactions through
+    [home_write], durably flush, and fence with a checkpoint.
+    [note_write] is called once per journal-record write (stats);
+    [flush_home] must make the home cache durable (flush + barrier).
+    @raise Invalid_argument if the ring has fewer than 8 blocks. *)
+
+val commit : t -> (int * bytes) list -> unit
+(** Durably journal one transaction's (block, image) writes.  Blocks the
+    calling thread once, on the barrier after the commit record.  The
+    caller is responsible for then applying the images to the cache.
+    Operations larger than the ring are committed in bounded batches
+    (write-ahead ordering kept; whole-operation atomicity is not). *)
+
+val recover : t -> recovery
+(** Re-run the recovery scan (used when a supervised restart hands the
+    engine a freshly invalidated cache). *)
+
+val records_written : t -> int
+val txns_committed : t -> int
+val ring_blocks : t -> int

@@ -121,3 +121,8 @@ let rename t sem ~src ~dst =
   else src_pfs.pfs_rename ~src_dir src_leaf ~dst_dir dst_leaf
 
 let sync t = List.iter (fun (_, pfs) -> pfs.pfs_sync ()) t.mount_table
+
+let recover t =
+  List.fold_left
+    (fun acc (_, pfs) -> merge_recovery acc (pfs.pfs_recover ()))
+    clean_recovery t.mount_table

@@ -61,3 +61,8 @@ val rename :
 (** Source and destination must be on the same mount. *)
 
 val sync : t -> unit
+
+val recover : t -> Fs_types.recover_report
+(** Run every mount's crash recovery (journal replay + invariant scan
+    where the format supports it) and merge the reports.  Called by the
+    file server when a supervised restart brings it back. *)

@@ -14,9 +14,22 @@ type action =
   | Crash_server       (* destroy the port and abandon the in-flight request *)
   | Drop_message       (* lose the message in transit *)
   | Delay_message of int  (* hold the message for this many cycles *)
+  | Power_cut          (* disk: freeze the media at this write *)
+  | Torn_write         (* disk: only a prefix of this write lands *)
+  | Bit_rot            (* disk: flip one bit of this write *)
+  | Reorder            (* disk: hold this write past later ones *)
 
 type message_decision = M_pass | M_drop | M_delay of int
 type server_decision = S_continue | S_kill | S_crash
+
+(* Disk decisions carry raw PRNG entropy; the device maps it into range
+   (torn length, bit index, hold window) so the plan stays device-agnostic. *)
+type disk_decision =
+  | D_pass
+  | D_power_cut
+  | D_torn of int
+  | D_bit_rot of int
+  | D_reorder of int
 
 type rule = {
   ru_port : string;
@@ -30,17 +43,28 @@ type t = {
   mutable f_state : int;
   mutable f_request_rules : rule list;  (* keyed on the request counter *)
   mutable f_send_rules : rule list;  (* keyed on the send counter *)
+  mutable f_disk_rules : rule list;  (* keyed on the per-disk write counter *)
   mutable f_port_filter : string option;  (* rates apply only to this port *)
   mutable f_crash_ppm : int;
   mutable f_drop_ppm : int;
   mutable f_delay_ppm : int;
   mutable f_delay_cycles : int;
+  mutable f_disk_filter : string option;  (* disk rates apply only here *)
+  mutable f_power_cut_ppm : int;
+  mutable f_torn_ppm : int;
+  mutable f_bit_rot_ppm : int;
+  mutable f_reorder_ppm : int;
   f_requests_seen : (string, int) Hashtbl.t;
   f_sends_seen : (string, int) Hashtbl.t;
+  f_disk_seen : (string, int) Hashtbl.t;
   mutable f_crashes : int;
   mutable f_kills : int;
   mutable f_drops : int;
   mutable f_delays : int;
+  mutable f_power_cuts : int;
+  mutable f_torn : int;
+  mutable f_bit_rot : int;
+  mutable f_reorders : int;
   mutable f_trace : (int * string * string) list;  (* newest first *)
   mutable f_events : int;
 }
@@ -51,17 +75,28 @@ let create ?(seed = 1) () =
     f_state = seed land 0xFFFF_FFFF_FFFF;
     f_request_rules = [];
     f_send_rules = [];
+    f_disk_rules = [];
     f_port_filter = None;
     f_crash_ppm = 0;
     f_drop_ppm = 0;
     f_delay_ppm = 0;
     f_delay_cycles = 5_000;
+    f_disk_filter = None;
+    f_power_cut_ppm = 0;
+    f_torn_ppm = 0;
+    f_bit_rot_ppm = 0;
+    f_reorder_ppm = 0;
     f_requests_seen = Hashtbl.create 8;
     f_sends_seen = Hashtbl.create 8;
+    f_disk_seen = Hashtbl.create 8;
     f_crashes = 0;
     f_kills = 0;
     f_drops = 0;
     f_delays = 0;
+    f_power_cuts = 0;
+    f_torn = 0;
+    f_bit_rot = 0;
+    f_reorders = 0;
     f_trace = [];
     f_events = 0;
   }
@@ -81,7 +116,9 @@ let at_request t ~port ~n action =
   (match action with
   | Kill_port | Crash_server -> ()
   | Drop_message | Delay_message _ ->
-      invalid_arg "Fault.at_request: message actions belong to at_send");
+      invalid_arg "Fault.at_request: message actions belong to at_send"
+  | Power_cut | Torn_write | Bit_rot | Reorder ->
+      invalid_arg "Fault.at_request: disk actions belong to at_disk_write");
   t.f_request_rules <-
     { ru_port = port; ru_at = n; ru_action = action; ru_fired = false }
     :: t.f_request_rules
@@ -90,10 +127,21 @@ let at_send t ~port ~n action =
   (match action with
   | Drop_message | Delay_message _ -> ()
   | Kill_port | Crash_server ->
-      invalid_arg "Fault.at_send: server actions belong to at_request");
+      invalid_arg "Fault.at_send: server actions belong to at_request"
+  | Power_cut | Torn_write | Bit_rot | Reorder ->
+      invalid_arg "Fault.at_send: disk actions belong to at_disk_write");
   t.f_send_rules <-
     { ru_port = port; ru_at = n; ru_action = action; ru_fired = false }
     :: t.f_send_rules
+
+let at_disk_write t ~disk ~n action =
+  (match action with
+  | Power_cut | Torn_write | Bit_rot | Reorder -> ()
+  | Kill_port | Crash_server | Drop_message | Delay_message _ ->
+      invalid_arg "Fault.at_disk_write: only disk actions apply here");
+  t.f_disk_rules <-
+    { ru_port = disk; ru_at = n; ru_action = action; ru_fired = false }
+    :: t.f_disk_rules
 
 let set_rates t ?port ?crash_ppm ?drop_ppm ?delay_ppm ?delay_cycles () =
   t.f_port_filter <- port;
@@ -101,6 +149,14 @@ let set_rates t ?port ?crash_ppm ?drop_ppm ?delay_ppm ?delay_cycles () =
   Option.iter (fun v -> t.f_drop_ppm <- v) drop_ppm;
   Option.iter (fun v -> t.f_delay_ppm <- v) delay_ppm;
   Option.iter (fun v -> t.f_delay_cycles <- v) delay_cycles
+
+let set_disk_rates t ?disk ?power_cut_ppm ?torn_ppm ?bit_rot_ppm ?reorder_ppm
+    () =
+  t.f_disk_filter <- disk;
+  Option.iter (fun v -> t.f_power_cut_ppm <- v) power_cut_ppm;
+  Option.iter (fun v -> t.f_torn_ppm <- v) torn_ppm;
+  Option.iter (fun v -> t.f_bit_rot_ppm <- v) bit_rot_ppm;
+  Option.iter (fun v -> t.f_reorder_ppm <- v) reorder_ppm
 
 let bump table port =
   let n = 1 + Option.value ~default:0 (Hashtbl.find_opt table port) in
@@ -170,8 +226,70 @@ let on_send t ~port =
       end
       else M_pass
 
+(* Entropy handed to the disk alongside a decision: positive 32 bits
+   from the generator's high end. *)
+let draw_raw t = next t lsr 16
+
+let disk_rates_apply t ~disk =
+  match t.f_disk_filter with None -> true | Some d -> d = disk
+
+let on_disk_write t ~disk =
+  let n = bump t.f_disk_seen disk in
+  match fired_rule t.f_disk_rules ~port:disk ~n with
+  | Some ({ ru_action = Power_cut; _ } as r) ->
+      r.ru_fired <- true;
+      t.f_power_cuts <- t.f_power_cuts + 1;
+      record t ~port:disk "power-cut";
+      D_power_cut
+  | Some ({ ru_action = Torn_write; _ } as r) ->
+      r.ru_fired <- true;
+      t.f_torn <- t.f_torn + 1;
+      record t ~port:disk "torn-write";
+      D_torn (draw_raw t)
+  | Some ({ ru_action = Bit_rot; _ } as r) ->
+      r.ru_fired <- true;
+      t.f_bit_rot <- t.f_bit_rot + 1;
+      record t ~port:disk "bit-rot";
+      D_bit_rot (draw_raw t)
+  | Some ({ ru_action = Reorder; _ } as r) ->
+      r.ru_fired <- true;
+      t.f_reorders <- t.f_reorders + 1;
+      record t ~port:disk "reorder";
+      D_reorder (draw_raw t)
+  | Some _ | None ->
+      if not (disk_rates_apply t ~disk) then D_pass
+      else if t.f_power_cut_ppm > 0 && draw_ppm t < t.f_power_cut_ppm then begin
+        t.f_power_cuts <- t.f_power_cuts + 1;
+        record t ~port:disk "power-cut";
+        D_power_cut
+      end
+      else if t.f_torn_ppm > 0 && draw_ppm t < t.f_torn_ppm then begin
+        t.f_torn <- t.f_torn + 1;
+        record t ~port:disk "torn-write";
+        D_torn (draw_raw t)
+      end
+      else if t.f_bit_rot_ppm > 0 && draw_ppm t < t.f_bit_rot_ppm then begin
+        t.f_bit_rot <- t.f_bit_rot + 1;
+        record t ~port:disk "bit-rot";
+        D_bit_rot (draw_raw t)
+      end
+      else if t.f_reorder_ppm > 0 && draw_ppm t < t.f_reorder_ppm then begin
+        t.f_reorders <- t.f_reorders + 1;
+        record t ~port:disk "reorder";
+        D_reorder (draw_raw t)
+      end
+      else D_pass
+
 let injected_crashes t = t.f_crashes
 let injected_kills t = t.f_kills
 let injected_drops t = t.f_drops
 let injected_delays t = t.f_delays
+let injected_power_cuts t = t.f_power_cuts
+let injected_torn_writes t = t.f_torn
+let injected_bit_rot t = t.f_bit_rot
+let injected_reorders t = t.f_reorders
+
+let injected_disk_faults t =
+  t.f_power_cuts + t.f_torn + t.f_bit_rot + t.f_reorders
+
 let trace t = List.rev t.f_trace

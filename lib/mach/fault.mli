@@ -18,9 +18,22 @@ type action =
           (the client never gets a reply and must time out) *)
   | Drop_message  (** lose the message in transit *)
   | Delay_message of int  (** hold the message for this many cycles *)
+  | Power_cut  (** disk: freeze the media at this write *)
+  | Torn_write  (** disk: only a prefix of this write lands *)
+  | Bit_rot  (** disk: flip one bit of this write *)
+  | Reorder  (** disk: hold this write past later ones *)
 
 type message_decision = M_pass | M_drop | M_delay of int
 type server_decision = S_continue | S_kill | S_crash
+
+(** Disk decisions carry raw entropy from the plan's generator; the
+    device maps it into range (torn length, bit index, hold window). *)
+type disk_decision =
+  | D_pass
+  | D_power_cut
+  | D_torn of int
+  | D_bit_rot of int
+  | D_reorder of int
 
 type t
 
@@ -37,12 +50,24 @@ val at_send : t -> port:string -> n:int -> action -> unit
     the named port.  Only {!Drop_message} and {!Delay_message} are valid
     here.  @raise Invalid_argument for server actions. *)
 
+val at_disk_write : t -> disk:string -> n:int -> action -> unit
+(** Script a storage fault on the [n]th write (1-based) reaching the
+    named disk's media while powered.  Only the disk actions
+    ({!Power_cut}, {!Torn_write}, {!Bit_rot}, {!Reorder}) are valid
+    here.  @raise Invalid_argument for IPC actions. *)
+
 val set_rates :
   t -> ?port:string -> ?crash_ppm:int -> ?drop_ppm:int -> ?delay_ppm:int ->
   ?delay_cycles:int -> unit -> unit
 (** Random injection rates in parts per million per event, drawn from
     the seeded generator.  [port] restricts the rates to one port name
     (scripted rules always name their own port). *)
+
+val set_disk_rates :
+  t -> ?disk:string -> ?power_cut_ppm:int -> ?torn_ppm:int ->
+  ?bit_rot_ppm:int -> ?reorder_ppm:int -> unit -> unit
+(** Random storage-fault rates per media write, drawn from the same
+    seeded generator.  [disk] restricts the rates to one device name. *)
 
 val on_send : t -> port:string -> message_decision
 (** Hook point: a message is about to be sent to the named port. *)
@@ -51,10 +76,20 @@ val on_request : t -> port:string -> server_decision
 (** Hook point: a server is about to handle a request from the named
     port. *)
 
+val on_disk_write : t -> disk:string -> disk_decision
+(** Hook point: a write request is reaching the named disk's media. *)
+
 val injected_crashes : t -> int
 val injected_kills : t -> int
 val injected_drops : t -> int
 val injected_delays : t -> int
+val injected_power_cuts : t -> int
+val injected_torn_writes : t -> int
+val injected_bit_rot : t -> int
+val injected_reorders : t -> int
+
+val injected_disk_faults : t -> int
+(** Sum of all four storage-fault counters. *)
 
 val trace : t -> (int * string * string) list
 (** Every injected fault in order: (event number, port, fault kind).

@@ -5,9 +5,23 @@ type geometry = {
   transfer_cycles_per_block : int;
 }
 
+(* What a write interceptor may decide about one write request as it
+   reaches the media.  The disk itself knows nothing about fault plans;
+   the driver layer installs an interceptor that consults one. *)
+type write_fault =
+  | Wf_pass
+  | Wf_power_cut  (* this write and everything after it is lost *)
+  | Wf_torn of int  (* entropy: only a prefix of the sectors land *)
+  | Wf_bit_rot of int  (* entropy: one bit of the landed data flips *)
+  | Wf_reorder of int  (* hold the write past this many later writes *)
+
 type request =
   | Read of { block : int; count : int; k : bytes -> unit }
   | Write of { block : int; data : bytes; k : unit -> unit }
+  | Barrier of { k : unit -> unit }
+
+(* a reordered write waiting to land: countdown in later write events *)
+type held = { mutable h_ttl : int; h_block : int; h_data : bytes }
 
 type t = {
   cpu : Cpu.t;
@@ -21,6 +35,10 @@ type t = {
   mutable busy : bool;
   mutable served : int;
   mutable pending_completion : (unit -> unit) option;
+  mutable interceptor : (block:int -> data:bytes -> write_fault) option;
+  mutable powered : bool;
+  mutable held : held list;  (* oldest first *)
+  mutable writes_applied : int;  (* write events observed while powered *)
 }
 
 let default_geometry =
@@ -46,6 +64,10 @@ let create cpu events irq ~line ~name geometry =
       busy = false;
       served = 0;
       pending_completion = None;
+      interceptor = None;
+      powered = true;
+      held = [];
+      writes_applied = 0;
     }
   in
   Irq.register irq ~line ~name (fun () ->
@@ -71,6 +93,59 @@ let request_cycles t count =
 let blocks_of_request = function
   | Read { count; _ } -> count
   | Write { data; _ } -> Bytes.length data
+  | Barrier _ -> 0
+
+(* --- media application, with the interceptor in the path ----------------- *)
+
+let land_write t ~block data =
+  Bytes.blit data 0 t.store (block * t.geometry.block_size) (Bytes.length data)
+
+let release_held t =
+  let ready = t.held in
+  t.held <- [];
+  if t.powered then List.iter (fun h -> land_write t ~block:h.h_block h.h_data) ready
+
+(* age every held write by one write event; those past their window land *)
+let tick_held t =
+  List.iter (fun h -> h.h_ttl <- h.h_ttl - 1) t.held;
+  let ready, still = List.partition (fun h -> h.h_ttl <= 0) t.held in
+  t.held <- still;
+  if t.powered then List.iter (fun h -> land_write t ~block:h.h_block h.h_data) ready
+
+(* One write request reaching the media, in FIFO order.  Power loss
+   freezes the store: the write (and every later one) is dropped, though
+   the request still completes — the machine lost power, not the
+   simulation's event plumbing. *)
+let apply_write t ~block data =
+  if t.powered then begin
+    t.writes_applied <- t.writes_applied + 1;
+    let fault =
+      match t.interceptor with
+      | None -> Wf_pass
+      | Some f -> f ~block ~data
+    in
+    (match fault with
+    | Wf_pass -> land_write t ~block data
+    | Wf_power_cut ->
+        t.powered <- false;
+        t.held <- []
+    | Wf_torn r ->
+        (* a prefix of the write lands, torn at a 4-byte granule *)
+        let len = Bytes.length data in
+        let keep = r mod (len / 4) * 4 in
+        if keep > 0 then
+          Bytes.blit data 0 t.store (block * t.geometry.block_size) keep
+    | Wf_bit_rot r ->
+        land_write t ~block data;
+        let bit = r mod (Bytes.length data * 8) in
+        let off = (block * t.geometry.block_size) + (bit / 8) in
+        let v = Char.code (Bytes.get t.store off) lxor (1 lsl (bit mod 8)) in
+        Bytes.set t.store off (Char.chr v)
+    | Wf_reorder n ->
+        t.held <-
+          t.held @ [ { h_ttl = max 1 n; h_block = block; h_data = Bytes.copy data } ]);
+    if t.powered then tick_held t
+  end
 
 let rec start t req =
   t.busy <- true;
@@ -78,6 +153,7 @@ let rec start t req =
     match req with
     | Read { count; _ } -> count
     | Write { data; _ } -> Bytes.length data / t.geometry.block_size
+    | Barrier _ -> 0
   in
   let done_at = Cpu.now t.cpu + request_cycles t count in
   Event_queue.schedule t.events ~at:done_at (fun () -> complete t req)
@@ -103,7 +179,10 @@ and complete t req =
       let data = Bytes.sub t.store (block * bs) (count * bs) in
       finish (fun () -> k data)
   | Write { block; data; k } ->
-      Bytes.blit data 0 t.store (block * bs) (Bytes.length data);
+      apply_write t ~block data;
+      finish k
+  | Barrier { k } ->
+      release_held t;
       finish k
 
 let submit t req =
@@ -120,6 +199,14 @@ let write t ~block data k =
   check t ~block ~count:(Bytes.length data / bs);
   submit t (Write { block; data; k })
 
+let barrier t k =
+  if t.busy || t.queue <> [] then submit t (Barrier { k })
+  else begin
+    (* idle disk: the flush has nothing to wait for *)
+    release_held t;
+    k ()
+  end
+
 let read_now t ~block ~count =
   check t ~block ~count;
   Bytes.sub t.store (block * t.geometry.block_size)
@@ -130,7 +217,16 @@ let write_now t ~block data =
   if Bytes.length data = 0 || Bytes.length data mod bs <> 0 then
     invalid_arg "Disk.write_now: data must be a whole number of blocks";
   check t ~block ~count:(Bytes.length data / bs);
-  Bytes.blit data 0 t.store (block * bs) (Bytes.length data)
+  if t.powered then Bytes.blit data 0 t.store (block * bs) (Bytes.length data)
 
+let set_write_interceptor t f = t.interceptor <- f
+
+let power_cut t =
+  t.powered <- false;
+  t.held <- []
+
+let power_restore t = t.powered <- true
+let powered_on t = t.powered
+let writes_applied t = t.writes_applied
 let requests_served t = t.served
 let busy t = t.busy || t.queue <> []

@@ -36,6 +36,42 @@ val read_now : t -> block:int -> count:int -> bytes
 (** Synchronous, zero-cost peek for tests and mkfs-style tools. *)
 
 val write_now : t -> block:int -> bytes -> unit
+(** Dropped silently while the device is powered off. *)
+
+val barrier : t -> (unit -> unit) -> unit
+(** Cache-flush command: completes once every previously submitted
+    request has reached the media, forcing any reorder-held writes to
+    land first.  Completes immediately when the device is idle. *)
+
+(** Decision an installed write interceptor returns for one write
+    request as it reaches the media.  The [int] payloads are raw
+    entropy from the fault plan's PRNG; the disk maps them into range. *)
+type write_fault =
+  | Wf_pass
+  | Wf_power_cut
+      (** freeze the store: this write and all later ones are lost *)
+  | Wf_torn of int  (** only a prefix of the write lands *)
+  | Wf_bit_rot of int  (** the write lands, then one bit flips *)
+  | Wf_reorder of int
+      (** hold the write past this many later writes (or the next barrier) *)
+
+val set_write_interceptor :
+  t -> (block:int -> data:bytes -> write_fault) option -> unit
+(** Installed by the driver layer to route media writes through a fault
+    plan.  Consulted at apply time, in FIFO order.  Not consulted for
+    [write_now] (mkfs-style tooling) or while powered off. *)
+
+val power_cut : t -> unit
+(** Host-level power loss: freeze the store, discard held writes.
+    Subsequent requests still complete (the simulation keeps running)
+    but writes no longer touch the media. *)
+
+val power_restore : t -> unit
+val powered_on : t -> bool
+
+val writes_applied : t -> int
+(** Number of write requests that reached the media while powered —
+    the crash-point index space for recovery enumeration. *)
 
 val requests_served : t -> int
 val busy : t -> bool

@@ -23,6 +23,7 @@ type point = {
   p_restarts : int;  (* supervisor restarts of the file server *)
   p_gave_up : bool;
   p_injected_crashes : int;
+  p_disk_faults : int;  (* injected disk-level faults (write reordering) *)
   p_cycles_per_op : float;
 }
 
@@ -40,10 +41,11 @@ let service_path = "/services/file"
 let fail_fs e = failwith (F.Fs_types.fs_error_to_string e)
 
 (* One edit session: create the file, write it, read it back in four
-   chunks, close.  A crashed-and-restarted server loses the open-file
-   table, so any step may come back [E_bad_handle] (or [E_io] from an
-   exhausted retry); the session is then restarted from the open, a
-   bounded number of times. *)
+   chunks, close, save durably (the sync is what pushes dirty blocks to
+   the disk, so the storage-fault rider has real writes to act on).  A
+   crashed-and-restarted server loses the open-file table, so any step
+   may come back [E_bad_handle] (or [E_io] from an exhausted retry); the
+   session is then restarted from the open, a bounded number of times. *)
 let run_session fs sem ~path ~reopens =
   let ( let* ) r f = match r with Ok x -> f x | Error e -> Error e in
   let once () =
@@ -58,6 +60,7 @@ let run_session fs sem ~path ~reopens =
     in
     let* () = reads 4 in
     F.File_server.Client.close fs h;
+    F.File_server.Client.sync fs;
     Ok ()
   in
   let rec go tries =
@@ -89,10 +92,18 @@ let run_point ~seed ~clients ~sessions ~crash_ppm =
   | Error e -> fail_fs e);
   let fs = F.File_server.start k runtime vfs () in
   let sup = Mk_services.Supervisor.create k runtime ns in
+  Drivers.Disk_driver.arm_faults k disk;
   let plan =
     if crash_ppm > 0 then begin
       let plan = Mach.Fault.create ~seed () in
       Mach.Fault.set_rates plan ~port:"file-service" ~crash_ppm ();
+      (* storage faults ride along at the same rate: write reordering
+         only — benign for a format whose durability contract is
+         sync-based, but it exercises the barrier path under load.
+         (Torn writes and bit rot would silently corrupt the
+         journal-less HPFS; the recovery sweep covers those.) *)
+      Mach.Fault.set_disk_rates plan ~disk:(Machine.Disk.name disk)
+        ~reorder_ppm:crash_ppm ();
       sys.Mach.Sched.faults <- Some plan;
       Some plan
     end
@@ -111,9 +122,10 @@ let run_point ~seed ~clients ~sessions ~crash_ppm =
   in
   (* the deadline must sit well above a legitimate op (tens of thousands
      of cycles once disk I/O is in the path) so only abandoned requests
-     trip it *)
-  F.File_server.set_retry fs ~attempts:5 ~deadline:1_000_000 ~backoff:2_000
-    ~resolve ();
+     trip it; the backoff schedule must span a supervised restart, which
+     now includes crash recovery (fsck scan over the volume) *)
+  F.File_server.set_retry fs ~attempts:7 ~deadline:1_000_000
+    ~backoff:1_000_000 ~resolve ();
   let sem = F.Vfs.os2_semantics in
   let completed = ref 0 in
   let reopens = ref 0 in
@@ -157,6 +169,8 @@ let run_point ~seed ~clients ~sessions ~crash_ppm =
     p_gave_up = Mk_services.Supervisor.gave_up sup;
     p_injected_crashes =
       (match plan with Some p -> Mach.Fault.injected_crashes p | None -> 0);
+    p_disk_faults =
+      (match plan with Some p -> Mach.Fault.injected_disk_faults p | None -> 0);
     p_cycles_per_op =
       (if ops = 0 then 0.0 else float_of_int cycles /. float_of_int ops);
   }
@@ -208,12 +222,13 @@ let to_json r =
         "    { \"crash_ppm\": %d, \"ops\": %d, \"completed\": %d, \
          \"completion_rate\": %.3f, \"retries\": %d, \"reopens\": %d, \
          \"restarts\": %d, \"gave_up\": %b, \"injected_crashes\": %d, \
-         \"cycles_per_op\": %.1f, \"added_cycles_per_op\": %.1f }%s\n"
+         \"disk_faults\": %d, \"cycles_per_op\": %.1f, \
+         \"added_cycles_per_op\": %.1f }%s\n"
         p.p_crash_ppm p.p_ops p.p_completed
         (if p.p_ops = 0 then 0.0
          else float_of_int p.p_completed /. float_of_int p.p_ops)
         p.p_retries p.p_reopens p.p_restarts p.p_gave_up p.p_injected_crashes
-        p.p_cycles_per_op
+        p.p_disk_faults p.p_cycles_per_op
         (p.p_cycles_per_op -. r.r_baseline_cycles_per_op)
         (if i = List.length r.r_points - 1 then "" else ","))
     r.r_points;

@@ -19,6 +19,9 @@ type point = {
   p_restarts : int;
   p_gave_up : bool;
   p_injected_crashes : int;
+  p_disk_faults : int;
+      (** injected disk-level faults (write reordering at the same ppm
+          rate as server crashes) *)
   p_cycles_per_op : float;
 }
 

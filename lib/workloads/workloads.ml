@@ -8,4 +8,5 @@ module Table1 = Table1
 module Micro = Micro
 module Ipc_stress = Ipc_stress
 module Fault_sweep = Fault_sweep
+module Recovery_sweep = Recovery_sweep
 module Run_meta = Run_meta

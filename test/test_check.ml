@@ -447,8 +447,10 @@ let test_restart_zero_residual_rights () =
         cached := p;
         p
   in
-  F.File_server.set_retry fs ~attempts:5 ~deadline:1_000_000 ~backoff:1_000
-    ~resolve ();
+  (* the retry schedule must span a supervised restart, which includes
+     crash recovery (fsck scan over the volume) *)
+  F.File_server.set_retry fs ~attempts:8 ~deadline:1_000_000
+    ~backoff:1_000_000 ~resolve ();
   let sem = F.Vfs.os2_semantics in
   let ok label = function
     | Ok v -> v

@@ -226,8 +226,11 @@ let test_supervisor_restarts_file_server () =
         cached := p;
         p
   in
-  F.File_server.set_retry fs ~attempts:5 ~deadline:1_000_000 ~backoff:1_000
-    ~resolve ();
+  (* restart now runs crash recovery (journal replay + fsck scan) before
+     the replacement is rebound, so the retry budget must span tens of
+     millions of simulated cycles, not thousands *)
+  F.File_server.set_retry fs ~attempts:8 ~deadline:1_000_000
+    ~backoff:1_000_000 ~resolve ();
   let sem = F.Vfs.os2_semantics in
   Test_util.run_in_thread k (fun () ->
       Mk_services.Supervisor.supervise sup ~path:"/services/file"
@@ -322,7 +325,11 @@ let test_fault_sweep_smoke () =
           (match J.member "completion_rate" point with
           | Some (J.Num f) ->
               Alcotest.(check bool) "rate in [0,1]" true (f >= 0.0 && f <= 1.0)
-          | _ -> Alcotest.fail "missing completion_rate")
+          | _ -> Alcotest.fail "missing completion_rate");
+          (match J.member "disk_faults" point with
+          | Some (J.Num n) ->
+              Alcotest.(check bool) "disk faults counted" true (n >= 0.0)
+          | _ -> Alcotest.fail "missing disk_faults")
       | _ -> Alcotest.fail "expected exactly one result point")
 
 let suite =

@@ -49,6 +49,74 @@ let run_jfs body =
 
 let ok label = Test_util.check_fs_ok label
 
+(* --- the shared physical-FS matrix -------------------------------------------- *)
+
+(* One operation battery every format must pass identically: create,
+   write, read back, grow, truncate, subdirectory, rename, remove.
+   Names stay within FAT's 8.3 rules so the same script runs verbatim on
+   all three formats; the journalled and HPFS variants additionally run
+   their invariant scan over the final image. *)
+let pfs_battery _k (pfs : pfs) =
+  let root = pfs.pfs_root in
+  let f = ok "create" (pfs.pfs_create ~dir:root "MATRIX.TXT" ~is_dir:false) in
+  let data = Bytes.init 1500 (fun i -> Char.chr (32 + (i mod 90))) in
+  Alcotest.(check int) "wrote all" 1500 (ok "write" (pfs.pfs_write f ~off:0 data));
+  Alcotest.(check bytes) "round trip" data (ok "read" (pfs.pfs_read f ~off:0 ~len:1500));
+  ignore (ok "overwrite" (pfs.pfs_write f ~off:700 (Bytes.make 100 '!')));
+  Alcotest.(check bytes) "overwrite visible" (Bytes.make 100 '!')
+    (ok "read back" (pfs.pfs_read f ~off:700 ~len:100));
+  ok "truncate" (pfs.pfs_truncate f ~len:400);
+  Alcotest.(check int) "shrunk" 400 (ok "stat" (pfs.pfs_stat f)).st_size;
+  let d = ok "mkdir" (pfs.pfs_create ~dir:root "SUB" ~is_dir:true) in
+  let g = ok "create nested" (pfs.pfs_create ~dir:d "INNER.DAT" ~is_dir:false) in
+  ignore (ok "write nested" (pfs.pfs_write g ~off:0 (Bytes.of_string "inner")));
+  Alcotest.(check (list string)) "nested listing" [ "INNER.DAT" ]
+    (ok "readdir" (pfs.pfs_readdir ~dir:d));
+  ok "rename" (pfs.pfs_rename ~src_dir:root "MATRIX.TXT" ~dst_dir:d "MOVED.TXT");
+  (match pfs.pfs_lookup ~dir:root "MATRIX.TXT" with
+  | Error E_not_found -> ()
+  | _ -> Alcotest.fail "source name survived rename");
+  let f' = ok "lookup moved" (pfs.pfs_lookup ~dir:d "MOVED.TXT") in
+  Alcotest.(check int) "rename kept inode" f f';
+  ok "remove nested" (pfs.pfs_remove ~dir:d "INNER.DAT");
+  ok "remove moved" (pfs.pfs_remove ~dir:d "MOVED.TXT");
+  ok "remove dir" (pfs.pfs_remove ~dir:root "SUB");
+  Alcotest.(check (list string)) "root empty again" []
+    (ok "readdir root" (pfs.pfs_readdir ~dir:root));
+  pfs.pfs_sync ()
+
+let run_matrix ~mkfs ~mount ~fsck () =
+  let k = Test_util.kernel_on () in
+  let disk = k.Mach.Kernel.machine.Machine.disk in
+  mkfs disk;
+  let cache = F.Block_cache.create k disk () in
+  Test_util.run_in_thread k (fun () ->
+      (match mount cache with
+      | Ok pfs -> pfs_battery k pfs
+      | Error e -> Alcotest.fail (fs_error_to_string e));
+      match fsck with
+      | Some scan ->
+          Alcotest.(check (list string)) "invariant scan clean" [] (scan cache)
+      | None -> ())
+
+let test_matrix_fat () =
+  run_matrix
+    ~mkfs:(fun d -> F.Fat.mkfs d ())
+    ~mount:(fun c -> F.Fat.mount c ())
+    ~fsck:None ()
+
+let test_matrix_hpfs () =
+  run_matrix
+    ~mkfs:(fun d -> F.Hpfs.mkfs d ())
+    ~mount:(fun c -> F.Hpfs.mount c ())
+    ~fsck:(Some (fun c -> F.Hpfs.fsck c ())) ()
+
+let test_matrix_jfs () =
+  run_matrix
+    ~mkfs:(fun d -> F.Jfs.mkfs d ())
+    ~mount:(fun c -> F.Jfs.mount c ())
+    ~fsck:(Some (fun c -> F.Jfs.fsck c ())) ()
+
 (* --- block cache ------------------------------------------------------------ *)
 
 let test_block_cache () =
@@ -426,6 +494,9 @@ let suite =
   [
     Alcotest.test_case "block cache" `Quick test_block_cache;
     Alcotest.test_case "map file (external pager)" `Quick test_map_file;
+    Alcotest.test_case "pfs matrix: fat" `Quick test_matrix_fat;
+    Alcotest.test_case "pfs matrix: hpfs" `Quick test_matrix_hpfs;
+    Alcotest.test_case "pfs matrix: jfs" `Quick test_matrix_jfs;
     Alcotest.test_case "fat name rules" `Quick test_fat_names;
     Alcotest.test_case "fat create/read/write" `Quick test_fat_create_read_write;
     Alcotest.test_case "fat case folding" `Quick test_fat_case_folding;

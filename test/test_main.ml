@@ -16,4 +16,5 @@ let () =
       ("edge-cases", Test_more.suite);
       ("faults", Test_faults.suite);
       ("machcheck", Test_check.suite);
+      ("recovery", Test_recovery.suite);
     ]

@@ -1,0 +1,375 @@
+(* Crash-consistency tests: disk-level fault injection, the write-ahead
+   journal's durability and rollback guarantees, recovery after power
+   cuts, and the exhaustive crash-point sweep at a small bound. *)
+
+open Fileserver.Fs_types
+module F = Fileserver
+
+let ok label = Test_util.check_fs_ok label
+
+(* Block until every submitted disk request (including reorder-held
+   writes) has been applied. *)
+let barrier_wait k disk =
+  let sys = k.Mach.Kernel.sys in
+  let th = Mach.Sched.self () in
+  let arrived = ref false in
+  Machine.Disk.barrier disk (fun () ->
+      arrived := true;
+      Mach.Sched.wake sys th);
+  while not !arrived do
+    ignore (Mach.Sched.block "test-barrier" : Mach.Ktypes.kern_return)
+  done
+
+(* --- disk-level fault primitives ------------------------------------------- *)
+
+let test_torn_write_lands_prefix () =
+  let k = Test_util.kernel_on () in
+  let sys = k.Mach.Kernel.sys in
+  let disk = k.Mach.Kernel.machine.Machine.disk in
+  Drivers.Disk_driver.arm_faults k disk;
+  let plan = Mach.Fault.create ~seed:5 () in
+  Mach.Fault.at_disk_write plan ~disk:(Machine.Disk.name disk) ~n:1
+    Mach.Fault.Torn_write;
+  sys.Mach.Sched.faults <- Some plan;
+  let data = Bytes.init 512 (fun i -> Char.chr (65 + (i mod 26))) in
+  Test_util.run_in_thread k (fun () ->
+      Machine.Disk.write disk ~block:100 data (fun () -> ());
+      barrier_wait k disk);
+  Alcotest.(check int) "the tear was injected" 1
+    (Mach.Fault.injected_torn_writes plan);
+  let got = Machine.Disk.read_now disk ~block:100 ~count:1 in
+  (* some 4-byte-aligned prefix landed, never the whole sector *)
+  let keep = ref 0 in
+  while !keep < 512 && Bytes.get got !keep = Bytes.get data !keep do incr keep done;
+  Alcotest.(check bool) "not the whole sector" true (!keep < 512);
+  Alcotest.(check int) "tear at a word boundary" 0 (!keep mod 4);
+  for i = !keep to 511 do
+    Alcotest.(check char) (Printf.sprintf "byte %d untouched" i) '\000'
+      (Bytes.get got i)
+  done
+
+let drive_seeded_disk_faults ~seed =
+  let k = Test_util.kernel_on () in
+  let sys = k.Mach.Kernel.sys in
+  let disk = k.Mach.Kernel.machine.Machine.disk in
+  Drivers.Disk_driver.arm_faults k disk;
+  let plan = Mach.Fault.create ~seed () in
+  Mach.Fault.set_disk_rates plan ~disk:(Machine.Disk.name disk)
+    ~torn_ppm:120_000 ~bit_rot_ppm:120_000 ~reorder_ppm:120_000 ();
+  sys.Mach.Sched.faults <- Some plan;
+  Test_util.run_in_thread k (fun () ->
+      for i = 0 to 39 do
+        Machine.Disk.write disk ~block:(100 + i)
+          (Bytes.make 512 (Char.chr (33 + i)))
+          (fun () -> ())
+      done;
+      barrier_wait k disk);
+  let image = Buffer.create (40 * 512) in
+  for i = 0 to 39 do
+    Buffer.add_bytes image (Machine.Disk.read_now disk ~block:(100 + i) ~count:1)
+  done;
+  (Buffer.contents image, Mach.Fault.injected_disk_faults plan)
+
+let test_disk_faults_replay_deterministically () =
+  let image_a, faults_a = drive_seeded_disk_faults ~seed:9 in
+  let image_b, faults_b = drive_seeded_disk_faults ~seed:9 in
+  Alcotest.(check bool) "faults were injected" true (faults_a >= 1);
+  Alcotest.(check int) "same fault count" faults_a faults_b;
+  Alcotest.(check string) "bit-identical disk image" image_a image_b
+
+(* --- journal durability ------------------------------------------------------ *)
+
+let test_jfs_commit_durable_without_sync () =
+  let k = Test_util.kernel_on () in
+  let disk = k.Mach.Kernel.machine.Machine.disk in
+  F.Jfs.mkfs disk ();
+  Test_util.run_in_thread k (fun () ->
+      let cache = F.Block_cache.create k disk () in
+      let pfs = ok "mount" (F.Jfs.mount cache ()) in
+      let id =
+        ok "create" (pfs.pfs_create ~dir:pfs.pfs_root "durable" ~is_dir:false)
+      in
+      let data = Bytes.of_string "journalled, never synced" in
+      ignore (ok "write" (pfs.pfs_write id ~off:0 data));
+      (* no sync: the home blocks exist only in the doomed cache.  A
+         recovery mount against a cold cache must replay the journal. *)
+      let cache2 = F.Block_cache.create k disk () in
+      let pfs2 = ok "recovery mount" (F.Jfs.mount cache2 ()) in
+      (match F.Jfs.last_recovery cache2 with
+      | Some rv ->
+          Alcotest.(check bool) "transactions replayed" true
+            (rv.F.Journal.rv_replayed_txns > 0)
+      | None -> Alcotest.fail "no recovery report");
+      let id2 = ok "lookup" (pfs2.pfs_lookup ~dir:pfs2.pfs_root "durable") in
+      Alcotest.(check bytes) "content survived" data
+        (ok "read" (pfs2.pfs_read id2 ~off:0 ~len:(Bytes.length data))))
+
+let test_power_cut_recovery () =
+  let k = Test_util.kernel_on () in
+  let sys = k.Mach.Kernel.sys in
+  let disk = k.Mach.Kernel.machine.Machine.disk in
+  F.Jfs.mkfs disk ();
+  Drivers.Disk_driver.arm_faults k disk;
+  Test_util.run_in_thread k (fun () ->
+      let cache = F.Block_cache.create k disk () in
+      let pfs = ok "mount" (F.Jfs.mount cache ()) in
+      let plan = Mach.Fault.create ~seed:11 () in
+      Mach.Fault.at_disk_write plan ~disk:(Machine.Disk.name disk) ~n:12
+        Mach.Fault.Power_cut;
+      sys.Mach.Sched.faults <- Some plan;
+      let acked = ref [] in
+      for i = 1 to 4 do
+        let name = Printf.sprintf "f%d" i in
+        let data = Bytes.make (200 * i) (Char.chr (64 + i)) in
+        match pfs.pfs_create ~dir:pfs.pfs_root name ~is_dir:false with
+        | Ok id -> (
+            match pfs.pfs_write id ~off:0 data with
+            | Ok _ when Machine.Disk.powered_on disk ->
+                acked := (name, data) :: !acked
+            | _ -> ())
+        | Error _ -> ()
+      done;
+      Alcotest.(check bool) "the cut landed" false (Machine.Disk.powered_on disk);
+      sys.Mach.Sched.faults <- None;
+      Machine.Disk.power_restore disk;
+      let cache2 = F.Block_cache.create k disk () in
+      let pfs2 = ok "recovery mount" (F.Jfs.mount cache2 ()) in
+      Alcotest.(check (list string)) "fsck clean" [] (F.Jfs.fsck cache2 ());
+      List.iter
+        (fun (name, data) ->
+          let id =
+            ok (name ^ " present") (pfs2.pfs_lookup ~dir:pfs2.pfs_root name)
+          in
+          Alcotest.(check bytes) (name ^ " byte-exact") data
+            (ok "read" (pfs2.pfs_read id ~off:0 ~len:(Bytes.length data))))
+        !acked)
+
+(* --- corrupted journal records ----------------------------------------------- *)
+
+(* Mirrors of the record layout, for finding a record to damage. *)
+let get32 b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let cksum b off len =
+  let h = ref 0x811C9DC5 in
+  for i = off to off + len - 1 do
+    h := (!h lxor Char.code (Bytes.get b i)) * 0x01000193 land 0xFFFFFFFF
+  done;
+  !h
+
+let find_newest_journal_header disk =
+  let best = ref None in
+  for block = 0 to 4095 do
+    let raw = Machine.Disk.read_now disk ~block ~count:1 in
+    if
+      Bytes.length raw >= 24
+      && Bytes.sub_string raw 0 4 = "WJH1"
+      && get32 raw 20 = cksum raw 0 20
+    then
+      let seq = get32 raw 4 in
+      match !best with
+      | Some (s, _) when s >= seq -> ()
+      | _ -> best := Some (seq, block)
+  done;
+  !best
+
+let test_torn_journal_record_discarded () =
+  let k = Test_util.kernel_on () in
+  let disk = k.Mach.Kernel.machine.Machine.disk in
+  F.Jfs.mkfs disk ();
+  Test_util.run_in_thread k (fun () ->
+      let cache = F.Block_cache.create k disk () in
+      let pfs = ok "mount" (F.Jfs.mount cache ()) in
+      for i = 1 to 3 do
+        let id =
+          ok "create"
+            (pfs.pfs_create ~dir:pfs.pfs_root (Printf.sprintf "t%d" i)
+               ~is_dir:false)
+        in
+        ignore (ok "write" (pfs.pfs_write id ~off:0 (Bytes.make 600 'j')))
+      done);
+  Mach.Kernel.run k;
+  (* damage the newest header record — a torn write inside the journal
+     itself.  Recovery must notice (checksums, slot discipline) and
+     discard that transaction rather than replay garbage. *)
+  (match find_newest_journal_header disk with
+  | Some (_, block) ->
+      Machine.Disk.write_now disk ~block (Bytes.make 512 '\xAB')
+  | None -> Alcotest.fail "no journal header found on disk");
+  Test_util.run_in_thread k (fun () ->
+      let cache2 = F.Block_cache.create k disk () in
+      ignore (ok "recovery mount" (F.Jfs.mount cache2 ()) : pfs);
+      (match F.Jfs.last_recovery cache2 with
+      | Some rv ->
+          Alcotest.(check bool) "damaged txn discarded" true
+            (rv.F.Journal.rv_discarded >= 1)
+      | None -> Alcotest.fail "no recovery report");
+      Alcotest.(check (list string)) "volume still consistent" []
+        (F.Jfs.fsck cache2 ()))
+
+(* --- fsck --------------------------------------------------------------------- *)
+
+let find_block_containing disk ~needle =
+  let n = String.length needle in
+  let found = ref None in
+  for block = 0 to 8191 do
+    if !found = None then begin
+      let raw = Bytes.to_string (Machine.Disk.read_now disk ~block ~count:1) in
+      let limit = String.length raw - n in
+      let i = ref 0 in
+      while !found = None && !i <= limit do
+        if String.sub raw !i n = needle then found := Some block;
+        incr i
+      done
+    end
+  done;
+  !found
+
+let test_fsck_detects_corruption () =
+  let k = Test_util.kernel_on () in
+  let disk = k.Mach.Kernel.machine.Machine.disk in
+  F.Hpfs.mkfs disk ();
+  Test_util.run_in_thread k (fun () ->
+      let cache = F.Block_cache.create k disk () in
+      let pfs = ok "mount" (F.Hpfs.mount cache ()) in
+      let id =
+        ok "create"
+          (pfs.pfs_create ~dir:pfs.pfs_root "zzcorrupt.me" ~is_dir:false)
+      in
+      ignore (ok "write" (pfs.pfs_write id ~off:0 (Bytes.make 900 'c')));
+      pfs.pfs_sync ();
+      Alcotest.(check (list string)) "clean before the damage" []
+        (F.Hpfs.fsck cache ()));
+  Mach.Kernel.run k;
+  (* clobber the directory block holding the entry *)
+  (match find_block_containing disk ~needle:"zzcorrupt.me" with
+  | Some block -> Machine.Disk.write_now disk ~block (Bytes.make 512 '\xFF')
+  | None -> Alcotest.fail "directory entry not found on disk");
+  Test_util.run_in_thread k (fun () ->
+      let cache2 = F.Block_cache.create k disk () in
+      Alcotest.(check bool) "fsck reports the damage" true
+        (F.Hpfs.fsck cache2 () <> []))
+
+(* --- transaction rollback ------------------------------------------------------ *)
+
+let test_jfs_rollback_on_no_space () =
+  let k = Test_util.kernel_on () in
+  let disk = k.Mach.Kernel.machine.Machine.disk in
+  F.Jfs.mkfs disk ~blocks:512 ();
+  Test_util.run_in_thread k (fun () ->
+      let cache = F.Block_cache.create k disk () in
+      let pfs = ok "mount" (F.Jfs.mount cache ()) in
+      let id =
+        ok "create" (pfs.pfs_create ~dir:pfs.pfs_root "filler" ~is_dir:false)
+      in
+      let chunk = Bytes.make 4096 'z' in
+      let rec fill off =
+        if off > 512 * 512 then Alcotest.fail "volume never filled up"
+        else begin
+          let free = pfs.pfs_free_blocks () in
+          match pfs.pfs_write id ~off chunk with
+          | Ok _ -> fill (off + 4096)
+          | Error E_no_space ->
+              (* the failed operation's transaction overlay was dropped:
+                 no allocation it attempted may stick *)
+              Alcotest.(check int) "failed op fully rolled back" free
+                (pfs.pfs_free_blocks ())
+          | Error e -> Alcotest.fail (fs_error_to_string e)
+        end
+      in
+      fill 0;
+      Alcotest.(check (list string)) "fsck clean after rollback" []
+        (F.Jfs.fsck cache ()))
+
+(* --- supervised restart reclaims pool pins -------------------------------------- *)
+
+let test_restart_reclaims_pins () =
+  let k = Test_util.kernel_on () in
+  let runtime = Mk_services.Runtime.install k in
+  let disk = k.Mach.Kernel.machine.Machine.disk in
+  F.Hpfs.mkfs disk ();
+  let vfs = F.Vfs.create () in
+  let cache = F.Block_cache.create k disk () in
+  (match F.Hpfs.mount cache () with
+  | Ok pfs -> (
+      match F.Vfs.mount vfs ~at:"/os2" pfs with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail (fs_error_to_string e));
+  let fs = F.File_server.start k runtime vfs () in
+  Test_util.run_in_thread k (fun () ->
+      let sem = F.Vfs.os2_semantics in
+      let h =
+        ok "open"
+          (F.File_server.Client.open_ fs sem ~path:"/os2/zc" ~create:true ())
+      in
+      ignore (ok "write" (F.File_server.Client.write fs h (Bytes.make 8192 'p')));
+      F.File_server.Client.seek fs h ~pos:0;
+      ignore (ok "read_zc" (F.File_server.Client.read_zc fs h ~bytes:8192));
+      Alcotest.(check bool) "zero-copy reply pinned pool pages" true
+        (F.Block_cache.pool_pinned cache > 0);
+      (* crash-and-restart with the reply still outstanding: the dead
+         incarnation's pins must not leak into the next one *)
+      ignore (F.File_server.restart fs : Mach.Ktypes.port);
+      Alcotest.(check int) "restart reclaimed every pin" 0
+        (F.Block_cache.pool_pinned cache);
+      match F.File_server.last_recovery fs with
+      | Some rep ->
+          Alcotest.(check (list string)) "recovery scan clean" []
+            rep.rr_fsck_findings
+      | None -> Alcotest.fail "no recovery report after restart")
+
+(* --- the sweep at a small bound -------------------------------------------------- *)
+
+let test_crash_enumeration_small_bound () =
+  let open Workloads.Recovery_sweep in
+  let r = run ~ops:2 ~max_points:32 ~series:[ 4 ] ~checks:true () in
+  Alcotest.(check bool) "every point enumerated" true r.r_exhaustive;
+  Alcotest.(check bool) "points were checked" true (r.r_points_checked > 0);
+  Alcotest.(check int) "no acknowledged write lost" 0 r.r_lost_writes;
+  Alcotest.(check int) "no torn recovered state" 0 r.r_torn_states;
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "crash@%d fsck clean" p.cp_write)
+        0 p.cp_fsck_findings)
+    r.r_points;
+  (* acknowledged-op counts never decrease along the write axis *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "acked monotone" true (a.cp_acked <= b.cp_acked);
+        monotone rest
+    | _ -> ()
+  in
+  monotone r.r_points;
+  match r.r_check with
+  | Some rep ->
+      Alcotest.(check int) "checker saw every point" r.r_points_checked
+        rep.Check.rep_crash_points;
+      Alcotest.(check int) "no machcheck findings" 0 (Check.total_findings rep)
+  | None -> Alcotest.fail "expected a machcheck report"
+
+let suite =
+  [
+    Alcotest.test_case "torn write lands an aligned prefix" `Quick
+      test_torn_write_lands_prefix;
+    Alcotest.test_case "disk faults replay deterministically" `Quick
+      test_disk_faults_replay_deterministically;
+    Alcotest.test_case "jfs commit durable without sync" `Quick
+      test_jfs_commit_durable_without_sync;
+    Alcotest.test_case "power-cut recovery keeps acked writes" `Quick
+      test_power_cut_recovery;
+    Alcotest.test_case "damaged journal record discarded" `Quick
+      test_torn_journal_record_discarded;
+    Alcotest.test_case "fsck detects deliberate corruption" `Quick
+      test_fsck_detects_corruption;
+    Alcotest.test_case "jfs rolls back a failed operation" `Quick
+      test_jfs_rollback_on_no_space;
+    Alcotest.test_case "restart reclaims zero-copy pins" `Quick
+      test_restart_reclaims_pins;
+    Alcotest.test_case "crash-point enumeration (small bound)" `Quick
+      test_crash_enumeration_small_bound;
+  ]
