@@ -199,6 +199,58 @@ let recovery_sweep () =
   Printf.printf "\nwrote BENCH_recovery.json\n";
   if r.r_lost_writes > 0 || r.r_torn_states > 0 then exit 1
 
+(* --- smp-scaling: throughput vs cores on the multi-CPU machine ---------------- *)
+
+let smp_scaling () =
+  hr "smp-scaling: ipc-stress and the file-server workload at 1/2/4/8 CPUs";
+  let r = Workloads.Smp_scaling.run () in
+  let open Workloads.Smp_scaling in
+  Printf.printf
+    "ipc: %d pairs x %d round trips of %d bytes; fileserver: %d clients x %d \
+     sessions\n\n"
+    r.r_pairs r.r_iters r.r_bytes r.r_clients r.r_sessions;
+  Printf.printf "%-10s %-10s %5s %12s %12s %8s %7s %7s %7s %8s %12s\n"
+    "workload" "placement" "ncpus" "wall cycles" "ops/Mcycle" "speedup"
+    "ipis" "xmsgs" "steals" "coh" "bus stall";
+  List.iter
+    (fun p ->
+      Printf.printf "%-10s %-10s %5d %12d %12.1f %7.2fx %7d %7d %7d %8d %12d\n"
+        p.sp_workload p.sp_placement p.sp_ncpus p.sp_wall_cycles
+        p.sp_throughput p.sp_speedup p.sp_ipis p.sp_xmsgs p.sp_steals
+        p.sp_coherence_misses p.sp_bus_stall_cycles)
+    r.r_points;
+  Printf.printf "\nmachine state (per-CPU caches/TLBs plus shared directory):\n";
+  List.iter
+    (fun (s : Machine.Footprint.machine_state) ->
+      Printf.printf
+        "  %d cpu(s): %d B/cpu cache + %d B/cpu tlb + %d B directory = %d B\n"
+        s.Machine.Footprint.ms_ncpus s.Machine.Footprint.ms_cache_bytes_per_cpu
+        s.Machine.Footprint.ms_tlb_bytes_per_cpu
+        s.Machine.Footprint.ms_bus_directory_bytes
+        s.Machine.Footprint.ms_total_bytes)
+    r.r_state;
+  let headline = ipc_speedup r ~ncpus:4 in
+  Printf.printf "\ncolocated ipc speedup at 4 CPUs: %.2fx (acceptance: > 1.50x)\n"
+    headline;
+  let json = to_json r in
+  let oc = open_out "BENCH_smp.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_smp.json\n";
+  if headline < 1.5 then exit 1
+
+(* --- ab: regression diff between two BENCH_*.json runs ------------------------ *)
+
+let bench_ab ~a ~b ~threshold =
+  hr (Printf.sprintf "ab: %s -> %s" a b);
+  match Workloads.Bench_ab.compare_files ~a ~b ~threshold with
+  | Error e ->
+      Printf.eprintf "ab: %s\n" e;
+      exit 2
+  | Ok v ->
+      Format.printf "%a@?" Workloads.Bench_ab.pp_verdict v;
+      if v.Workloads.Bench_ab.v_regressions > 0 then exit 1
+
 (* --- machcheck: the analysis layer over the stress workloads ------------------ *)
 
 let machcheck () =
@@ -524,6 +576,7 @@ let experiments =
     ("ipc-stress", ipc_stress);
     ("fault-sweep", fault_sweep);
     ("recovery-sweep", recovery_sweep);
+    ("smp-scaling", smp_scaling);
     ("machcheck", machcheck);
     ("figure1", figure1);
     ("fileserver-factor", fileserver_factor);
@@ -565,6 +618,11 @@ let smoke () =
       ~checks:true ()
   in
   write "BENCH_recovery.json" (Workloads.Recovery_sweep.to_json rcv);
+  let smp =
+    Workloads.Smp_scaling.run ~cpus:[ 1; 2 ] ~pairs:2 ~iters:5 ~bytes:256
+      ~clients:2 ~sessions:1 ~checks:true ()
+  in
+  write "BENCH_smp.json" (Workloads.Smp_scaling.to_json smp);
   if
     rcv.Workloads.Recovery_sweep.r_lost_writes > 0
     || rcv.Workloads.Recovery_sweep.r_torn_states > 0
@@ -582,6 +640,7 @@ let smoke () =
         ipc.Workloads.Ipc_stress.r_check;
         flt.Workloads.Fault_sweep.r_check;
         rcv.Workloads.Recovery_sweep.r_check;
+        smp.Workloads.Smp_scaling.r_check;
       ]
   in
   Printf.printf "machcheck findings across smoke runs: %d (expected 0)\n"
@@ -628,6 +687,23 @@ let () =
   match args with
   | _ :: "--bechamel" :: _ -> bechamel ()
   | _ :: "--smoke" :: _ -> smoke ()
+  | _ :: "ab" :: a :: b :: rest ->
+      let threshold =
+        match rest with
+        | "--threshold" :: v :: _ -> (
+            match float_of_string_opt v with
+            | Some f when f >= 0.0 -> f
+            | _ ->
+                Printf.eprintf "ab: bad threshold %S\n" v;
+                exit 2)
+        | _ -> 0.05
+      in
+      bench_ab ~a ~b ~threshold
+  | _ :: "ab" :: _ ->
+      Printf.eprintf
+        "usage: main.exe ab A.json B.json [--threshold 0.05]\n\
+         exits 1 when B regresses against A past the threshold\n";
+      exit 2
   | _ :: name :: _ -> (
       match List.assoc_opt name experiments with
       | Some f -> f ()

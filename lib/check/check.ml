@@ -52,6 +52,10 @@ type blocked = {
   b_res : string;
   b_rdesc : string;
   mutable b_holders : int list;
+  b_cpu : int;  (* CPU the thread blocked on; -1 = unknown/uniprocessor *)
+  mutable b_wake_inflight : bool;
+      (* a cross-CPU wake message is in flight: the thread is about to
+         run, so it must not count as a blocked node in cycle search *)
 }
 
 type t = {
@@ -229,6 +233,9 @@ let dead_rights t ~space ~task =
 let successors t ~space tid =
   match Hashtbl.find_opt t.blocked (space, tid) with
   | None -> []
+  (* a wake message is already racing towards this thread: it is not
+     really stuck, so waits through it cannot close a cycle *)
+  | Some b when b.b_wake_inflight -> []
   | Some b -> (
       match Hashtbl.find_opt t.owners (space, b.b_res) with
       | Some o when o <> tid && not (List.mem o b.b_holders) -> o :: b.b_holders
@@ -259,13 +266,39 @@ let describe_cycle t ~space path =
     | Some b -> Printf.sprintf "t%d(%s) waits on %s" tid b.b_tname b.b_rdesc
     | None -> Printf.sprintf "t%d" tid
   in
-  String.concat " -> " (List.map leg path)
-  ^ Printf.sprintf " -> back to t%d" (List.hd path)
+  let base =
+    String.concat " -> " (List.map leg path)
+    ^ Printf.sprintf " -> back to t%d" (List.hd path)
+  in
+  (* a cycle whose waiters blocked on different CPUs is a cross-CPU
+     deadlock: flag it, naming the CPUs involved *)
+  let cpus =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun tid ->
+           match Hashtbl.find_opt t.blocked (space, tid) with
+           | Some b when b.b_cpu >= 0 -> Some b.b_cpu
+           | _ -> None)
+         path)
+  in
+  match cpus with
+  | _ :: _ :: _ ->
+      base
+      ^ Printf.sprintf " [cross-CPU: cpus %s]"
+          (String.concat "," (List.map string_of_int cpus))
+  | _ -> base
 
-let blocked_on t ~space ~tid ~tname ~res ~rdesc ~holders =
+let blocked_on t ~space ~tid ~tname ~cpu ~res ~rdesc ~holders =
   t.blocks_tracked <- t.blocks_tracked + 1;
   Hashtbl.replace t.blocked (space, tid)
-    { b_tname = tname; b_res = res; b_rdesc = rdesc; b_holders = holders };
+    {
+      b_tname = tname;
+      b_res = res;
+      b_rdesc = rdesc;
+      b_holders = holders;
+      b_cpu = cpu;
+      b_wake_inflight = false;
+    };
   match find_cycle t ~space tid with
   | None -> ()
   | Some path ->
@@ -282,6 +315,17 @@ let blocked_on t ~space ~tid ~tname ~res ~rdesc ~holders =
       end
 
 let unblocked t ~space ~tid = Hashtbl.remove t.blocked (space, tid)
+
+(* Cross-CPU wake tracking: between the send of an [X_wake] scheduler
+   message and its delivery, the target looks blocked to everyone but is
+   guaranteed to run — treating it as a wait-graph node would report
+   deadlocks that resolve by themselves. *)
+let remote_wake_sent t ~space ~tid =
+  match Hashtbl.find_opt t.blocked (space, tid) with
+  | Some b -> b.b_wake_inflight <- true
+  | None -> ()
+
+let remote_wake_delivered t ~space ~tid = Hashtbl.remove t.blocked (space, tid)
 
 let retarget t ~space ~tid ~holders =
   match Hashtbl.find_opt t.blocked (space, tid) with

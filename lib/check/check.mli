@@ -139,17 +139,29 @@ val dead_rights : t -> space:int -> task:int -> int
 (* --- deadlock detector -------------------------------------------------- *)
 
 val blocked_on :
-  t -> space:int -> tid:int -> tname:string -> res:string -> rdesc:string ->
-  holders:int list -> unit
+  t -> space:int -> tid:int -> tname:string -> cpu:int -> res:string ->
+  rdesc:string -> holders:int list -> unit
 (** Thread [tid] blocked on resource [res] (a stable key; [rdesc] is the
     human name).  [holders] are the threads that could unblock it, as
     known at block time; resources with an owner registered via
-    {!acquired} contribute that owner as well.  Runs cycle detection
-    from [tid]; a cycle is a "wait-cycle" finding naming every edge. *)
+    {!acquired} contribute that owner as well.  [cpu] is the CPU the
+    thread blocked on (-1 = unknown): a detected cycle whose waiters
+    span more than one CPU is flagged cross-CPU in the finding.  Runs
+    cycle detection from [tid]; a cycle is a "wait-cycle" finding naming
+    every edge. *)
 
 val unblocked : t -> space:int -> tid:int -> unit
 (** The thread resumed (normally, by timeout, or woken by a dying port):
     its wait-for edge is removed. *)
+
+val remote_wake_sent : t -> space:int -> tid:int -> unit
+(** A cross-CPU wake message for [tid] is in flight: the thread still
+    looks blocked but is guaranteed to run, so cycle search must not
+    pass through it (suppresses self-resolving "deadlocks"). *)
+
+val remote_wake_delivered : t -> space:int -> tid:int -> unit
+(** The wake message arrived and the thread is runnable again —
+    equivalent to {!unblocked}. *)
 
 val retarget : t -> space:int -> tid:int -> holders:int list -> unit
 (** Narrow a blocked thread's holder set once the real peer is known

@@ -19,7 +19,8 @@ let run_until t pred = Sched.run_until t.sys pred
 let task_create t ~name ?personality ?text_bytes ?data_bytes () =
   Sched.task_create t.sys ~name ?personality ?text_bytes ?data_bytes ()
 
-let thread_spawn t task ~name body = Sched.thread_spawn t.sys task ~name body
+let thread_spawn t task ~name ?affinity ?bound body =
+  Sched.thread_spawn t.sys task ~name ?affinity ?bound body
 let tasks t = List.rev t.sys.Sched.tasks
 
 let pp_tasks ppf t =

@@ -23,7 +23,9 @@ val task_create :
   t -> name:string -> ?personality:string -> ?text_bytes:int ->
   ?data_bytes:int -> unit -> task
 
-val thread_spawn : t -> task -> name:string -> (unit -> unit) -> thread
+val thread_spawn :
+  t -> task -> name:string -> ?affinity:int -> ?bound:bool ->
+  (unit -> unit) -> thread
 
 val tasks : t -> task list
 

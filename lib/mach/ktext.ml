@@ -26,6 +26,15 @@ type t = {
   ipc_text : Machine.Layout.region;
   data : Machine.Layout.region;
   buffers : Machine.Layout.region;
+  percpu : Machine.Layout.region option;
+      (* SMP only: per-CPU replicas of the hot kernel data structures
+         (run queue, port/message bookkeeping, timer state), one 4 KB
+         window per CPU.  The scheduler rework keeps each CPU's kernel
+         state CPU-local — cross-CPU changes travel as messages — so
+         [Kdata] traffic resolves into the executing CPU's window and
+         never ping-pongs coherence.  [None] on a uniprocessor: there
+         [Kdata] stays in [data] and the address stream is bit-for-bit
+         the pre-SMP one. *)
   scratch_frame : int;
   (* kernel message-buffer free list: extents of (offset, size) within
      [buffers], sorted by offset, plus live reservations by address.
@@ -36,8 +45,11 @@ type t = {
   (* size-class quick lists: freed small buffers parked by rounded size
      for LIFO reuse, the way kalloc front-ends the VM allocator.  A hit
      here is a recycle; the extents only see small frees when the quick
-     lists are flushed under pressure. *)
-  buf_quick : (int, int list ref) Hashtbl.t;
+     lists are flushed under pressure.  Keyed by (cpu, size): on an SMP
+     machine each CPU recycles the buffers it freed, objcache-style, so
+     a warm message buffer never migrates to another CPU's cache via
+     the free list (on one CPU the key degenerates to the size). *)
+  buf_quick : (int * int, int list ref) Hashtbl.t;
   mutable buf_allocs : int;
   mutable buf_frees : int;
   mutable buf_recycles : int;
@@ -56,12 +68,19 @@ let create (m : Machine.t) =
   let ipc_text = alloc "kernel.ipc-text" Machine.Layout.Code (48 * 1024) in
   let data = alloc "kernel.data" Machine.Layout.Data (64 * 1024) in
   let buffers = alloc "kernel.msg-buffers" Machine.Layout.Data (64 * 1024) in
+  let ncpus = m.Machine.config.Machine.Config.ncpus in
+  let percpu =
+    if ncpus > 1 then
+      Some (alloc "kernel.percpu-data" Machine.Layout.Data (ncpus * 4096))
+    else None
+  in
   {
     machine = m;
     text;
     ipc_text;
     data;
     buffers;
+    percpu;
     scratch_frame = data.Machine.Layout.base + (60 * 1024);
     buf_free = [ (0, buffers.Machine.Layout.size) ];
     buf_next = 0;
@@ -311,8 +330,11 @@ let c_virtual_copy_per_page =
 
 let region_of t = function `Core -> t.text | `Ipc -> t.ipc_text
 
-let resolve t ~frame = function
-  | Kdata off -> t.data.Machine.Layout.base + off
+let resolve t cpu ~frame = function
+  | Kdata off -> (
+      match t.percpu with
+      | None -> t.data.Machine.Layout.base + off
+      | Some r -> r.Machine.Layout.base + (Machine.Cpu.id cpu * 4096) + off)
   | Frame off -> frame + off
 
 (* Chunk replay runs on every kernel interaction the simulation models;
@@ -322,13 +344,13 @@ let resolve t ~frame = function
 let rec run_loads t cpu frame = function
   | [] -> ()
   | (loc, bytes) :: rest ->
-      Machine.Cpu.load cpu ~addr:(resolve t ~frame loc) ~bytes;
+      Machine.Cpu.load cpu ~addr:(resolve t cpu ~frame loc) ~bytes;
       run_loads t cpu frame rest
 
 let rec run_stores t cpu frame = function
   | [] -> ()
   | (loc, bytes) :: rest ->
-      Machine.Cpu.store cpu ~addr:(resolve t ~frame loc) ~bytes;
+      Machine.Cpu.store cpu ~addr:(resolve t cpu ~frame loc) ~bytes;
       run_stores t cpu frame rest
 
 let exec_chunk t ~frame c =
@@ -390,6 +412,10 @@ let granule = 32
    D-cache, as a hardware buffer ring behaves. *)
 let quick_max = 512
 
+(* Which CPU's quick list to use: the one executing right now.  On a
+   uniprocessor this is always CPU 0, so the key is just the size. *)
+let quick_cpu t = Machine.Cpu.id t.machine.Machine.cpu
+
 let buffer_reset t =
   t.buf_free <- [ (0, t.buffers.Machine.Layout.size) ];
   t.buf_next <- 0;
@@ -441,7 +467,7 @@ let insert_extent free ~off ~size =
 let flush_quick t =
   let any = Hashtbl.length t.buf_quick > 0 in
   Hashtbl.iter
-    (fun size offs ->
+    (fun (_cpu, size) offs ->
       List.iter
         (fun off -> t.buf_free <- insert_extent t.buf_free ~off ~size)
         !offs)
@@ -464,11 +490,12 @@ let finish_alloc t ~off ~need ~recycled =
 let rec buffer_alloc t ~bytes =
   let size = t.buffers.Machine.Layout.size in
   let need = min ((max granule bytes + granule - 1) / granule * granule) size in
-  match Hashtbl.find_opt t.buf_quick need with
+  let qkey = (quick_cpu t, need) in
+  match Hashtbl.find_opt t.buf_quick qkey with
   | Some ({ contents = off :: rest } as offs) ->
       (* size-class hit: LIFO reuse of the most recently freed buffer *)
       offs := rest;
-      if rest = [] then Hashtbl.remove t.buf_quick need;
+      if rest = [] then Hashtbl.remove t.buf_quick qkey;
       finish_alloc t ~off ~need ~recycled:true
   | _ -> (
       let found =
@@ -508,9 +535,10 @@ let buffer_free t addr =
       t.buf_in_use <- t.buf_in_use - size;
       let off = addr - t.buffers.Machine.Layout.base in
       if size <= quick_max then begin
-        match Hashtbl.find_opt t.buf_quick size with
+        let qkey = (quick_cpu t, size) in
+        match Hashtbl.find_opt t.buf_quick qkey with
         | Some offs -> offs := off :: !offs
-        | None -> Hashtbl.replace t.buf_quick size (ref [ off ])
+        | None -> Hashtbl.replace t.buf_quick qkey (ref [ off ])
       end
       else t.buf_free <- insert_extent t.buf_free ~off ~size
 

@@ -85,6 +85,10 @@ type thread = {
   mutable reply_port_cache : port option;
       (* per-thread cached reply port, reused across Ipc.call round trips
          instead of allocate/destroy per interaction *)
+  mutable affinity : int;
+      (* CPU whose run queue owns this thread; only that CPU mutates the
+         thread's scheduling state directly, everyone else sends messages *)
+  mutable bound : bool;  (* pinned to [affinity]: never stolen or migrated *)
 }
 
 and task = {

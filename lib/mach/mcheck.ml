@@ -70,8 +70,8 @@ let receiver_tids (port : port) =
 
 let block_on sys (th : thread) ~res ~rdesc ~holders =
   on sys (fun c space ->
-      Check.blocked_on c ~space ~tid:th.tid ~tname:(tlabel th) ~res ~rdesc
-        ~holders)
+      Check.blocked_on c ~space ~tid:th.tid ~tname:(tlabel th)
+        ~cpu:sys.Sched.active ~res ~rdesc ~holders)
 
 let unblock sys (th : thread) =
   on sys (fun c space -> Check.unblocked c ~space ~tid:th.tid)

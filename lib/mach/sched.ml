@@ -1,11 +1,32 @@
 open Ktypes
 
+(* Cross-CPU scheduler messages, after DragonFly BSD's LWKT discipline:
+   per-CPU scheduling state is owned by its CPU, and every cross-CPU
+   mutation — wakeup, migration, teardown — travels as an asynchronous
+   message on the target CPU's queue, delivered when that CPU next runs
+   its dispatcher.  An IPI is raised only on the queue's empty->nonempty
+   transition, so bursts of messages share one interrupt. *)
+type xmsg =
+  | X_wake of { xth : thread; xresult : kern_return; sent_at : float }
+  | X_migrate of { xth : thread; sent_at : float }
+  | X_teardown of { xtid : int; sent_at : float }
+
+type percpu = {
+  pc_id : int;
+  pc_runq : thread Queue.t;
+  pc_ipiq : xmsg Queue.t;
+  mutable pc_last : thread option;  (* last thread dispatched here *)
+  mutable pc_switches : int;
+  mutable pc_steals : int;  (* threads this CPU stole while idle *)
+  mutable pc_xmsgs : int;  (* cross-CPU messages processed here *)
+}
+
 type t = {
   machine : Machine.t;
   ktext : Ktext.t;
-  runq : thread Queue.t;
+  percpu : percpu array;
+  mutable active : int;  (* CPU currently dispatching; 0 on a uniprocessor *)
   mutable current : thread option;
-  mutable last_dispatched : thread option;
   mutable next_task_id : int;
   mutable next_thread_id : int;
   mutable next_port_id : int;
@@ -35,15 +56,30 @@ type _ Effect.t +=
   | E_block : string -> kern_return Effect.t
   | E_yield : unit Effect.t
 
+(* Processing one scheduler message costs the receiver a short fixed
+   dispatch (decode + state update), on top of the per-batch interrupt
+   entry priced at [Config.ipi_cycles]. *)
+let xmsg_cycles = 32
+
 let create machine ktext =
   let used = Machine.Layout.used_bytes machine.Machine.layout in
   let total = machine.Machine.config.Machine.Config.memory_bytes in
   {
     machine;
     ktext;
-    runq = Queue.create ();
+    percpu =
+      Array.init (Machine.ncpus machine) (fun i ->
+          {
+            pc_id = i;
+            pc_runq = Queue.create ();
+            pc_ipiq = Queue.create ();
+            pc_last = None;
+            pc_switches = 0;
+            pc_steals = 0;
+            pc_xmsgs = 0;
+          });
+    active = 0;
     current = None;
-    last_dispatched = None;
     next_task_id = 1;
     next_thread_id = 1;
     next_port_id = 1;
@@ -68,6 +104,8 @@ let create machine ktext =
     check_space =
       (match Check.installed () with Some c -> Check.new_space c | None -> 0);
   }
+
+let ncpus t = Array.length t.percpu
 
 let enable_checks t chk =
   t.checks <- Some chk;
@@ -110,8 +148,16 @@ let task_create t ~name ?(personality = "pn") ?(text_bytes = 16 * 1024)
   t.tasks <- task :: t.tasks;
   task
 
-let thread_spawn t task ~name body =
+let thread_spawn t task ~name ?affinity ?(bound = false) body =
   if task.halted then raise (Kern_error Kern_invalid_argument);
+  let affinity =
+    match affinity with
+    | None -> t.active  (* children start where their creator runs *)
+    | Some a ->
+        if a < 0 || a >= Array.length t.percpu then
+          invalid_arg "Sched.thread_spawn: no such CPU";
+        a
+  in
   let slot = List.length task.threads mod 6 in
   let th =
     {
@@ -125,11 +171,13 @@ let thread_spawn t task ~name body =
       stack_base = task.data.Machine.Layout.base + 1024 + (slot * 2048);
       wake_result = Kern_success;
       reply_port_cache = None;
+      affinity;
+      bound;
     }
   in
   t.next_thread_id <- t.next_thread_id + 1;
   task.threads <- th :: task.threads;
-  Queue.add th t.runq;
+  Queue.add th t.percpu.(affinity).pc_runq;
   th
 
 let self () =
@@ -139,12 +187,38 @@ let self () =
 let block reason = Effect.perform (E_block reason)
 let yield () = Effect.perform E_yield
 
+(* Post a message on [target]'s queue; ring the doorbell only when the
+   queue was empty (LWKT batching: one IPI covers a burst). *)
+let post_xmsg t ~target msg =
+  let pc = t.percpu.(target) in
+  let was_empty = Queue.is_empty pc.pc_ipiq in
+  Queue.add msg pc.pc_ipiq;
+  if was_empty then Machine.ipi t.machine ~target
+
 let wake t ?(result = Kern_success) th =
   match th.state with
   | Th_blocked _ ->
-      th.wake_result <- result;
-      th.state <- Th_runnable;
-      Queue.add th t.runq
+      if Array.length t.percpu = 1 || th.affinity = t.active then begin
+        (* the waker runs on the thread's owning CPU: plain enqueue *)
+        th.wake_result <- result;
+        th.state <- Th_runnable;
+        Queue.add th t.percpu.(th.affinity).pc_runq
+      end
+      else begin
+        (* cross-CPU: the owning CPU flips the thread runnable when it
+           drains its message queue; we never touch its run queue *)
+        post_xmsg t ~target:th.affinity
+          (X_wake
+             {
+               xth = th;
+               xresult = result;
+               sent_at = Machine.Cpu.now_exact t.machine.Machine.cpu;
+             });
+        match t.checks with
+        | None -> ()
+        | Some c ->
+            Check.remote_wake_sent c ~space:t.check_space ~tid:th.tid
+      end
   | Th_runnable | Th_running | Th_terminated -> ()
 
 (* Thread wait-queue hygiene.  A waiter belongs in a port's queue at
@@ -163,12 +237,24 @@ let dequeue_waiter th q =
   Queue.transfer keep q
 
 let terminate t th =
+  let was_live = match th.state with Th_terminated -> false | _ -> true in
   (match th.state with
   | Th_terminated -> ()
   | Th_running | Th_runnable | Th_blocked _ ->
       th.state <- Th_terminated;
       th.cont <- Finished);
   th.t_task.threads <- List.filter (fun x -> x.tid <> th.tid) th.t_task.threads;
+  (* remote teardown: the kill takes effect immediately (the victim can
+     never run again — its owning CPU skips terminated queue entries),
+     but the owning CPU still pays to reap the thread when it next
+     drains its messages *)
+  if was_live && Array.length t.percpu > 1 && th.affinity <> t.active then
+    post_xmsg t ~target:th.affinity
+      (X_teardown
+         {
+           xtid = th.tid;
+           sent_at = Machine.Cpu.now_exact t.machine.Machine.cpu;
+         });
   match t.checks with
   | None -> ()
   | Some c -> Check.thread_gone c ~space:t.check_space ~tid:th.tid
@@ -188,11 +274,30 @@ let task_halt t task =
           : int);
       Hashtbl.reset task.namespace
 
-let charge_dispatch t th =
+(* Move a thread to another CPU's run queue.  A running thread migrates
+   itself at its next reschedule point; a blocked thread simply re-homes
+   (its eventual wake routes to the new CPU); a runnable thread leaves
+   its old queue now and arrives by message.  Bound threads never
+   move. *)
+let migrate t th ~cpu =
+  if cpu < 0 || cpu >= Array.length t.percpu then
+    invalid_arg "Sched.migrate: no such CPU";
+  if cpu <> th.affinity && not th.bound then
+    match th.state with
+    | Th_terminated -> ()
+    | Th_running | Th_blocked _ -> th.affinity <- cpu
+    | Th_runnable ->
+        dequeue_waiter th t.percpu.(th.affinity).pc_runq;
+        th.affinity <- cpu;
+        post_xmsg t ~target:cpu
+          (X_migrate
+             { xth = th; sent_at = Machine.Cpu.now_exact t.machine.Machine.cpu })
+
+let charge_dispatch t (pc : percpu) th =
   if t.charge_switches then begin
     let k = t.ktext in
     Ktext.exec1 k ~frame:th.stack_base (Ktext.sched_pick k);
-    match t.last_dispatched with
+    match pc.pc_last with
     | Some prev when prev.tid = th.tid -> ()
     | Some prev ->
         Ktext.exec1 k ~frame:th.stack_base (Ktext.context_switch k);
@@ -234,15 +339,20 @@ let handler t th : (unit, unit) Effect.Deep.handler =
               (fun (k : (a, unit) Effect.Deep.continuation) ->
                 th.state <- Th_runnable;
                 th.cont <- Paused_unit k;
-                Queue.add th t.runq)
+                (* a self-migrated thread deschedules onto its new CPU *)
+                Queue.add th t.percpu.(th.affinity).pc_runq)
         | _ -> None);
   }
 
-let step t th =
-  charge_dispatch t th;
+let step t i th =
+  t.active <- i;
+  Machine.set_active t.machine i;
+  let pc = t.percpu.(i) in
+  charge_dispatch t pc th;
   t.switches <- t.switches + 1;
+  pc.pc_switches <- pc.pc_switches + 1;
   t.current <- Some th;
-  t.last_dispatched <- Some th;
+  pc.pc_last <- Some th;
   th.state <- Th_running;
   (match th.cont with
   | Not_started ->
@@ -257,30 +367,179 @@ let step t th =
   | Finished -> ());
   t.current <- None
 
-let rec next_runnable t =
-  match Queue.take_opt t.runq with
+(* Deliver every pending message to CPU [i]: one interrupt entry per
+   batch, a short decode per message, and the receiver's clock can never
+   observe a message before its send time. *)
+let drain_ipiq t i =
+  let pc = t.percpu.(i) in
+  if not (Queue.is_empty pc.pc_ipiq) then begin
+    let cpu = Machine.nth_cpu t.machine i in
+    Machine.Cpu.execute_item cpu
+      (Machine.Footprint.Stall
+         t.machine.Machine.config.Machine.Config.ipi_cycles);
+    while not (Queue.is_empty pc.pc_ipiq) do
+      let msg = Queue.pop pc.pc_ipiq in
+      let sent_at =
+        match msg with
+        | X_wake { sent_at; _ }
+        | X_migrate { sent_at; _ }
+        | X_teardown { sent_at; _ } ->
+            sent_at
+      in
+      if Machine.Cpu.now_exact cpu < sent_at then
+        Machine.Cpu.advance_to cpu (int_of_float (Float.ceil sent_at));
+      Machine.Cpu.execute_item cpu (Machine.Footprint.Stall xmsg_cycles);
+      pc.pc_xmsgs <- pc.pc_xmsgs + 1;
+      match msg with
+      | X_wake { xth; xresult; _ } -> (
+          match xth.state with
+          | Th_blocked _ ->
+              xth.wake_result <- xresult;
+              xth.state <- Th_runnable;
+              (* enqueue where the thread is homed *now*: a migration
+                 during flight redirects the delivery *)
+              Queue.add xth t.percpu.(xth.affinity).pc_runq;
+              (match t.checks with
+              | None -> ()
+              | Some c ->
+                  Check.remote_wake_delivered c ~space:t.check_space
+                    ~tid:xth.tid)
+          | Th_runnable | Th_running | Th_terminated -> ())
+      | X_migrate { xth; _ } -> (
+          match xth.state with
+          | Th_runnable -> enqueue_waiter xth t.percpu.(xth.affinity).pc_runq
+          | Th_blocked _ | Th_running | Th_terminated -> ())
+      | X_teardown _ -> ()  (* reap accounting only: cost charged above *)
+    done
+  end
+
+let has_runnable pc =
+  Queue.fold (fun acc th -> acc || th.state = Th_runnable) false pc.pc_runq
+
+let runnable_count pc =
+  Queue.fold (fun n th -> if th.state = Th_runnable then n + 1 else n) 0
+    pc.pc_runq
+
+(* Remove the newest stealable entry — runnable and not bound — from the
+   tail end of a run queue (older entries are about to run anyway). *)
+let steal_from pc =
+  let arr = Array.of_seq (Queue.to_seq pc.pc_runq) in
+  let idx = ref (-1) in
+  Array.iteri
+    (fun i th -> if th.state = Th_runnable && not th.bound then idx := i)
+    arr;
+  if !idx < 0 then None
+  else begin
+    Queue.clear pc.pc_runq;
+    Array.iteri (fun i th -> if i <> !idx then Queue.add th pc.pc_runq) arr;
+    Some arr.(!idx)
+  end
+
+let rec pop_runnable q =
+  match Queue.take_opt q with
   | None -> None
   | Some th -> (
       match th.state with
       | Th_runnable -> Some th
-      | Th_running | Th_blocked _ | Th_terminated -> next_runnable t)
+      | Th_running | Th_blocked _ | Th_terminated -> pop_runnable q)
+
+(* Choose the next CPU to dispatch: the conservative sequential
+   interleaving runs whichever CPU with work is furthest behind in
+   simulated time (deterministic: ties break to the lowest index).
+   Before choosing, every CPU drains its message queue; an idle CPU
+   strictly behind the choice steals the newest unbound thread from the
+   most loaded run queue (>= 2 waiting) and dispatches it itself. *)
+let rec select t =
+  let n = Array.length t.percpu in
+  for i = 0 to n - 1 do
+    drain_ipiq t i
+  done;
+  let clock i = Machine.Cpu.now_exact (Machine.nth_cpu t.machine i) in
+  let best = ref (-1) and bestclk = ref infinity in
+  for i = n - 1 downto 0 do
+    if has_runnable t.percpu.(i) then begin
+      let c = clock i in
+      if c <= !bestclk then begin
+        best := i;
+        bestclk := c
+      end
+    end
+  done;
+  if !best < 0 then None
+  else begin
+    let stole = ref false in
+    if n > 1 then begin
+      let thief = ref (-1) and thiefclk = ref !bestclk in
+      for i = n - 1 downto 0 do
+        if not (has_runnable t.percpu.(i)) then begin
+          let c = clock i in
+          if c < !thiefclk then begin
+            thief := i;
+            thiefclk := c
+          end
+        end
+      done;
+      if !thief >= 0 then begin
+        let victim = ref (-1) and vcount = ref 1 in
+        for i = n - 1 downto 0 do
+          let c = runnable_count t.percpu.(i) in
+          if c >= 2 && c >= !vcount then begin
+            victim := i;
+            vcount := c
+          end
+        done;
+        if !victim >= 0 then
+          match steal_from t.percpu.(!victim) with
+          | None -> ()
+          | Some th ->
+              (* affinity follows the thief; the thief pays the
+                 cross-CPU queue touch (coherence traffic both ways) *)
+              th.affinity <- !thief;
+              let pc = t.percpu.(!thief) in
+              pc.pc_steals <- pc.pc_steals + 1;
+              Machine.Cpu.execute_item
+                (Machine.nth_cpu t.machine !thief)
+                (Machine.Footprint.Stall
+                   (2
+                   * t.machine.Machine.config
+                       .Machine.Config.coherence_miss_cycles));
+              Queue.add th pc.pc_runq;
+              stole := true
+      end
+    end;
+    if !stole then select t  (* the thief is now eligible; re-rank *)
+    else
+      match pop_runnable t.percpu.(!best).pc_runq with
+      | Some th -> Some (!best, th)
+      | None -> select t  (* queue held only stale entries; re-rank *)
+  end
 
 let rec run t =
-  match next_runnable t with
-  | Some th ->
-      step t th;
+  match select t with
+  | Some (i, th) ->
+      step t i th;
       run t
-  | None -> if Machine.advance_to_next_event t.machine then run t else ()
+  | None ->
+      if Machine.advance_to_next_event t.machine then begin
+        t.active <- 0;  (* device events deliver on the boot CPU *)
+        run t
+      end
+      else ()
 
 let run_until t pred =
   let rec loop () =
     if pred () then true
     else
-      match next_runnable t with
-      | Some th ->
-          step t th;
+      match select t with
+      | Some (i, th) ->
+          step t i th;
           loop ()
-      | None -> if Machine.advance_to_next_event t.machine then loop () else pred ()
+      | None ->
+          if Machine.advance_to_next_event t.machine then begin
+            t.active <- 0;
+            loop ()
+          end
+          else pred ()
   in
   loop ()
 
@@ -291,6 +550,12 @@ let alive_threads t =
       + List.length
           (List.filter (fun th -> th.state <> Th_terminated) task.threads))
     0 t.tasks
+
+let total_steals t =
+  Array.fold_left (fun acc pc -> acc + pc.pc_steals) 0 t.percpu
+
+let total_xmsgs t =
+  Array.fold_left (fun acc pc -> acc + pc.pc_xmsgs) 0 t.percpu
 
 let with_uncharged t f =
   let saved = t.charge_switches in

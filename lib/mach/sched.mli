@@ -7,18 +7,46 @@
     address space additionally charges the pmap switch and flushes the
     TLB — the costs at the heart of the paper's evaluation.
 
-    The [t] value is the kernel's core state: run queue, id counters,
-    task list, the virtual-address arena and the physical page pool used
-    by {!Vm}. *)
+    On a multi-CPU machine ([Config.ncpus] > 1) every CPU owns a run
+    queue and a message queue, after DragonFly BSD's LWKT design: only
+    the owning CPU mutates a thread's scheduling state, and cross-CPU
+    wakeups, migrations and teardowns travel as asynchronous messages
+    delivered when the target CPU next dispatches (one IPI per
+    empty->nonempty queue transition).  The simulation interleaves CPUs
+    conservatively: the runnable CPU furthest behind in simulated time
+    dispatches next, and an idle CPU that is strictly behind steals the
+    newest unbound thread from the most loaded queue.  With one CPU all
+    of this machinery is inert and the scheduler behaves — cycle for
+    cycle — like the original uniprocessor one.
+
+    The [t] value is the kernel's core state: per-CPU queues, id
+    counters, task list, the virtual-address arena and the physical page
+    pool used by {!Vm}. *)
 
 open Ktypes
+
+(** Cross-CPU scheduler message (exposed for tests/diagnosis). *)
+type xmsg =
+  | X_wake of { xth : thread; xresult : kern_return; sent_at : float }
+  | X_migrate of { xth : thread; sent_at : float }
+  | X_teardown of { xtid : int; sent_at : float }
+
+type percpu = {
+  pc_id : int;
+  pc_runq : thread Queue.t;
+  pc_ipiq : xmsg Queue.t;
+  mutable pc_last : thread option;  (* last thread dispatched here *)
+  mutable pc_switches : int;
+  mutable pc_steals : int;  (* threads this CPU stole while idle *)
+  mutable pc_xmsgs : int;  (* cross-CPU messages processed here *)
+}
 
 type t = {
   machine : Machine.t;
   ktext : Ktext.t;
-  runq : thread Queue.t;
+  percpu : percpu array;
+  mutable active : int;  (* CPU currently dispatching; 0 on a uniprocessor *)
   mutable current : thread option;
-  mutable last_dispatched : thread option;
   mutable next_task_id : int;
   mutable next_thread_id : int;
   mutable next_port_id : int;
@@ -46,7 +74,9 @@ type t = {
 val create : Machine.t -> Ktext.t -> t
 (** If a checker is globally installed ([Check.install]), the new system
     attaches itself to it; otherwise checking is off and every hook costs
-    one [None] match. *)
+    one [None] match.  One [percpu] slot is built per machine CPU. *)
+
+val ncpus : t -> int
 
 val enable_checks : t -> Check.t -> unit
 (** Attach Machcheck to an already-booted system: registers a fresh id
@@ -62,8 +92,12 @@ val task_create :
 val task_halt : t -> task -> unit
 (** Terminate every thread of the task and mark it halted. *)
 
-val thread_spawn : t -> task -> name:string -> (unit -> unit) -> thread
-(** Create a runnable thread executing the body. *)
+val thread_spawn :
+  t -> task -> name:string -> ?affinity:int -> ?bound:bool ->
+  (unit -> unit) -> thread
+(** Create a runnable thread executing the body.  [affinity] homes it on
+    that CPU's run queue (default: the CPU the creator is running on);
+    [bound] pins it there — a bound thread is never stolen or migrated. *)
 
 val self : unit -> thread
 (** Current thread; must be called from inside a thread body.
@@ -76,8 +110,17 @@ val block : string -> kern_return
 val yield : unit -> unit
 
 val wake : t -> ?result:kern_return -> thread -> unit
-(** Make a blocked thread runnable.  No-op for running/terminated
-    threads. *)
+(** Make a blocked thread runnable.  When the waker runs on the thread's
+    owning CPU this is a plain enqueue; otherwise it posts an [X_wake]
+    message (plus an IPI if the target's queue was empty) and the owning
+    CPU flips the thread runnable at its next dispatch.  No-op for
+    running/terminated threads. *)
+
+val migrate : t -> thread -> cpu:int -> unit
+(** Re-home a thread on another CPU.  Runnable threads leave their old
+    queue immediately and arrive by [X_migrate] message; blocked and
+    running threads simply change affinity (taking effect at the next
+    wake or reschedule point).  Bound threads never move. *)
 
 val enqueue_waiter : thread -> thread Queue.t -> unit
 (** Add the thread to a wait queue unless it is already present — a
@@ -89,17 +132,27 @@ val dequeue_waiter : thread -> thread Queue.t -> unit
     blocked operation gives up, so a later wake cannot target it). *)
 
 val terminate : t -> thread -> unit
+(** Kill a thread.  Killing a thread homed on another CPU additionally
+    posts an [X_teardown] message so the owning CPU pays the reap cost. *)
 
 val run : t -> unit
-(** Drive the system: dispatch runnable threads; when none are runnable,
-    advance the machine clock to the next device event; stop when neither
-    threads nor events remain. *)
+(** Drive the system: dispatch runnable threads (across every CPU); when
+    none are runnable and no messages are in flight, advance the machine
+    clock to the next device event; stop when neither threads nor events
+    remain. *)
 
 val run_until : t -> (unit -> bool) -> bool
 (** Like {!run} but stops early once the predicate holds between
     dispatches; returns whether the predicate held. *)
 
 val alive_threads : t -> int
+
+val total_steals : t -> int
+(** Work-stealing grabs performed by idle CPUs, summed over CPUs. *)
+
+val total_xmsgs : t -> int
+(** Cross-CPU scheduler messages processed, summed over CPUs. *)
+
 val virtual_alloc : t -> bytes:int -> int
 (** Carve a range from the global virtual arena (all address spaces share
     one arena so that coerced memory naturally has one address). *)

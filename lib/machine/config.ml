@@ -16,6 +16,9 @@ type t = {
   address_space_switch_cycles : int;
   page_size : int;
   memory_bytes : int;
+  ncpus : int;
+  coherence_miss_cycles : int;
+  ipi_cycles : int;
 }
 
 let mib n = n * 1024 * 1024
@@ -38,6 +41,9 @@ let pentium_133 =
     address_space_switch_cycles = 40;
     page_size = 4096;
     memory_bytes = mib 16;
+    ncpus = 1;
+    coherence_miss_cycles = 40;
+    ipi_cycles = 60;
   }
 
 let ppc604_133 =
@@ -57,14 +63,24 @@ let ppc604_133 =
     address_space_switch_cycles = 30;
     page_size = 4096;
     memory_bytes = mib 64;
+    ncpus = 1;
+    coherence_miss_cycles = 36;
+    ipi_cycles = 50;
   }
 
 let with_memory t ~bytes = { t with memory_bytes = bytes }
+
+let with_ncpus t ~n =
+  if n < 1 then invalid_arg "Config.with_ncpus: need at least one CPU";
+  { t with ncpus = n }
+
 let pages t = t.memory_bytes / t.page_size
 
 let pp ppf t =
   Format.fprintf ppf
-    "%s: %d MHz, I$ %dK/%d-way, D$ %dK/%d-way, %d MB RAM" t.name t.cpu_mhz
+    "%s: %d MHz x%d CPU%s, I$ %dK/%d-way, D$ %dK/%d-way, %d MB RAM" t.name
+    t.cpu_mhz t.ncpus
+    (if t.ncpus = 1 then "" else "s")
     (t.icache.size / 1024) t.icache.assoc (t.dcache.size / 1024)
     t.dcache.assoc
     (t.memory_bytes / (1024 * 1024))

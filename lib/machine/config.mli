@@ -34,6 +34,14 @@ type t = {
           excluding the TLB refill cost it induces *)
   page_size : int;
   memory_bytes : int;
+  ncpus : int;
+      (** simulated processors sharing the bus; 1 everywhere except the
+          SMP experiments, so single-core series are untouched *)
+  coherence_miss_cycles : int;
+      (** stall for a cache-to-cache line transfer when a CPU touches a
+          line another CPU wrote (only charged when [ncpus > 1]) *)
+  ipi_cycles : int;
+      (** sender-side cost of raising an inter-processor interrupt *)
 }
 
 val pentium_133 : t
@@ -45,6 +53,10 @@ val ppc604_133 : t
 
 val with_memory : t -> bytes:int -> t
 (** [with_memory c ~bytes] is [c] resized to [bytes] of physical memory. *)
+
+val with_ncpus : t -> n:int -> t
+(** [with_ncpus c ~n] is [c] with [n] simulated processors.
+    @raise Invalid_argument when [n < 1]. *)
 
 val pages : t -> int
 (** Number of physical page frames. *)

@@ -1,5 +1,7 @@
 type t = {
   config : Config.t;
+  id : int;  (* processor index within the machine, 0 = boot CPU *)
+  bus : Bus.t;  (* shared with every sibling CPU; inert when alone *)
   perf : Perf.t;
   icache : Cache.t;
   dcache : Cache.t;
@@ -7,9 +9,11 @@ type t = {
   mutable clock : float;
 }
 
-let create (c : Config.t) =
+let create ?(id = 0) ?bus (c : Config.t) =
   {
     config = c;
+    id;
+    bus = (match bus with Some b -> b | None -> Bus.create ~ncpus:1);
     perf = Perf.create ();
     icache = Cache.create c.icache;
     dcache = Cache.create c.dcache;
@@ -18,6 +22,8 @@ let create (c : Config.t) =
   }
 
 let config t = t.config
+let id t = t.id
+let bus t = t.bus
 let perf t = t.perf
 let icache t = t.icache
 let dcache t = t.dcache
@@ -37,21 +43,53 @@ let charge t cycles =
 let charge_bus t n =
   Perf.add_bus_cycles t.perf n
 
+(* A bus transaction on an SMP machine may find the bus held by a
+   sibling CPU; the stall shows up both in the cycle clock and in the
+   dedicated counter.  Never called on a 1-CPU machine. *)
+let charge_bus_smp t n =
+  charge_bus t n;
+  let stall = Bus.acquire t.bus ~now:t.clock ~bus_cycles:n in
+  if stall > 0. then begin
+    Perf.bus_stall t.perf stall;
+    t.clock <- t.clock +. stall;
+    Perf.add_cycles t.perf stall
+  end
+
 (* Walk the lines of [addr..addr+bytes), consulting [cache]; each miss
    costs a line fill.  TLB is consulted once per page touched.  This is
-   the innermost hot path of the whole simulator: it must not allocate. *)
+   the innermost hot path of the whole simulator: it must not allocate.
+   The SMP additions (coherence directory, bus arbitration) are guarded
+   so a 1-CPU machine runs the exact pre-SMP sequence. *)
 let lines_and_pages t cache addr bytes ~is_icache =
   let c = t.config in
+  let smp = Bus.ncpus t.bus > 1 in
   let line = if is_icache then c.icache.line else c.dcache.line in
   let first_line = addr / line and last_line = (addr + max bytes 1 - 1) / line in
   for l = first_line to last_line do
     let a = l * line in
+    (* Cache.access both probes and installs: after a coherence transfer
+       the line lives in this cache too, so it runs unconditionally. *)
     let hit = Cache.access cache a in
-    if is_icache then Perf.icache_access t.perf ~hit
-    else Perf.dcache_access t.perf ~hit;
-    if not hit then begin
-      charge t (float_of_int c.line_fill_cycles);
-      charge_bus t c.line_fill_bus_cycles
+    if
+      smp && not is_icache
+      && Bus.note_access t.bus ~cpu:t.id ~line:a ~write:false
+    then begin
+      (* another CPU wrote this line since we last held it: whatever the
+         local tag said, the copy is stale.  One cache-to-cache transfer
+         replaces the memory line fill. *)
+      Perf.dcache_access t.perf ~hit:false;
+      Perf.coherence_miss t.perf;
+      charge t (float_of_int c.coherence_miss_cycles);
+      charge_bus_smp t c.line_fill_bus_cycles
+    end
+    else begin
+      if is_icache then Perf.icache_access t.perf ~hit
+      else Perf.dcache_access t.perf ~hit;
+      if not hit then begin
+        charge t (float_of_int c.line_fill_cycles);
+        if smp then charge_bus_smp t c.line_fill_bus_cycles
+        else charge_bus t c.line_fill_bus_cycles
+      end
     end
   done;
   let first_page = addr / c.page_size
@@ -60,7 +98,8 @@ let lines_and_pages t cache addr bytes ~is_icache =
     if not (Tlb.access t.tlb (p * c.page_size)) then begin
       Perf.tlb_miss t.perf;
       charge t (float_of_int c.tlb_miss_cycles);
-      charge_bus t c.tlb_miss_bus_cycles
+      if smp then charge_bus_smp t c.tlb_miss_bus_cycles
+      else charge_bus t c.tlb_miss_bus_cycles
     end
   done
 
@@ -87,7 +126,18 @@ let store t ~addr ~bytes =
   (* write-through: every stored word is a bus write *)
   let c = t.config in
   let words = max 1 ((bytes + 3) / 4) in
-  charge_bus t (words * c.write_bus_cycles);
+  if Bus.ncpus t.bus > 1 then begin
+    (* take ownership of every written line in the coherence directory;
+       sibling CPUs holding these lines will pay a transfer next touch *)
+    let line = c.dcache.line in
+    let first_line = addr / line
+    and last_line = (addr + max bytes 1 - 1) / line in
+    for l = first_line to last_line do
+      ignore (Bus.note_access t.bus ~cpu:t.id ~line:(l * line) ~write:true : bool)
+    done;
+    charge_bus_smp t (words * c.write_bus_cycles)
+  end
+  else charge_bus t (words * c.write_bus_cycles);
   charge t (float_of_int words *. 0.5)
 
 (* A remap that edits live mappings must invalidate stale translations

@@ -7,9 +7,14 @@
 
 type t
 
-val create : Config.t -> t
+val create : ?id:int -> ?bus:Bus.t -> Config.t -> t
+(** [id] is the processor index within its machine (default 0); [bus] is
+    the shared bus — when omitted a private 1-CPU bus is built, which
+    makes every SMP effect inert. *)
 
 val config : t -> Config.t
+val id : t -> int
+val bus : t -> Bus.t
 val perf : t -> Perf.t
 val icache : t -> Cache.t
 val dcache : t -> Cache.t

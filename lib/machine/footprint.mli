@@ -53,4 +53,21 @@ val touch_region : Layout.region -> t
 val code_bytes : t -> int
 (** Total fetched bytes in the footprint. *)
 
+(** {1 Machine-state accounting}
+
+    The bytes of hardware bookkeeping state the machine itself carries.
+    Caches and TLBs replicate per CPU, so density measurements over an
+    SMP machine must scale them by [Config.ncpus]; the coherence
+    directory is shared and counted once (zero on a uniprocessor). *)
+
+type machine_state = {
+  ms_ncpus : int;
+  ms_cache_bytes_per_cpu : int;  (** I$ + D$ data plus tag/state arrays *)
+  ms_tlb_bytes_per_cpu : int;
+  ms_bus_directory_bytes : int;  (** write-invalidate directory, shared *)
+  ms_total_bytes : int;
+}
+
+val machine_state : Config.t -> machine_state
+
 val pp : Format.formatter -> t -> unit

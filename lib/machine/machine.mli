@@ -1,13 +1,18 @@
 (** Simulated hardware substrate.
 
     This library stands in for the 133 MHz Pentium / PowerPC 604 testbeds
-    of the paper: a processor with a microarchitectural cost model
-    (instruction retirement, set-associative I/D caches, TLB, write-through
-    stores, bus-transaction accounting, Pentium-style performance
-    counters), a physical address-space layout, a discrete-event queue, an
-    interrupt controller and standard devices.  Everything above — the
-    microkernel, the servers, the monolithic comparator — executes by
-    submitting {!Footprint.t} values to the CPU. *)
+    of the paper: one or more processors with a microarchitectural cost
+    model (instruction retirement, set-associative I/D caches, TLB,
+    write-through stores, bus-transaction accounting, Pentium-style
+    performance counters), a shared memory bus with a write-invalidate
+    coherence directory, a physical address-space layout, a discrete-event
+    queue, an interrupt controller and standard devices.  Everything above
+    — the microkernel, the servers, the monolithic comparator — executes
+    by submitting {!Footprint.t} values to the active CPU.
+
+    With [Config.ncpus = 1] (the default) the machine is byte-identical
+    to the pre-SMP uniprocessor model: the bus never arbitrates, the
+    coherence directory stays empty, and no IPIs exist. *)
 
 module Config = Config
 module Perf = Perf
@@ -15,17 +20,27 @@ module Cache = Cache
 module Tlb = Tlb
 module Layout = Layout
 module Footprint = Footprint
+module Bus = Bus
 module Cpu = Cpu
 module Event_queue = Event_queue
 module Irq = Irq
 module Disk = Disk
 module Framebuffer = Framebuffer
 
-(** The assembled machine: processor, layout, event queue, interrupt
-    controller, one disk and one frame buffer. *)
+(** The assembled machine: processors over one shared bus, layout, event
+    queue, interrupt controller, one disk and one frame buffer.
+
+    [cpu] is the {e active} CPU — the one whose context is currently
+    executing; the scheduler repoints it at each dispatch.  Code that
+    charges costs through [machine.cpu] therefore bills the processor
+    that is actually running.  Devices are wired to [cpus.(0)] (the boot
+    CPU) and deliver their completions on its timeline. *)
 type t = {
   config : Config.t;
-  cpu : Cpu.t;
+  mutable cpu : Cpu.t;
+  cpus : Cpu.t array;
+  bus : Bus.t;
+  mutable active : int;
   layout : Layout.t;
   events : Event_queue.t;
   irq : Irq.t;
@@ -38,15 +53,35 @@ val timer_irq_line : int
 
 val create : ?disk_geometry:Disk.geometry -> Config.t -> t
 
+val ncpus : t -> int
+val nth_cpu : t -> int -> Cpu.t
+
+val set_active : t -> int -> unit
+(** Make CPU [i] the active one: subsequent charges through [t.cpu] land
+    on its clock and counters. *)
+
+val active : t -> int
+
 val now : t -> int
-(** Current cycle time. *)
+(** Current cycle time of the {e active} CPU. *)
+
+val global_now : t -> int
+(** Wall-clock of the whole machine: the furthest-ahead CPU's clock.
+    Equal to {!now} on a uniprocessor. *)
 
 val execute : t -> Footprint.t -> unit
 
+val ipi : t -> target:int -> unit
+(** Raise an inter-processor interrupt from the active CPU to [target]:
+    a fixed [Config.ipi_cycles] send cost on the sender, an interrupt
+    counted on the target.  Delivery semantics (message-queue drain)
+    belong to the scheduler layer. *)
+
 val advance_to_next_event : t -> bool
-(** When the CPU is idle, jump the clock to the earliest pending event and
-    fire everything due.  [false] when no event is pending (a deadlocked or
-    finished system). *)
+(** When every CPU is idle, jump the boot CPU's clock to the earliest
+    pending event and fire everything due (device events are delivered
+    on the boot CPU).  Sets the active CPU to 0.  [false] when no event
+    is pending (a deadlocked or finished system). *)
 
 val run_events : t -> unit
 (** Fire any events due at or before the current time. *)

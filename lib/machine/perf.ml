@@ -10,6 +10,12 @@ type t = {
   mutable address_space_switches : int;
   mutable tlb_shootdowns : int;
   mutable interrupts : int;
+  (* SMP counters: kept outside [snapshot] (like [tlb_shootdowns]) so
+     single-CPU windowed measurements stay byte-identical to pre-SMP. *)
+  mutable coherence_misses : int;
+  mutable bus_stall_cycles : float;
+  mutable ipis_sent : int;
+  mutable ipis_received : int;
 }
 
 type snapshot = {
@@ -38,6 +44,10 @@ let create () : t =
     address_space_switches = 0;
     tlb_shootdowns = 0;
     interrupts = 0;
+    coherence_misses = 0;
+    bus_stall_cycles = 0.;
+    ipis_sent = 0;
+    ipis_received = 0;
   }
 
 let zero =
@@ -73,6 +83,17 @@ let address_space_switch (t : t) =
 
 let tlb_shootdown (t : t) = t.tlb_shootdowns <- t.tlb_shootdowns + 1
 let tlb_shootdowns (t : t) = t.tlb_shootdowns
+
+let coherence_miss (t : t) = t.coherence_misses <- t.coherence_misses + 1
+let coherence_misses (t : t) = t.coherence_misses
+
+let bus_stall (t : t) cycles = t.bus_stall_cycles <- t.bus_stall_cycles +. cycles
+let bus_stall_cycles (t : t) = int_of_float (Float.round t.bus_stall_cycles)
+
+let ipi_sent (t : t) = t.ipis_sent <- t.ipis_sent + 1
+let ipis_sent (t : t) = t.ipis_sent
+let ipi_received (t : t) = t.ipis_received <- t.ipis_received + 1
+let ipis_received (t : t) = t.ipis_received
 
 let interrupt (t : t) = t.interrupts <- t.interrupts + 1
 

@@ -42,6 +42,27 @@ val tlb_shootdowns : t -> int
 (** Shootdowns so far.  Kept outside {!snapshot} — the remap benches
     read it directly rather than through window diffs. *)
 
+(** {2 SMP counters}
+
+    Per-CPU coherence, bus-arbitration and inter-processor-interrupt
+    events.  Like {!tlb_shootdowns} they live outside {!snapshot}: the
+    SMP benches read them directly, and single-CPU snapshot diffs stay
+    byte-identical to the pre-SMP model. *)
+
+val coherence_miss : t -> unit
+val coherence_misses : t -> int
+
+val bus_stall : t -> float -> unit
+(** Cycles this CPU spent waiting for the shared bus (the cycles also
+    land in the ordinary cycle clock via the CPU's charge path). *)
+
+val bus_stall_cycles : t -> int
+
+val ipi_sent : t -> unit
+val ipis_sent : t -> int
+val ipi_received : t -> unit
+val ipis_received : t -> int
+
 val interrupt : t -> unit
 
 val snapshot : t -> snapshot

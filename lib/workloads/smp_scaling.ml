@@ -1,0 +1,309 @@
+(* The smp-scaling experiment: the same workloads driven at 1, 2, 4 and
+   8 simulated CPUs, measuring how aggregate throughput bends as the
+   shared bus saturates and how the placement policy moves the cross-CPU
+   traffic.
+
+   Two workloads:
+   - [ipc]: the ipc-stress round-trip engine (IBM RPC transport), eight
+     client/server pairs, under three placements:
+       colocated  — each pair homed on one CPU (pair k on CPU k mod n):
+                    no cross-CPU wakeups, contention is bus-only;
+       crossed    — client and server of every pair on different CPUs:
+                    every round trip is two LWKT wake messages + IPIs;
+       unbalanced — everything spawned on CPU 0, unbound: idle CPUs pull
+                    work over by stealing, after which the stolen
+                    client's server wakes it cross-CPU.
+   - [fileserver]: the E1-style edit-session workload against the HPFS
+     file server; server and services live on the boot CPU, clients
+     spread round-robin — the many-clients-one-server shape whose server
+     CPU is the ceiling.
+
+   Every point boots a fresh machine, so points are independent and the
+   1-CPU column doubles as a regression anchor against the uniprocessor
+   scheduler. *)
+
+open Mach.Ktypes
+module F = Fileserver
+
+type placement = Colocated | Crossed | Unbalanced
+
+let placement_name = function
+  | Colocated -> "colocated"
+  | Crossed -> "crossed"
+  | Unbalanced -> "unbalanced"
+
+type point = {
+  sp_workload : string;  (* "ipc" or "fileserver" *)
+  sp_placement : string;
+  sp_ncpus : int;
+  sp_ops : int;
+  sp_wall_cycles : int;  (* furthest-ahead CPU clock at completion *)
+  sp_throughput : float;  (* ops per million cycles of wall clock *)
+  sp_speedup : float;  (* vs the 1-CPU point of the same series *)
+  sp_ipis : int;
+  sp_xmsgs : int;  (* cross-CPU scheduler messages delivered *)
+  sp_steals : int;
+  sp_coherence_misses : int;
+  sp_bus_stall_cycles : int;
+  sp_bus_transactions : int;
+}
+
+type result = {
+  r_cpus : int list;
+  r_pairs : int;
+  r_iters : int;
+  r_bytes : int;
+  r_clients : int;
+  r_sessions : int;
+  r_points : point list;
+  r_state : Machine.Footprint.machine_state list;
+      (* per-CPU machine-state bytes at each CPU count (density) *)
+  r_check : Check.report option;  (* Machcheck findings, when enabled *)
+}
+
+let config ~ncpus =
+  Machine.Config.with_ncpus Machine.Config.pentium_133 ~n:ncpus
+
+(* Sum an SMP counter over every CPU of the machine. *)
+let sum_cpus m f =
+  let acc = ref 0 in
+  for i = 0 to Machine.ncpus m - 1 do
+    acc := !acc + f (Machine.Cpu.perf (Machine.nth_cpu m i))
+  done;
+  !acc
+
+let finish ~workload ~placement ~ncpus ~ops m sys =
+  let wall = Machine.global_now m in
+  {
+    sp_workload = workload;
+    sp_placement = placement;
+    sp_ncpus = ncpus;
+    sp_ops = ops;
+    sp_wall_cycles = wall;
+    sp_throughput =
+      (if wall = 0 then 0.0 else float_of_int ops /. float_of_int wall *. 1e6);
+    sp_speedup = 0.0;  (* filled in once the 1-CPU anchor is known *)
+    sp_ipis = sum_cpus m Machine.Perf.ipis_sent;
+    sp_xmsgs = Mach.Sched.total_xmsgs sys;
+    sp_steals = Mach.Sched.total_steals sys;
+    sp_coherence_misses = sum_cpus m Machine.Perf.coherence_misses;
+    sp_bus_stall_cycles = sum_cpus m Machine.Perf.bus_stall_cycles;
+    sp_bus_transactions = Machine.Bus.transactions m.Machine.bus;
+  }
+
+(* --- workload 1: RPC round-trip pairs ---------------------------------- *)
+
+let measure_ipc ~ncpus ~placement ~pairs ~iters ~bytes =
+  let m = Machine.create (config ~ncpus) in
+  let k = Mach.Kernel.boot m in
+  let sys = k.Mach.Kernel.sys in
+  for w = 0 to pairs - 1 do
+    let client_cpu, server_cpu, bound =
+      match placement with
+      | Colocated -> (w mod ncpus, w mod ncpus, true)
+      | Crossed -> (w mod ncpus, (w + 1) mod ncpus, true)
+      | Unbalanced -> (0, 0, false)
+    in
+    let client =
+      Mach.Kernel.task_create k ~name:(Printf.sprintf "client%d" w) ()
+    in
+    let server =
+      Mach.Kernel.task_create k ~name:(Printf.sprintf "server%d" w) ()
+    in
+    let port = Mach.Port.allocate sys ~receiver:server ~name:"svc" in
+    ignore
+      (Mach.Kernel.thread_spawn k server ~name:"srv" ~affinity:server_cpu
+         ~bound
+         (fun () -> Mach.Rpc.serve sys port (fun _msg -> simple_message ()))
+        : thread);
+    ignore
+      (Mach.Kernel.thread_spawn k client ~name:"cl" ~affinity:client_cpu
+         ~bound
+         (fun () ->
+           for _ = 1 to iters do
+             ignore
+               (Mach.Rpc.call sys port
+                  (simple_message ~inline_bytes:bytes ()))
+           done;
+           Mach.Port.destroy sys port)
+        : thread)
+  done;
+  Mach.Kernel.run k;
+  finish ~workload:"ipc" ~placement:(placement_name placement) ~ncpus
+    ~ops:(pairs * iters) m sys
+
+(* --- workload 2: file-server edit sessions ------------------------------ *)
+
+let fail_fs e = failwith (F.Fs_types.fs_error_to_string e)
+
+let measure_fileserver ~ncpus ~clients ~sessions =
+  let m = Machine.create (config ~ncpus) in
+  let boot = Mk_services.Bootstrap.boot m in
+  let k = boot.Mk_services.Bootstrap.kernel in
+  let sys = k.Mach.Kernel.sys in
+  let runtime = boot.Mk_services.Bootstrap.runtime in
+  let disk = m.Machine.disk in
+  F.Hpfs.mkfs disk ();
+  let vfs = F.Vfs.create () in
+  let cache = F.Block_cache.create k disk () in
+  (match F.Hpfs.mount cache () with
+  | Ok pfs -> (
+      match F.Vfs.mount vfs ~at:"/os2" pfs with
+      | Ok () -> ()
+      | Error e -> failwith e)
+  | Error e -> fail_fs e);
+  (* server and boot services stay on CPU 0 (spawned there); clients
+     spread round-robin over the remaining CPUs *)
+  let fs = F.File_server.start k runtime vfs () in
+  let sem = F.Vfs.os2_semantics in
+  let completed = ref 0 in
+  for c = 0 to clients - 1 do
+    let cpu = c mod ncpus in
+    let client =
+      Mach.Kernel.task_create k ~name:(Printf.sprintf "editor%d" c) ()
+    in
+    ignore
+      (Mach.Kernel.thread_spawn k client ~name:"edit" ~affinity:cpu ~bound:true
+         (fun () ->
+           let ( let* ) r f = match r with Ok x -> f x | Error e -> Error e in
+           for s = 1 to sessions do
+             let path = Printf.sprintf "/os2/c%d_s%d.dat" c s in
+             let outcome =
+               let* h =
+                 F.File_server.Client.open_ fs sem ~path ~create:true ()
+               in
+               let* _n = F.File_server.Client.write fs h (Bytes.make 256 'e') in
+               F.File_server.Client.seek fs h ~pos:0;
+               let* _data = F.File_server.Client.read fs h ~bytes:64 in
+               F.File_server.Client.close fs h;
+               F.File_server.Client.sync fs;
+               Ok ()
+             in
+             match outcome with Ok () -> incr completed | Error _ -> ()
+           done)
+        : thread)
+  done;
+  Mach.Kernel.run k;
+  if !completed <> clients * sessions then
+    failwith
+      (Printf.sprintf "Smp_scaling: fileserver completed %d/%d sessions"
+         !completed (clients * sessions));
+  finish ~workload:"fileserver" ~placement:"spread" ~ncpus
+    ~ops:(clients * sessions) m sys
+
+(* --- sweep --------------------------------------------------------------- *)
+
+let default_cpus = [ 1; 2; 4; 8 ]
+
+(* Stamp speedups into a series sharing one (workload, placement) key:
+   each point relative to the 1-CPU point of its own series. *)
+let with_speedups points =
+  let anchor w p =
+    List.find_opt
+      (fun pt -> pt.sp_workload = w && pt.sp_placement = p && pt.sp_ncpus = 1)
+      points
+  in
+  List.map
+    (fun pt ->
+      match anchor pt.sp_workload pt.sp_placement with
+      | Some a when a.sp_throughput > 0.0 ->
+          { pt with sp_speedup = pt.sp_throughput /. a.sp_throughput }
+      | _ -> { pt with sp_speedup = 1.0 })
+    points
+
+let run ?(cpus = default_cpus) ?(pairs = 8) ?(iters = 150) ?(bytes = 512)
+    ?(clients = 6) ?(sessions = 4) ?(checks = false) () =
+  if cpus = [] then invalid_arg "Smp_scaling.run: empty CPU list";
+  List.iter
+    (fun n -> if n < 1 then invalid_arg "Smp_scaling.run: ncpus must be >= 1")
+    cpus;
+  let chk = if checks then Some (Check.create ()) else None in
+  Option.iter Check.install chk;
+  Fun.protect ~finally:(fun () -> if checks then Check.uninstall ())
+  @@ fun () ->
+  let points =
+    List.concat_map
+      (fun ncpus ->
+        [
+          measure_ipc ~ncpus ~placement:Colocated ~pairs ~iters ~bytes;
+          measure_ipc ~ncpus ~placement:Crossed ~pairs ~iters ~bytes;
+          measure_ipc ~ncpus ~placement:Unbalanced ~pairs ~iters ~bytes;
+          measure_fileserver ~ncpus ~clients ~sessions;
+        ])
+      cpus
+  in
+  {
+    r_cpus = cpus;
+    r_pairs = pairs;
+    r_iters = iters;
+    r_bytes = bytes;
+    r_clients = clients;
+    r_sessions = sessions;
+    r_points = with_speedups points;
+    r_state =
+      List.map
+        (fun n -> Machine.Footprint.machine_state (config ~ncpus:n))
+        cpus;
+    r_check = Option.map Check.report chk;
+  }
+
+(* The headline acceptance number: colocated ipc speedup at [n] CPUs. *)
+let ipc_speedup r ~ncpus =
+  match
+    List.find_opt
+      (fun pt ->
+        pt.sp_workload = "ipc" && pt.sp_placement = "colocated"
+        && pt.sp_ncpus = ncpus)
+      r.r_points
+  with
+  | Some pt -> pt.sp_speedup
+  | None -> 0.0
+
+let to_json r =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"experiment\": \"smp-scaling\",\n";
+  Buffer.add_string b "  \"schema_version\": 2,\n";
+  Printf.bprintf b "  \"run\": %s,\n" (Run_meta.json ());
+  Printf.bprintf b "  \"cpus\": [%s],\n"
+    (String.concat ", " (List.map string_of_int r.r_cpus));
+  Printf.bprintf b "  \"ipc\": { \"pairs\": %d, \"iters\": %d, \"bytes\": %d },\n"
+    r.r_pairs r.r_iters r.r_bytes;
+  Printf.bprintf b
+    "  \"fileserver\": { \"clients\": %d, \"sessions\": %d },\n" r.r_clients
+    r.r_sessions;
+  Buffer.add_string b "  \"machine_state\": [\n";
+  List.iteri
+    (fun i (ms : Machine.Footprint.machine_state) ->
+      Printf.bprintf b
+        "    { \"ncpus\": %d, \"cache_bytes_per_cpu\": %d, \
+         \"tlb_bytes_per_cpu\": %d, \"bus_directory_bytes\": %d, \
+         \"total_bytes\": %d }%s\n"
+        ms.Machine.Footprint.ms_ncpus
+        ms.Machine.Footprint.ms_cache_bytes_per_cpu
+        ms.Machine.Footprint.ms_tlb_bytes_per_cpu
+        ms.Machine.Footprint.ms_bus_directory_bytes
+        ms.Machine.Footprint.ms_total_bytes
+        (if i = List.length r.r_state - 1 then "" else ","))
+    r.r_state;
+  Buffer.add_string b "  ],\n";
+  (match r.r_check with
+  | None -> ()
+  | Some rep -> Printf.bprintf b "  \"machcheck\": %s,\n" (Check.to_json rep));
+  Buffer.add_string b "  \"results\": [\n";
+  List.iteri
+    (fun i p ->
+      Printf.bprintf b
+        "    { \"workload\": %S, \"placement\": %S, \"ncpus\": %d, \
+         \"ops\": %d, \"wall_cycles\": %d, \
+         \"throughput_ops_per_mcycle\": %.3f, \"speedup\": %.3f, \
+         \"ipis\": %d, \"xmsgs\": %d, \"steals\": %d, \
+         \"coherence_misses\": %d, \"bus_stall_cycles\": %d, \
+         \"bus_transactions\": %d }%s\n"
+        p.sp_workload p.sp_placement p.sp_ncpus p.sp_ops p.sp_wall_cycles
+        p.sp_throughput p.sp_speedup p.sp_ipis p.sp_xmsgs p.sp_steals
+        p.sp_coherence_misses p.sp_bus_stall_cycles p.sp_bus_transactions
+        (if i = List.length r.r_points - 1 then "" else ","))
+    r.r_points;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b

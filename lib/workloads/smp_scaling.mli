@@ -1,0 +1,52 @@
+(** The smp-scaling experiment: throughput-vs-cores curves.
+
+    Drives the ipc-stress round-trip engine (three placement policies:
+    colocated pairs, crossed pairs, everything-on-CPU-0 with work
+    stealing) and the E1-style file-server edit workload at 1/2/4/8
+    simulated CPUs, and reports aggregate throughput, speedup against
+    the 1-CPU anchor, and the SMP cost counters (IPIs, scheduler
+    messages, steals, coherence misses, bus stalls). *)
+
+type placement = Colocated | Crossed | Unbalanced
+
+type point = {
+  sp_workload : string;  (** ["ipc"] or ["fileserver"] *)
+  sp_placement : string;
+  sp_ncpus : int;
+  sp_ops : int;
+  sp_wall_cycles : int;  (** furthest-ahead CPU clock at completion *)
+  sp_throughput : float;  (** ops per million cycles of wall clock *)
+  sp_speedup : float;  (** vs the 1-CPU point of the same series *)
+  sp_ipis : int;
+  sp_xmsgs : int;  (** cross-CPU scheduler messages delivered *)
+  sp_steals : int;
+  sp_coherence_misses : int;
+  sp_bus_stall_cycles : int;
+  sp_bus_transactions : int;
+}
+
+type result = {
+  r_cpus : int list;
+  r_pairs : int;
+  r_iters : int;
+  r_bytes : int;
+  r_clients : int;
+  r_sessions : int;
+  r_points : point list;
+  r_state : Machine.Footprint.machine_state list;
+      (** per-CPU machine-state bytes at each CPU count (density) *)
+  r_check : Check.report option;
+}
+
+val run :
+  ?cpus:int list -> ?pairs:int -> ?iters:int -> ?bytes:int -> ?clients:int ->
+  ?sessions:int -> ?checks:bool -> unit -> result
+(** Defaults: CPUs [1;2;4;8], 8 pairs x 150 round trips of 512 bytes,
+    6 clients x 4 edit sessions.  [~checks:true] runs the whole sweep
+    under Machcheck (globally installed for the duration). *)
+
+val ipc_speedup : result -> ncpus:int -> float
+(** Colocated-ipc throughput at [ncpus] relative to 1 CPU — the headline
+    scaling number. *)
+
+val to_json : result -> string

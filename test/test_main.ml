@@ -17,4 +17,5 @@ let () =
       ("faults", Test_faults.suite);
       ("machcheck", Test_check.suite);
       ("recovery", Test_recovery.suite);
+      ("smp", Test_smp.suite);
     ]

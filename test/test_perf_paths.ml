@@ -255,6 +255,43 @@ let test_ipc_stress_smoke () =
           checkb (field ^ " present") true (Json.member field doc <> None))
         [ "schema_version"; "run"; "workers"; "iters"; "reply_cache"; "kbuf" ]
 
+(* --- the uniprocessor cost model must survive SMP ------------------------ *)
+
+let test_ncpus1_numbers_unchanged () =
+  (* ncpus defaults to 1, which keeps every SMP path inert — no bus
+     bookings, no coherence directory, the single-queue dispatch order.
+     These golden numbers were captured before the SMP machine landed;
+     any drift here means a multiprocessor change leaked into the
+     uniprocessor cost model. *)
+  let checkf = Alcotest.check (Alcotest.float 0.001) in
+  let trap, rpc = Workloads.Micro.table2 () in
+  checkf "table2 trap cycles" 964.0 trap.Workloads.Micro.t2_cycles;
+  checkf "table2 rpc cycles" 5000.0 rpc.Workloads.Micro.t2_cycles;
+  let r = Workloads.Ipc_stress.run ~workers:2 ~iters:20 ~sizes:[ 0; 512; 4096 ] () in
+  let golden =
+    [
+      (("mach_msg", 0), 41005.10); (("ibm_rpc", 0), 5791.55);
+      (("mach_msg", 512), 42721.90); (("ibm_rpc", 512), 7004.20);
+      (("mach_msg", 4096), 71812.25); (("ibm_rpc", 4096), 7395.50);
+      (("rpc_copy", 4096), 15948.50); (("rpc_remap", 4096), 7395.50);
+    ]
+  in
+  List.iter
+    (fun p ->
+      let open Workloads.Ipc_stress in
+      match List.assoc_opt (p.pt_system, p.pt_bytes) golden with
+      | Some cycles ->
+          checkf
+            (Printf.sprintf "%s/%d cycles per op" p.pt_system p.pt_bytes)
+            cycles p.pt_sim_cycles_per_op
+      | None ->
+          Alcotest.failf "unexpected ipc-stress point %s/%d" p.pt_system
+            p.pt_bytes)
+    r.Workloads.Ipc_stress.r_points;
+  checki "every golden point measured"
+    (List.length golden)
+    (List.length r.Workloads.Ipc_stress.r_points)
+
 let suite =
   [
     Alcotest.test_case "kbuf alloc stays in bounds" `Quick test_kbuf_bounds;
@@ -274,4 +311,6 @@ let suite =
     Alcotest.test_case "store penalty not truncated" `Quick
       test_store_penalty_not_truncated;
     Alcotest.test_case "ipc-stress smoke + JSON" `Quick test_ipc_stress_smoke;
+    Alcotest.test_case "ncpus=1 numbers byte-identical to pre-SMP" `Slow
+      test_ncpus1_numbers_unchanged;
   ]

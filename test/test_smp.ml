@@ -1,0 +1,220 @@
+(* The SMP machine and the per-CPU scheduler: deterministic N-CPU
+   interleaving, work stealing, affinity, cross-CPU wakeups over the
+   scheduler message queues, the Machcheck cross-CPU cycle annotation,
+   and the per-CPU machine-state accounting. *)
+
+open Mach.Ktypes
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let smp_config n = Machine.Config.with_ncpus Machine.Config.pentium_133 ~n
+
+(* --- determinism --------------------------------------------------------- *)
+
+let test_deterministic_interleaving () =
+  (* the whole scaling sweep, twice: every simulated number must agree
+     run to run — N-CPU dispatch order is a pure function of the clocks *)
+  let run () =
+    let r =
+      Workloads.Smp_scaling.run ~cpus:[ 2; 4 ] ~pairs:3 ~iters:8 ~bytes:128
+        ~clients:2 ~sessions:1 ()
+    in
+    List.map
+      (fun (p : Workloads.Smp_scaling.point) ->
+        ( p.Workloads.Smp_scaling.sp_wall_cycles,
+          p.Workloads.Smp_scaling.sp_ipis,
+          p.Workloads.Smp_scaling.sp_xmsgs,
+          p.Workloads.Smp_scaling.sp_steals,
+          p.Workloads.Smp_scaling.sp_coherence_misses,
+          p.Workloads.Smp_scaling.sp_bus_stall_cycles ))
+      r.Workloads.Smp_scaling.r_points
+  in
+  let a = run () and b = run () in
+  checki "same number of points" (List.length a) (List.length b);
+  List.iteri
+    (fun i (pa, pb) ->
+      Alcotest.check
+        (Alcotest.pair
+           (Alcotest.pair Alcotest.int Alcotest.int)
+           (Alcotest.pair (Alcotest.pair Alcotest.int Alcotest.int)
+              (Alcotest.pair Alcotest.int Alcotest.int)))
+        (Printf.sprintf "point %d identical" i)
+        (let w, ip, xm, st, co, bs = pa in
+         ((w, ip), ((xm, st), (co, bs))))
+        (let w, ip, xm, st, co, bs = pb in
+         ((w, ip), ((xm, st), (co, bs)))))
+    (List.combine a b)
+
+(* --- work stealing ------------------------------------------------------- *)
+
+let test_work_stealing_balances () =
+  (* every thread starts on CPU 0 unbound; idle CPUs must pull work over *)
+  let k = Test_util.kernel_on ~config:(smp_config 4) () in
+  let sys = k.Mach.Kernel.sys in
+  let task = Mach.Kernel.task_create k ~name:"mill" () in
+  let ran = Array.make 8 false in
+  for i = 0 to 7 do
+    ignore
+      (Mach.Kernel.thread_spawn k task ~name:(Printf.sprintf "w%d" i)
+         ~affinity:0
+         (fun () ->
+           for _ = 1 to 3 do
+             Machine.execute k.Mach.Kernel.machine
+               [ Machine.Footprint.Stall 2000 ];
+             Mach.Sched.yield ()
+           done;
+           ran.(i) <- true)
+        : thread)
+  done;
+  Mach.Kernel.run k;
+  Array.iteri (fun i r -> checkb (Printf.sprintf "w%d ran" i) true r) ran;
+  checkb "idle CPUs stole work" true (Mach.Sched.total_steals sys > 0)
+
+(* --- affinity ------------------------------------------------------------ *)
+
+let test_bound_threads_stay_put () =
+  (* bound threads on CPUs 1 and 3; CPU 2 gets nothing and must never
+     dispatch, and nothing may be stolen off a bound queue *)
+  let k = Test_util.kernel_on ~config:(smp_config 4) () in
+  let sys = k.Mach.Kernel.sys in
+  let task = Mach.Kernel.task_create k ~name:"pinned" () in
+  let body () =
+    for _ = 1 to 4 do
+      Machine.execute k.Mach.Kernel.machine [ Machine.Footprint.Stall 1500 ];
+      Mach.Sched.yield ()
+    done
+  in
+  ignore
+    (Mach.Kernel.thread_spawn k task ~name:"p1" ~affinity:1 ~bound:true body
+      : thread);
+  ignore
+    (Mach.Kernel.thread_spawn k task ~name:"p3" ~affinity:3 ~bound:true body
+      : thread);
+  Mach.Kernel.run k;
+  let switches i = sys.Mach.Sched.percpu.(i).Mach.Sched.pc_switches in
+  checkb "cpu1 dispatched its thread" true (switches 1 > 0);
+  checkb "cpu3 dispatched its thread" true (switches 3 > 0);
+  checki "cpu2 never dispatched" 0 (switches 2);
+  checki "bound threads never stolen" 0 (Mach.Sched.total_steals sys)
+
+(* --- cross-CPU wakeup ---------------------------------------------------- *)
+
+let test_ipi_wakes_remote_cpu () =
+  (* sleeper blocks on CPU 1; waker on CPU 0 posts X_wake + IPI.  The
+     empty->nonempty queue transition must send exactly one IPI, and the
+     message must actually restart the sleeper. *)
+  let k = Test_util.kernel_on ~config:(smp_config 2) () in
+  let sys = k.Mach.Kernel.sys in
+  let m = k.Mach.Kernel.machine in
+  let task = Mach.Kernel.task_create k ~name:"xw" () in
+  let woken = ref false in
+  let sleeper =
+    Mach.Kernel.thread_spawn k task ~name:"sleeper" ~affinity:1 (fun () ->
+        let r = Mach.Sched.block "waiting for cpu0" in
+        woken := r = Kern_success)
+  in
+  ignore
+    (Mach.Kernel.thread_spawn k task ~name:"waker" ~affinity:0 (fun () ->
+         (* don't wake until the sleeper has really blocked *)
+         while
+           match sleeper.state with Th_blocked _ -> false | _ -> true
+         do
+           Mach.Sched.yield ()
+         done;
+         Machine.execute m [ Machine.Footprint.Stall 500 ];
+         Mach.Sched.wake sys sleeper)
+      : thread);
+  Mach.Kernel.run k;
+  let perf i = Machine.Cpu.perf (Machine.nth_cpu m i) in
+  checkb "sleeper woken" true !woken;
+  checki "one IPI sent by cpu0" 1 (Machine.Perf.ipis_sent (perf 0));
+  checki "one IPI received by cpu1" 1 (Machine.Perf.ipis_received (perf 1));
+  checki "one scheduler message" 1 (Mach.Sched.total_xmsgs sys)
+
+(* --- Machcheck: cross-CPU deadlock --------------------------------------- *)
+
+let test_cross_cpu_deadlock_annotated () =
+  (* the classic AB-BA cycle, except the two threads live on different
+     CPUs: the wait-cycle finding must name the CPUs involved *)
+  let k = Test_util.kernel_on ~config:(smp_config 2) () in
+  let sys = k.Mach.Kernel.sys in
+  let chk = Check.create () in
+  Mach.Sched.enable_checks sys chk;
+  let t = Mach.Sched.task_create sys ~name:"app" () in
+  let m1 = Mach.Sync.mutex_create sys ~name:"m1" in
+  let m2 = Mach.Sync.mutex_create sys ~name:"m2" in
+  let got1 = ref false and got2 = ref false in
+  ignore
+    (Mach.Kernel.thread_spawn k t ~name:"t1" ~affinity:0 ~bound:true (fun () ->
+         ignore (Mach.Sync.mutex_lock sys m1 : kern_return);
+         got1 := true;
+         while not !got2 do
+           Mach.Sched.yield ()
+         done;
+         ignore (Mach.Sync.mutex_lock sys m2 : kern_return))
+      : thread);
+  ignore
+    (Mach.Kernel.thread_spawn k t ~name:"t2" ~affinity:1 ~bound:true (fun () ->
+         ignore (Mach.Sync.mutex_lock sys m2 : kern_return);
+         got2 := true;
+         while not !got1 do
+           Mach.Sched.yield ()
+         done;
+         ignore (Mach.Sync.mutex_lock sys m1 : kern_return))
+      : thread);
+  Mach.Kernel.run k;
+  let rep = Check.report chk in
+  checki "one wait cycle" 1 rep.Check.rep_wait_cycles;
+  match
+    List.filter
+      (fun f -> f.Check.f_kind = "wait-cycle")
+      rep.Check.rep_findings
+  with
+  | [ f ] ->
+      checkb "cycle flagged as cross-CPU" true
+        (contains f.Check.f_detail "cross-CPU");
+      checkb "both CPUs named" true
+        (contains f.Check.f_detail "0" && contains f.Check.f_detail "1")
+  | fs ->
+      Alcotest.failf "expected exactly one cycle finding, got %d"
+        (List.length fs)
+
+(* --- machine-state accounting -------------------------------------------- *)
+
+let test_machine_state_scales_per_cpu () =
+  let s1 = Machine.Footprint.machine_state (smp_config 1) in
+  let s4 = Machine.Footprint.machine_state (smp_config 4) in
+  let open Machine.Footprint in
+  checki "uniprocessor has no directory" 0 s1.ms_bus_directory_bytes;
+  checki "uniprocessor total = one copy"
+    (s1.ms_cache_bytes_per_cpu + s1.ms_tlb_bytes_per_cpu)
+    s1.ms_total_bytes;
+  checki "per-CPU state replicated 4x plus the shared directory"
+    ((4 * (s4.ms_cache_bytes_per_cpu + s4.ms_tlb_bytes_per_cpu))
+    + s4.ms_bus_directory_bytes)
+    s4.ms_total_bytes;
+  checkb "SMP machine carries a directory" true (s4.ms_bus_directory_bytes > 0);
+  checki "per-CPU byte counts are CPU-count independent"
+    s1.ms_cache_bytes_per_cpu s4.ms_cache_bytes_per_cpu
+
+let suite =
+  [
+    Alcotest.test_case "N-CPU interleaving is deterministic" `Slow
+      test_deterministic_interleaving;
+    Alcotest.test_case "work stealing drains a starved queue" `Quick
+      test_work_stealing_balances;
+    Alcotest.test_case "bound threads honor affinity" `Quick
+      test_bound_threads_stay_put;
+    Alcotest.test_case "IPI wakes a remote idle CPU" `Quick
+      test_ipi_wakes_remote_cpu;
+    Alcotest.test_case "cross-CPU deadlock cycle annotated" `Quick
+      test_cross_cpu_deadlock_annotated;
+    Alcotest.test_case "machine state scales per CPU" `Quick
+      test_machine_state_scales_per_cpu;
+  ]
