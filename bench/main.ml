@@ -239,6 +239,49 @@ let smp_scaling () =
   Printf.printf "wrote BENCH_smp.json\n";
   if headline < 1.5 then exit 1
 
+(* --- vfs-walk: path resolution through the vnode layer and name cache --------- *)
+
+let vfs_walk () =
+  hr "vfs-walk: path walks through the vnode layer and the name cache";
+  let r = Workloads.Vfs_walk.run ~checks:true () in
+  let open Workloads.Vfs_walk in
+  Printf.printf
+    "%d-deep chain, %d wide files, %d hot repeats, %d concurrent CPUs\n\n"
+    r.r_depth r.r_files r.r_repeats r.r_cpus;
+  Printf.printf "%-12s %8s %14s %14s %10s %10s %9s\n" "phase" "ops" "cycles"
+    "cycles/op" "hits" "misses" "hit rate";
+  List.iter
+    (fun p ->
+      Printf.printf "%-12s %8d %14d %14.1f %10d %10d %8.1f%%\n" p.ph_name
+        p.ph_ops p.ph_cycles p.ph_cycles_per_op p.ph_hits p.ph_misses
+        (p.ph_hit_rate *. 100.0))
+    r.r_phases;
+  Printf.printf
+    "\nhot hit rate: %.1f%% (acceptance: >= 90%%)\n\
+     deep path: %.0f cycles/op cached vs %.0f raw -> %.2fx (acceptance: >= 2x)\n\
+     concurrent lookups: %d/%d ok; compromises: %d\n"
+    (r.r_hot_hit_rate *. 100.0)
+    r.r_deep_cached_cycles_per_op r.r_deep_raw_cycles_per_op r.r_deep_speedup
+    r.r_concurrent_ok r.r_concurrent_expected r.r_compromises;
+  (match r.r_check with
+  | Some rep ->
+      Printf.printf "\nmachcheck:\n%s\n"
+        (Format.asprintf "%a" Check.pp_report rep)
+  | None -> ());
+  let json = to_json r in
+  let oc = open_out "BENCH_vfs.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_vfs.json\n";
+  let findings =
+    match r.r_check with Some rep -> Check.total_findings rep | None -> 0
+  in
+  if
+    r.r_hot_hit_rate < 0.9 || r.r_deep_speedup < 2.0
+    || r.r_concurrent_ok < r.r_concurrent_expected
+    || findings > 0
+  then exit 1
+
 (* --- ab: regression diff between two BENCH_*.json runs ------------------------ *)
 
 let bench_ab ~a ~b ~threshold =
@@ -258,6 +301,7 @@ let machcheck () =
   let ipc = Workloads.Ipc_stress.run ~checks:true () in
   let flt = Workloads.Fault_sweep.run ~checks:true () in
   let rcv = Workloads.Recovery_sweep.run ~ops:8 ~max_points:32 ~checks:true () in
+  let vfw = Workloads.Vfs_walk.run ~checks:true () in
   let print name = function
     | Some rep ->
         Printf.printf "%s:\n%s\n" name
@@ -267,6 +311,7 @@ let machcheck () =
   print "ipc-stress" ipc.Workloads.Ipc_stress.r_check;
   print "fault-sweep" flt.Workloads.Fault_sweep.r_check;
   print "recovery-sweep" rcv.Workloads.Recovery_sweep.r_check;
+  print "vfs-walk" vfw.Workloads.Vfs_walk.r_check;
   let total =
     List.fold_left
       (fun acc -> function
@@ -277,6 +322,7 @@ let machcheck () =
         ipc.Workloads.Ipc_stress.r_check;
         flt.Workloads.Fault_sweep.r_check;
         rcv.Workloads.Recovery_sweep.r_check;
+        vfw.Workloads.Vfs_walk.r_check;
       ]
   in
   let b = Buffer.create 512 in
@@ -294,7 +340,10 @@ let machcheck () =
   | None -> ());
   (match rcv.Workloads.Recovery_sweep.r_check with
   | Some rep ->
-      Printf.bprintf b "    \"recovery-sweep\": %s\n" (Check.to_json rep)
+      Printf.bprintf b "    \"recovery-sweep\": %s,\n" (Check.to_json rep)
+  | None -> ());
+  (match vfw.Workloads.Vfs_walk.r_check with
+  | Some rep -> Printf.bprintf b "    \"vfs-walk\": %s\n" (Check.to_json rep)
   | None -> ());
   Buffer.add_string b "  }\n}\n";
   let oc = open_out "BENCH_check.json" in
@@ -577,6 +626,7 @@ let experiments =
     ("fault-sweep", fault_sweep);
     ("recovery-sweep", recovery_sweep);
     ("smp-scaling", smp_scaling);
+    ("vfs-walk", vfs_walk);
     ("machcheck", machcheck);
     ("figure1", figure1);
     ("fileserver-factor", fileserver_factor);
@@ -623,6 +673,10 @@ let smoke () =
       ~clients:2 ~sessions:1 ~checks:true ()
   in
   write "BENCH_smp.json" (Workloads.Smp_scaling.to_json smp);
+  let vfw =
+    Workloads.Vfs_walk.run ~depth:5 ~files:6 ~repeats:2 ~cpus:2 ~checks:true ()
+  in
+  write "BENCH_vfs.json" (Workloads.Vfs_walk.to_json vfw);
   if
     rcv.Workloads.Recovery_sweep.r_lost_writes > 0
     || rcv.Workloads.Recovery_sweep.r_torn_states > 0
@@ -641,6 +695,7 @@ let smoke () =
         flt.Workloads.Fault_sweep.r_check;
         rcv.Workloads.Recovery_sweep.r_check;
         smp.Workloads.Smp_scaling.r_check;
+        vfw.Workloads.Vfs_walk.r_check;
       ]
   in
   Printf.printf "machcheck findings across smoke runs: %d (expected 0)\n"

@@ -35,6 +35,12 @@ type report = {
   rep_crash_points : int;
   rep_lost_writes : int;
   rep_torn_states : int;
+  rep_vnodes_shadowed : int;
+  rep_vnode_ref_underflows : int;
+  rep_vnode_use_after_reclaim : int;
+  rep_vnode_leaks : int;
+  rep_ncache_shadowed : int;
+  rep_ncache_stale : int;
   rep_findings : finding list;
 }
 
@@ -94,6 +100,18 @@ type t = {
   mutable crash_points : int;
   mutable n_lost_writes : int;
   mutable n_torn_states : int;
+  (* vnode lifecycle: (space, mount, file) -> shadow refcount; reclaimed
+     set for use-after-reclaim; (space, mount, dir, name) -> file for
+     positive name-cache entries *)
+  vn_refs : (int * int * int, int) Hashtbl.t;
+  vn_reclaimed : (int * int * int, unit) Hashtbl.t;
+  nc_entries : (int * int * int * string, int) Hashtbl.t;
+  mutable vnodes_shadowed : int;
+  mutable ncache_shadowed : int;
+  mutable n_vn_underflow : int;
+  mutable n_vn_uar : int;
+  mutable n_vn_leak : int;
+  mutable n_nc_stale : int;
 }
 
 let create () =
@@ -125,6 +143,15 @@ let create () =
     crash_points = 0;
     n_lost_writes = 0;
     n_torn_states = 0;
+    vn_refs = Hashtbl.create 64;
+    vn_reclaimed = Hashtbl.create 64;
+    nc_entries = Hashtbl.create 64;
+    vnodes_shadowed = 0;
+    ncache_shadowed = 0;
+    n_vn_underflow = 0;
+    n_vn_uar = 0;
+    n_vn_leak = 0;
+    n_nc_stale = 0;
   }
 
 let new_space t =
@@ -478,6 +505,115 @@ let crash_torn_state t ~space:_ detail =
   t.n_torn_states <- t.n_torn_states + 1;
   record t ~checker:"crash" ~kind:"torn-state" detail
 
+(* --- vnode-lifecycle checker --------------------------------------------- *)
+
+(* The VFS reports vnode interning, long-lived references, reclamation
+   (unlink / recovery) and every dispatch through a vnode; the shadow
+   flags dispatch through a reclaimed vnode, reference-count underflow,
+   and references still outstanding when a mount recovers.  Positive
+   name-cache entries are shadowed too, so a cache hit whose target was
+   reclaimed without invalidation is caught as a stale entry. *)
+
+let vnode_active t ~space ~mount ~file =
+  t.vnodes_shadowed <- t.vnodes_shadowed + 1;
+  (* formats reuse file ids: a fresh vnode under a reclaimed id is a new
+     incarnation, not a use of the old one *)
+  Hashtbl.remove t.vn_reclaimed (space, mount, file);
+  if not (Hashtbl.mem t.vn_refs (space, mount, file)) then
+    Hashtbl.replace t.vn_refs (space, mount, file) 0
+
+let vnode_ref t ~space ~mount ~file =
+  let k = (space, mount, file) in
+  let n = Option.value (Hashtbl.find_opt t.vn_refs k) ~default:0 in
+  Hashtbl.replace t.vn_refs k (n + 1)
+
+let vnode_unref t ~space ~mount ~file =
+  let k = (space, mount, file) in
+  match Hashtbl.find_opt t.vn_refs k with
+  | Some n when n > 0 -> Hashtbl.replace t.vn_refs k (n - 1)
+  | _ ->
+      t.n_vn_underflow <- t.n_vn_underflow + 1;
+      record t ~checker:"vnode" ~kind:"ref-underflow"
+        (Printf.sprintf
+           "vnode m%d/f%d unreferenced more times than it was referenced"
+           mount file)
+
+let vnode_reclaimed t ~space ~mount ~file =
+  Hashtbl.replace t.vn_reclaimed (space, mount, file) ()
+
+let vnode_used t ~space ~mount ~file ~op =
+  if Hashtbl.mem t.vn_reclaimed (space, mount, file) then begin
+    t.n_vn_uar <- t.n_vn_uar + 1;
+    record t ~checker:"vnode" ~kind:"use-after-reclaim"
+      (Printf.sprintf "%s dispatched through reclaimed vnode m%d/f%d" op
+         mount file);
+    (* one bug is one finding: re-arm rather than repeating *)
+    Hashtbl.remove t.vn_reclaimed (space, mount, file)
+  end
+
+let vnode_mount_recovered t ~space ~mount =
+  let keys =
+    Hashtbl.fold
+      (fun ((sp, m, _) as k) n acc ->
+        if sp = space && m = mount then (k, n) :: acc else acc)
+      t.vn_refs []
+  in
+  List.iter
+    (fun (((_, m, f) as k), n) ->
+      if n > 0 then begin
+        t.n_vn_leak <- t.n_vn_leak + 1;
+        record t ~checker:"vnode" ~kind:"leaked-refs"
+          (Printf.sprintf
+             "vnode m%d/f%d still holds %d reference(s) across mount \
+              recovery"
+             m f n)
+      end;
+      Hashtbl.remove t.vn_refs k)
+    keys;
+  let dead =
+    Hashtbl.fold
+      (fun ((sp, m, _) as k) _ acc ->
+        if sp = space && m = mount then k :: acc else acc)
+      t.vn_reclaimed []
+  in
+  List.iter (Hashtbl.remove t.vn_reclaimed) dead
+
+let vnode_live_refs t ~space ~mount =
+  Hashtbl.fold
+    (fun (sp, m, _) n acc -> if sp = space && m = mount then acc + n else acc)
+    t.vn_refs 0
+
+(* --- name-cache shadow ---------------------------------------------------- *)
+
+let ncache_stored t ~space ~mount ~dir ~name ~file =
+  t.ncache_shadowed <- t.ncache_shadowed + 1;
+  Hashtbl.replace t.nc_entries (space, mount, dir, name) file
+
+let ncache_hit t ~space ~mount ~dir ~name =
+  match Hashtbl.find_opt t.nc_entries (space, mount, dir, name) with
+  | None -> ()
+  | Some file ->
+      if Hashtbl.mem t.vn_reclaimed (space, mount, file) then begin
+        t.n_nc_stale <- t.n_nc_stale + 1;
+        record t ~checker:"vnode" ~kind:"stale-entry"
+          (Printf.sprintf
+             "name cache served (m%d/d%d, %S) -> f%d after the vnode was \
+              reclaimed without invalidation"
+             mount dir name file);
+        Hashtbl.remove t.nc_entries (space, mount, dir, name)
+      end
+
+let ncache_invalidated t ~space ~mount ~dir ~name =
+  Hashtbl.remove t.nc_entries (space, mount, dir, name)
+
+let ncache_cleared t ~space =
+  let keys =
+    Hashtbl.fold
+      (fun ((sp, _, _, _) as k) _ acc -> if sp = space then k :: acc else acc)
+      t.nc_entries []
+  in
+  List.iter (Hashtbl.remove t.nc_entries) keys
+
 (* --- reporting ---------------------------------------------------------- *)
 
 let findings t = List.rev t.recorded
@@ -526,6 +662,12 @@ let report t =
     rep_crash_points = t.crash_points;
     rep_lost_writes = t.n_lost_writes;
     rep_torn_states = t.n_torn_states;
+    rep_vnodes_shadowed = t.vnodes_shadowed;
+    rep_vnode_ref_underflows = t.n_vn_underflow;
+    rep_vnode_use_after_reclaim = t.n_vn_uar;
+    rep_vnode_leaks = t.n_vn_leak;
+    rep_ncache_shadowed = t.ncache_shadowed;
+    rep_ncache_stale = t.n_nc_stale;
     rep_findings = findings t @ leaks;
   }
 
@@ -533,7 +675,8 @@ let total_findings r =
   r.rep_leaked_rights + r.rep_right_double_frees + r.rep_right_downgrades
   + r.rep_wait_cycles + r.rep_buf_double_releases + r.rep_buf_use_after_release
   + r.rep_double_moves + r.rep_write_after_move + r.rep_mapout_evictions
-  + r.rep_lost_writes + r.rep_torn_states
+  + r.rep_lost_writes + r.rep_torn_states + r.rep_vnode_ref_underflows
+  + r.rep_vnode_use_after_reclaim + r.rep_vnode_leaks + r.rep_ncache_stale
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -572,6 +715,12 @@ let to_json r =
   field "crash_points" r.rep_crash_points;
   field "lost_writes" r.rep_lost_writes;
   field "torn_states" r.rep_torn_states;
+  field "vnodes_shadowed" r.rep_vnodes_shadowed;
+  field "vnode_ref_underflows" r.rep_vnode_ref_underflows;
+  field "vnode_use_after_reclaim" r.rep_vnode_use_after_reclaim;
+  field "vnode_leaks" r.rep_vnode_leaks;
+  field "ncache_shadowed" r.rep_ncache_shadowed;
+  field "ncache_stale" r.rep_ncache_stale;
   field "total_findings" (total_findings r);
   Buffer.add_string b "\"findings\": [";
   List.iteri
@@ -594,14 +743,18 @@ let pp_report ppf r =
      buffers  : %d shadowed, %d double-release, %d use-after-release@,\
      remap    : %d moves, %d double-move, %d write-after-move, %d \
      mapout-eviction@,\
-     crash    : %d point(s) checked, %d lost-write, %d torn-state@]"
+     crash    : %d point(s) checked, %d lost-write, %d torn-state@,\
+     vnode    : %d shadowed, %d ref-underflow, %d use-after-reclaim, %d \
+     leaked-refs; ncache %d stored, %d stale@]"
     r.rep_spaces (total_findings r) r.rep_right_transitions r.rep_live_rights
     r.rep_leaked_rights r.rep_right_double_frees r.rep_right_downgrades
     r.rep_teardown_residual r.rep_blocks_tracked r.rep_wait_cycles
     r.rep_buf_shadowed r.rep_buf_double_releases r.rep_buf_use_after_release
     r.rep_remap_moves r.rep_double_moves r.rep_write_after_move
     r.rep_mapout_evictions r.rep_crash_points r.rep_lost_writes
-    r.rep_torn_states;
+    r.rep_torn_states r.rep_vnodes_shadowed r.rep_vnode_ref_underflows
+    r.rep_vnode_use_after_reclaim r.rep_vnode_leaks r.rep_ncache_shadowed
+    r.rep_ncache_stale;
   if r.rep_findings <> [] then begin
     Format.fprintf ppf "@.";
     List.iter

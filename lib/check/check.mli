@@ -69,6 +69,13 @@ type report = {
   rep_crash_points : int;  (* crash points enumerated and verified *)
   rep_lost_writes : int;  (* acknowledged writes missing after recovery *)
   rep_torn_states : int;  (* recovery left a structural invariant broken *)
+  (* vnode-lifecycle checker *)
+  rep_vnodes_shadowed : int;  (* vnode activations observed *)
+  rep_vnode_ref_underflows : int;
+  rep_vnode_use_after_reclaim : int;
+  rep_vnode_leaks : int;  (* refs still held when a mount recovered *)
+  rep_ncache_shadowed : int;  (* positive name-cache stores observed *)
+  rep_ncache_stale : int;  (* cache hits that named a reclaimed vnode *)
   rep_findings : finding list;  (* oldest first; includes leak findings *)
 }
 
@@ -242,6 +249,57 @@ val crash_torn_state : t -> space:int -> string -> unit
 (** Recovery left the volume structurally inconsistent (an fsck
     invariant failed, or an un-acknowledged op is partially visible) —
     a "torn-state" finding. *)
+
+(* --- vnode-lifecycle checker --------------------------------------------- *)
+
+val vnode_active : t -> space:int -> mount:int -> file:int -> unit
+(** A vnode for [(mount, file)] was interned.  Re-activating an id that
+    was reclaimed is legitimate (formats reuse file ids): the reclaimed
+    mark is dropped. *)
+
+val vnode_ref : t -> space:int -> mount:int -> file:int -> unit
+(** A long-lived holder (an open-file table entry) took a reference. *)
+
+val vnode_unref : t -> space:int -> mount:int -> file:int -> unit
+(** A reference was dropped.  Dropping a reference the shadow count does
+    not hold is a "ref-underflow" finding. *)
+
+val vnode_reclaimed : t -> space:int -> mount:int -> file:int -> unit
+(** The vnode was reclaimed (its file was unlinked, or its mount
+    recovered).  Outstanding references are legitimate here — the holder
+    must fail subsequent uses with [E_bad_handle]. *)
+
+val vnode_used :
+  t -> space:int -> mount:int -> file:int -> op:string -> unit
+(** An operation was dispatched through the vnode.  Dispatch through a
+    reclaimed vnode is a "use-after-reclaim" finding (reported once per
+    vnode, then re-armed). *)
+
+val vnode_mount_recovered : t -> space:int -> mount:int -> unit
+(** The mount ran crash recovery: every vnode of the dead incarnation is
+    gone.  Any shadow reference still outstanding is a "vnode-leak"
+    finding; the mount's shadow state is then purged (file ids will be
+    reused by the recovered incarnation). *)
+
+val vnode_live_refs : t -> space:int -> mount:int -> int
+(** Outstanding shadow references for the mount (test hook). *)
+
+(* --- name-cache shadow ---------------------------------------------------- *)
+
+val ncache_stored :
+  t -> space:int -> mount:int -> dir:int -> name:string -> file:int -> unit
+(** A positive name-cache entry [(dir, name) -> file] was inserted. *)
+
+val ncache_hit : t -> space:int -> mount:int -> dir:int -> name:string -> unit
+(** A walk was served from the cache.  If the shadowed target vnode was
+    reclaimed and never invalidated, a "stale-entry" finding fires. *)
+
+val ncache_invalidated :
+  t -> space:int -> mount:int -> dir:int -> name:string -> unit
+(** The entry was invalidated (unlink/rename/create or LRU eviction). *)
+
+val ncache_cleared : t -> space:int -> unit
+(** The whole cache was dropped (recovery): purge the shadow store. *)
 
 (* --- reporting ---------------------------------------------------------- *)
 

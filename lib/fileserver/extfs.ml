@@ -615,29 +615,37 @@ let ensure_inode t ino ~want_dir =
     | Some false when i.i_dir -> Error E_is_dir
     | Some _ | None -> Ok i
 
+(* Register the operation vector.  The mutating entries are written as
+   plain un-journalled bodies: [vop_compile] wraps each of them in the
+   transaction hook below, so journaling lives at the VOP layer rather
+   than inside every operation. *)
 let ops t =
   let root = 0 in
-  {
-    pfs_limits =
-      {
-        fl_format = t.cfg.cfg_format;
-        fl_max_name = t.cfg.cfg_max_name;
-        fl_case_sensitive = t.cfg.cfg_case_sensitive;
-        fl_preserves_case = true;
-        fl_eight_dot_three = false;
-        fl_journalled = t.cfg.cfg_journalled;
-      };
-    pfs_root = root;
-    pfs_lookup =
-      (fun ~dir name ->
-        let* name = valid_name t name in
-        let* d = ensure_inode t dir ~want_dir:(Some true) in
-        match find_in_dir t d name with
-        | Some (_, ino) -> Ok ino
-        | None -> Error E_not_found);
-    pfs_create =
-      (fun ~dir name ~is_dir ->
-        in_txn t (fun () ->
+  let limits =
+    {
+      fl_format = t.cfg.cfg_format;
+      fl_max_name = t.cfg.cfg_max_name;
+      fl_case_sensitive = t.cfg.cfg_case_sensitive;
+      fl_preserves_case = true;
+      fl_eight_dot_three = false;
+      fl_journalled = t.cfg.cfg_journalled;
+    }
+  in
+  vop_compile
+    {
+      (vop_null ~limits ~root) with
+      vp_txn = Some { txn_run = (fun f -> in_txn t f) };
+      vp_lookup =
+        Some
+          (fun ~dir name ->
+            let* name = valid_name t name in
+            let* d = ensure_inode t dir ~want_dir:(Some true) in
+            match find_in_dir t d name with
+            | Some (_, ino) -> Ok ino
+            | None -> Error E_not_found);
+      vp_create =
+        Some
+          (fun ~dir name ~is_dir ->
             let* name = valid_name t name in
             let* d = ensure_inode t dir ~want_dir:(Some true) in
             match find_in_dir t d name with
@@ -647,10 +655,10 @@ let ops t =
                 let* () =
                   write_entries t d (dir_entries t d @ [ (name, i.ino) ])
                 in
-                Ok i.ino));
-    pfs_remove =
-      (fun ~dir name ->
-        in_txn t (fun () ->
+                Ok i.ino);
+      vp_remove =
+        Some
+          (fun ~dir name ->
             let* name = valid_name t name in
             let* d = ensure_inode t dir ~want_dir:(Some true) in
             match find_in_dir t d name with
@@ -663,52 +671,57 @@ let ops t =
                 in
                 free_inode t i;
                 write_entries t d
-                  (List.filter (fun (n, _) -> n <> ename) (dir_entries t d))));
-    pfs_readdir =
-      (fun ~dir ->
-        let* d = ensure_inode t dir ~want_dir:(Some true) in
-        Ok (List.sort compare (List.map fst (dir_entries t d))));
-    pfs_stat =
-      (fun ino ->
-        let* i = ensure_inode t ino ~want_dir:None in
-        Ok
-          {
-            st_id = ino;
-            st_size = i.i_size;
-            st_is_dir = i.i_dir;
-            st_blocks = blocks_held i;
-          });
-    pfs_read =
-      (fun ino ~off ~len ->
-        let* i = ensure_inode t ino ~want_dir:(Some false) in
-        Ok (read_data t i ~off ~len));
-    pfs_map_pool = (fun task -> Block_cache.map_pool t.cache task);
-    pfs_read_paged =
-      (fun ino ~off ~len ->
-        let* i = ensure_inode t ino ~want_dir:(Some false) in
-        Ok (read_paged t i ~off ~len));
-    pfs_release_paged =
-      (fun ~addr ~bytes ->
-        Block_cache.pool_release t.cache ~addr
-          ~pages:(Mach.Ktypes.pages_of_bytes bytes));
-    pfs_write =
-      (fun ino ~off data ->
-        in_txn t (fun () ->
+                  (List.filter (fun (n, _) -> n <> ename) (dir_entries t d)));
+      vp_readdir =
+        Some
+          (fun ~dir ->
+            let* d = ensure_inode t dir ~want_dir:(Some true) in
+            Ok (List.sort compare (List.map fst (dir_entries t d))));
+      vp_stat =
+        Some
+          (fun ino ->
+            let* i = ensure_inode t ino ~want_dir:None in
+            Ok
+              {
+                st_id = ino;
+                st_size = i.i_size;
+                st_is_dir = i.i_dir;
+                st_blocks = blocks_held i;
+              });
+      vp_read =
+        Some
+          (fun ino ~off ~len ->
             let* i = ensure_inode t ino ~want_dir:(Some false) in
-            write_data t i ~off data));
-    pfs_truncate =
-      (fun ino ~len ->
-        in_txn t (fun () ->
+            Ok (read_data t i ~off ~len));
+      vp_map_pool = Some (fun task -> Block_cache.map_pool t.cache task);
+      vp_read_paged =
+        Some
+          (fun ino ~off ~len ->
+            let* i = ensure_inode t ino ~want_dir:(Some false) in
+            Ok (read_paged t i ~off ~len));
+      vp_release_paged =
+        Some
+          (fun ~addr ~bytes ->
+            Block_cache.pool_release t.cache ~addr
+              ~pages:(Mach.Ktypes.pages_of_bytes bytes));
+      vp_write =
+        Some
+          (fun ino ~off data ->
+            let* i = ensure_inode t ino ~want_dir:(Some false) in
+            write_data t i ~off data);
+      vp_truncate =
+        Some
+          (fun ino ~len ->
             let* i = ensure_inode t ino ~want_dir:(Some false) in
             if len > i.i_size then Error E_no_space
             else begin
               i.i_size <- len;
               write_inode t i;
               Ok ()
-            end));
-    pfs_rename =
-      (fun ~src_dir name ~dst_dir new_name ->
-        in_txn t (fun () ->
+            end);
+      vp_rename =
+        Some
+          (fun ~src_dir name ~dst_dir new_name ->
             let* name = valid_name t name in
             let* new_name = valid_name t new_name in
             let* sd = ensure_inode t src_dir ~want_dir:(Some true) in
@@ -732,17 +745,19 @@ let ops t =
                              (fun (n, _) -> n <> ename)
                              (dir_entries t sd))
                       in
-                      write_entries t dd (dir_entries t dd @ [ (new_name, ino) ]))));
-    pfs_sync = (fun () -> Block_cache.flush t.cache);
-    pfs_free_blocks =
-      (fun () ->
-        let free = ref 0 in
-        for b = 0 to t.g.data_blocks - 1 do
-          if not (block_used t b) then incr free
-        done;
-        !free);
-    pfs_recover = (fun () -> recover t);
-  }
+                      write_entries t dd
+                        (dir_entries t dd @ [ (new_name, ino) ])));
+      vp_sync = Some (fun () -> Block_cache.flush t.cache);
+      vp_free_blocks =
+        Some
+          (fun () ->
+            let free = ref 0 in
+            for b = 0 to t.g.data_blocks - 1 do
+              if not (block_used t b) then incr free
+            done;
+            !free);
+      vp_recover = Some (fun () -> recover t);
+    }
 
 let mount cache cfg ?(start = 0) () =
   let sb = Block_cache.read cache start in

@@ -392,19 +392,22 @@ and write_file t id ~off data =
     Ok len
   end
 
+(* FAT registers only the operations its layout supports; the zero-copy
+   pool entries, recovery and the transaction hook all fall back to the
+   VOP defaults (copy-path reads, clean recovery, no journal). *)
 and ops t =
-  {
-    pfs_limits = limits;
-    pfs_root = root_id;
-    pfs_lookup =
-      (fun ~dir name ->
+  vop_compile
+    {
+    (vop_null ~limits ~root:root_id) with
+    vp_lookup =
+      Some (fun ~dir name ->
         let* () = ensure_dir t dir in
         let* name = valid_name name in
         match find_dirent t dir name with
         | Some de -> Ok de.de_cluster
         | None -> Error E_not_found);
-    pfs_create =
-      (fun ~dir name ~is_dir ->
+    vp_create =
+      Some (fun ~dir name ~is_dir ->
         let* () = ensure_dir t dir in
         let* name = valid_name name in
         match find_dirent t dir name with
@@ -420,8 +423,8 @@ and ops t =
               ~attr:(if is_dir then 0x10 else 0x00)
               ~size:0 ~cluster:c;
             Ok c);
-    pfs_remove =
-      (fun ~dir name ->
+    vp_remove =
+      Some (fun ~dir name ->
         let* () = ensure_dir t dir in
         let* name = valid_name name in
         match find_dirent t dir name with
@@ -439,22 +442,17 @@ and ops t =
             Hashtbl.remove t.entries de.de_cluster;
             clear_dirent t ~block:de.de_block ~slot:de.de_slot;
             Ok ());
-    pfs_readdir =
-      (fun ~dir ->
+    vp_readdir =
+      Some (fun ~dir ->
         let* () = ensure_dir t dir in
         let acc = ref [] in
         iter_dirents t dir (fun de -> acc := de.de_name :: !acc);
         Ok (List.sort compare !acc));
-    pfs_stat = (fun id -> stat_of t id);
-    pfs_read = (fun id ~off ~len -> read_file t id ~off ~len);
-    (* FAT's cluster chains don't feed the zero-copy pool; readers fall
-       back to the copy path *)
-    pfs_map_pool = (fun _task -> ());
-    pfs_read_paged = (fun _id ~off:_ ~len:_ -> Ok None);
-    pfs_release_paged = (fun ~addr:_ ~bytes:_ -> ());
-    pfs_write = (fun id ~off data -> write_file t id ~off data);
-    pfs_truncate =
-      (fun id ~len ->
+    vp_stat = Some (fun id -> stat_of t id);
+    vp_read = Some (fun id ~off ~len -> read_file t id ~off ~len);
+    vp_write = Some (fun id ~off data -> write_file t id ~off data);
+    vp_truncate =
+      Some (fun id ~len ->
         let* st = stat_of t id in
         if st.st_is_dir then Error E_is_dir
         else if len > st.st_size then Error E_no_space
@@ -474,8 +472,8 @@ and ops t =
           cut 0 cs;
           set_size t id len
         end);
-    pfs_rename =
-      (fun ~src_dir name ~dst_dir new_name ->
+    vp_rename =
+      Some (fun ~src_dir name ~dst_dir new_name ->
         let* () = ensure_dir t src_dir in
         let* () = ensure_dir t dst_dir in
         let* name = valid_name name in
@@ -491,18 +489,13 @@ and ops t =
                   ~size:de.de_size ~cluster:de.de_cluster;
                 clear_dirent t ~block:de.de_block ~slot:de.de_slot;
                 Ok ()));
-    pfs_sync = (fun () -> Block_cache.flush t.cache);
-    pfs_free_blocks =
-      (fun () ->
-        let free = ref 0 in
-        for c = 2 to t.g.clusters + 1 do
-          if fat_get t c = 0 then incr free
-        done;
-        !free);
-    (* FAT has no journal and no invariant scanner: restart recovery is
-       pool reclamation only *)
-    pfs_recover =
-      (fun () ->
-        Block_cache.pool_reset t.cache;
-        clean_recovery);
-  }
+    vp_sync = Some (fun () -> Block_cache.flush t.cache);
+    vp_free_blocks =
+      Some
+        (fun () ->
+          let free = ref 0 in
+          for c = 2 to t.g.clusters + 1 do
+            if fat_get t c = 0 then incr free
+          done;
+          !free);
+    }

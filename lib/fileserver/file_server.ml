@@ -3,8 +3,7 @@ open Mach.Ktypes
 
 type open_file = {
   of_port : port;  (* one port per open file *)
-  of_pfs : pfs;
-  of_id : file_id;
+  of_vn : Vnode.t;  (* referenced for the life of the handle *)
   mutable of_pos : int;
   mutable of_mapped : bool;
   mutable of_zc : (int * int) option;
@@ -81,7 +80,10 @@ let charge_union t = charge t ~offset:0x1000 ~bytes:448
 
 let handle_lookup t h =
   match Hashtbl.find_opt t.opens h with
-  | Some f when not f.of_port.dead -> Ok f
+  | Some f when not f.of_port.dead ->
+      (* the open-table discipline: a handle whose file was unlinked
+         fails here, before any operation reaches the dead vnode *)
+      if Vnode.reclaimed f.of_vn then Error E_bad_handle else Ok f
   | Some _ | None -> Error E_bad_handle
 
 let do_open t sem path create =
@@ -98,8 +100,9 @@ let do_open t sem path create =
   in
   match resolved with
   | Error e -> FS_r_err e
-  | Ok (pfs, id) -> (
-      match pfs.pfs_stat id with
+  | Ok Vfs.Root -> FS_r_err E_is_dir
+  | Ok (Vfs.File vn) -> (
+      match Vnode.stat vn with
       | Error e -> FS_r_err e
       | Ok st when st.st_is_dir -> FS_r_err E_is_dir
       | Ok _ ->
@@ -109,8 +112,9 @@ let do_open t sem path create =
             Mach.Port.allocate sys ~receiver:t.fs_task
               ~name:(Printf.sprintf "file:%s" path)
           in
+          Vnode.ref_ vn;
           Hashtbl.replace t.opens fport.port_id
-            { of_port = fport; of_pfs = pfs; of_id = id; of_pos = 0;
+            { of_port = fport; of_vn = vn; of_pos = 0;
               of_mapped = false; of_zc = None };
           FS_r_handle fport.port_id)
 
@@ -146,7 +150,7 @@ let release_zc f =
   match f.of_zc with
   | Some (addr, bytes) ->
       f.of_zc <- None;
-      f.of_pfs.pfs_release_paged ~addr ~bytes
+      Vnode.release_paged f.of_vn ~addr ~bytes
   | None -> ()
 
 let handle t (msg : message) : message_builder =
@@ -162,16 +166,27 @@ let handle t (msg : message) : message_builder =
       match handle_lookup t h with
       | Ok f ->
           release_zc f;
+          Vnode.unref f.of_vn;
           Hashtbl.remove t.opens h;
           Mach.Port.destroy t.kernel.Mach.Kernel.sys f.of_port;
           reply FS_r_unit
-      | Error e -> reply (FS_r_err e))
+      | Error e -> (
+          (* a reclaimed handle still releases its table entry *)
+          (match Hashtbl.find_opt t.opens h with
+          | Some f ->
+              release_zc f;
+              Vnode.unref f.of_vn;
+              Hashtbl.remove t.opens h;
+              if not f.of_port.dead then
+                Mach.Port.destroy t.kernel.Mach.Kernel.sys f.of_port
+          | None -> ());
+          reply (FS_r_err e)))
   | FS_read { r_handle; r_bytes } -> (
       charge_open_table t;
       match handle_lookup t r_handle with
       | Error e -> reply (FS_r_err e)
       | Ok f -> (
-          match f.of_pfs.pfs_read f.of_id ~off:f.of_pos ~len:r_bytes with
+          match Vnode.read f.of_vn ~off:f.of_pos ~len:r_bytes with
           | Ok data ->
               f.of_pos <- f.of_pos + Bytes.length data;
               (* reply copies the data back inline *)
@@ -182,7 +197,7 @@ let handle t (msg : message) : message_builder =
       match handle_lookup t rm_handle with
       | Error e -> reply (FS_r_err e)
       | Ok f -> (
-          match f.of_pfs.pfs_read f.of_id ~off:f.of_pos ~len:rm_bytes with
+          match Vnode.read f.of_vn ~off:f.of_pos ~len:rm_bytes with
           | Ok data ->
               f.of_pos <- f.of_pos + Bytes.length data;
               (* the data stays in the shared buffer object: map it into
@@ -205,7 +220,7 @@ let handle t (msg : message) : message_builder =
       match handle_lookup t w_handle with
       | Error e -> reply (FS_r_err e)
       | Ok f -> (
-          match f.of_pfs.pfs_write f.of_id ~off:f.of_pos w_bytes with
+          match Vnode.write f.of_vn ~off:f.of_pos w_bytes with
           | Ok n ->
               f.of_pos <- f.of_pos + n;
               reply (FS_r_len n)
@@ -223,9 +238,9 @@ let handle t (msg : message) : message_builder =
       | Error e -> reply (FS_r_err e)
       | Ok f -> (
           release_zc f;
-          f.of_pfs.pfs_map_pool t.fs_task;
+          Vnode.map_pool f.of_vn t.fs_task;
           match
-            f.of_pfs.pfs_read_paged f.of_id ~off:f.of_pos ~len:rz_bytes
+            Vnode.read_paged f.of_vn ~off:f.of_pos ~len:rz_bytes
           with
           | Ok (Some (addr, map_bytes, data)) ->
               f.of_pos <- f.of_pos + Bytes.length data;
@@ -238,7 +253,7 @@ let handle t (msg : message) : message_builder =
                 ()
           | Ok None -> (
               (* pool exhausted or unaligned position: copy path *)
-              match f.of_pfs.pfs_read f.of_id ~off:f.of_pos ~len:rz_bytes with
+              match Vnode.read f.of_vn ~off:f.of_pos ~len:rz_bytes with
               | Ok data ->
                   f.of_pos <- f.of_pos + Bytes.length data;
                   reply ~bytes:(Bytes.length data + 32) (FS_r_data data)
@@ -253,7 +268,7 @@ let handle t (msg : message) : message_builder =
         | Error e -> FS_r_err e
         | Ok f -> (
             release_zc f;
-            match f.of_pfs.pfs_write f.of_id ~off:f.of_pos wz_bytes with
+            match Vnode.write f.of_vn ~off:f.of_pos wz_bytes with
             | Ok n ->
                 f.of_pos <- f.of_pos + n;
                 FS_r_len n
@@ -326,6 +341,7 @@ let restart t =
           (* unpin pool pages backing in-flight zero-copy replies — the
              clients died with the incarnation, nobody will release them *)
           release_zc f;
+          Vnode.unref f.of_vn;
           if not f.of_port.dead then Mach.Port.destroy sys f.of_port)
         t.opens;
       Hashtbl.reset t.opens;
@@ -372,8 +388,9 @@ let map_file t sem task ~path =
   charge_vnode t;
   match Vfs.resolve t.fs_vfs sem ~path with
   | Error e -> Error e
-  | Ok (pfs, id) -> (
-      match pfs.pfs_stat id with
+  | Ok Vfs.Root -> Error E_is_dir
+  | Ok (Vfs.File vn) -> (
+      match Vnode.stat vn with
       | Error e -> Error e
       | Ok st when st.st_is_dir -> Error E_is_dir
       | Ok st ->
@@ -387,14 +404,14 @@ let map_file t sem task ~path =
                   t.m_pageins <- t.m_pageins + 1;
                   charge_vnode t;
                   ignore
-                    (pfs.pfs_read id ~off:(idx * page_size) ~len:page_size);
+                    (Vnode.read vn ~off:(idx * page_size) ~len:page_size);
                   k ());
               bs_page_out =
                 (fun _obj idx k ->
                   t.m_pageouts <- t.m_pageouts + 1;
                   charge_vnode t;
                   ignore
-                    (pfs.pfs_write id ~off:(idx * page_size)
+                    (Vnode.write vn ~off:(idx * page_size)
                        (Bytes.make page_size '\000'));
                   k ());
             }

@@ -11,5 +11,7 @@ module Fat = Fat
 module Extfs = Extfs
 module Hpfs = Hpfs
 module Jfs = Jfs
+module Vnode = Vnode
+module Namecache = Namecache
 module Vfs = Vfs
 module File_server = File_server

@@ -1,5 +1,5 @@
-(** The vnode layer: mount table, path walking, and the union-semantics
-    checks.
+(** The VFS: mount table, vnode-based path walking, the DragonFly-style
+    name cache, and the union-semantics checks.
 
     The personality-neutral file server "had to implement the union of
     the TalOS, the OS/2 and the UNIX file system semantics"; this module
@@ -8,7 +8,12 @@
     mounted format's {!Fs_types.format_limits}, folding case, rejecting
     over-long names on FAT, and counting every {e compromise} — the
     places where no consistent answer exists and the implementation
-    picks one (measured by tests and discussed in DESIGN.md §5). *)
+    picks one (measured by tests and discussed in DESIGN.md §5).
+
+    Paths resolve through interned {!Vnode.t}s and a name cache keyed by
+    [(mount, directory vnode, folded component)] with negative entries;
+    mutations and crash recovery invalidate what they falsify
+    (DESIGN.md §13). *)
 
 open Fs_types
 
@@ -24,7 +29,15 @@ val os2_semantics : semantics
 val unix_semantics : semantics
 val talos_semantics : semantics
 
-val create : unit -> t
+type node = Root | File of Vnode.t
+(** What a path resolves to: ["/"] is the synthetic root directory
+    (its entries are the mount points), everything else a vnode. *)
+
+val create :
+  ?kernel:Mach.Kernel.t -> ?namecache:bool -> ?cache_capacity:int ->
+  unit -> t
+(** [?kernel] lets the walk charge simulated cycles for cache probes;
+    [?namecache:false] disables the cache (A/B baseline). *)
 
 val mount : t -> at:string -> pfs -> (unit, string) result
 (** Mount points are single top-level components, e.g. ["/c"]. *)
@@ -32,30 +45,29 @@ val mount : t -> at:string -> pfs -> (unit, string) result
 val mounts : t -> (string * string) list
 (** [(mount point, format)] pairs. *)
 
-val resolve :
-  t -> semantics -> path:string -> (pfs * file_id, fs_error) result
-(** Walk the path through the mount table and directories. *)
+val resolve : t -> semantics -> path:string -> (node, fs_error) result
+(** Walk the path through the mount table and directories.  [""] and
+    ["/"] resolve to {!Root}. *)
 
 val resolve_parent :
   t -> semantics -> path:string ->
-  (pfs * file_id * string, fs_error) result
-(** Resolve all but the last component; returns the parent directory and
-    the leaf name (semantic checks applied to the leaf). *)
-
-val check_name :
-  t -> semantics -> format_limits -> string -> (string, fs_error) result
-(** Reconcile a leaf name with the target format under the client's
-    semantics: may fold case (counting a compromise when the client is
-    case-sensitive), and rejects names the format cannot store. *)
+  (Vnode.mount * Vnode.t * string, fs_error) result
+(** Resolve all but the last component; returns the mount, the parent
+    directory vnode and the leaf name (semantic checks applied to the
+    leaf). *)
 
 val compromises : t -> int
-(** Number of semantic compromises taken so far. *)
+(** Number of semantic compromises taken so far: distinct names whose
+    case a case-folding mount discarded under a case-sensitive client,
+    counted once per name per mount. *)
 
 val stat : t -> semantics -> path:string -> (stat, fs_error) result
 val mkdir : t -> semantics -> path:string -> (file_id, fs_error) result
 val create_file : t -> semantics -> path:string -> (file_id, fs_error) result
 val unlink : t -> semantics -> path:string -> (unit, fs_error) result
 val readdir : t -> semantics -> path:string -> (string list, fs_error) result
+(** [readdir] of ["/"] lists the mount points. *)
+
 val rename :
   t -> semantics -> src:string -> dst:string -> (unit, fs_error) result
 (** Source and destination must be on the same mount. *)
@@ -64,5 +76,14 @@ val sync : t -> unit
 
 val recover : t -> Fs_types.recover_report
 (** Run every mount's crash recovery (journal replay + invariant scan
-    where the format supports it) and merge the reports.  Called by the
-    file server when a supervised restart brings it back. *)
+    where the format supports it) and merge the reports.  Every cached
+    name and interned vnode of the dead incarnation is dropped.  Called
+    by the file server when a supervised restart brings it back. *)
+
+(** {2 Name-cache controls (A/B runs and tests)} *)
+
+val namecache_on : t -> bool
+val set_namecache : t -> bool -> unit
+(** Disabling clears the cache. *)
+
+val cache_stats : t -> Namecache.stats

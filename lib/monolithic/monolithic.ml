@@ -1,8 +1,7 @@
 open Fileserver.Fs_types
 
 type open_file = {
-  of_pfs : pfs;
-  of_id : file_id;
+  of_vn : Fileserver.Vnode.t;
   mutable of_pos : int;
   mutable of_open : bool;
 }
@@ -127,27 +126,32 @@ let sys_open t ~path ?(create = false) () =
       in
       match resolved with
       | Error e -> Error e
-      | Ok (pfs, id) -> (
-          match pfs.pfs_stat id with
+      | Ok Fileserver.Vfs.Root -> Error E_is_dir
+      | Ok (Fileserver.Vfs.File vn) -> (
+          match Fileserver.Vnode.stat vn with
           | Error e -> Error e
           | Ok st when st.st_is_dir -> Error E_is_dir
           | Ok _ ->
               t.handles <- t.handles + 1;
-              Ok { of_pfs = pfs; of_id = id; of_pos = 0; of_open = true }))
+              Fileserver.Vnode.ref_ vn;
+              Ok { of_vn = vn; of_pos = 0; of_open = true }))
 
 let sys_close t h =
   syscall t (fun () ->
       if h.of_open then begin
         h.of_open <- false;
+        Fileserver.Vnode.unref h.of_vn;
         t.handles <- t.handles - 1
       end)
 
-let check_open h = if h.of_open then Ok () else Error E_bad_handle
+let check_open h =
+  if h.of_open && not (Fileserver.Vnode.reclaimed h.of_vn) then Ok ()
+  else Error E_bad_handle
 
 let sys_read t h ~bytes =
   syscall t (fun () ->
       let* () = check_open h in
-      let* data = h.of_pfs.pfs_read h.of_id ~off:h.of_pos ~len:bytes in
+      let* data = Fileserver.Vnode.read h.of_vn ~off:h.of_pos ~len:bytes in
       h.of_pos <- h.of_pos + Bytes.length data;
       copy_to_user t (Bytes.length data);
       Ok data)
@@ -156,7 +160,7 @@ let sys_write t h data =
   syscall t (fun () ->
       let* () = check_open h in
       copy_to_user t (Bytes.length data);
-      let* n = h.of_pfs.pfs_write h.of_id ~off:h.of_pos data in
+      let* n = Fileserver.Vnode.write h.of_vn ~off:h.of_pos data in
       h.of_pos <- h.of_pos + n;
       Ok n)
 

@@ -48,8 +48,10 @@ let direction path =
     let rec go i = i + m <= n && (String.sub path i m = sub || go (i + 1)) in
     m > 0 && go 0
   in
-  if has "throughput" || has "speedup" || has "completed" || has "hits" then
-    `Higher_better
+  if
+    has "throughput" || has "speedup" || has "completed" || has "hits"
+    || has "hit_rate"
+  then `Higher_better
   else if
     has "cycles" || has "miss" || has "stall" || has "retries" || has "lost"
     || has "torn" || has "findings" || has "residual" || has "gave_up"
@@ -70,8 +72,8 @@ let flatten json =
     in
     let parts =
       List.filter_map pick
-        [ "system"; "workload"; "placement"; "ncpus"; "bytes"; "crash_ppm";
-          "write"; "ops" ]
+        [ "system"; "workload"; "phase"; "placement"; "ncpus"; "bytes";
+          "crash_ppm"; "write"; "ops" ]
     in
     if parts = [] then None else Some (String.concat "/" parts)
   in

@@ -10,5 +10,6 @@ module Ipc_stress = Ipc_stress
 module Fault_sweep = Fault_sweep
 module Recovery_sweep = Recovery_sweep
 module Smp_scaling = Smp_scaling
+module Vfs_walk = Vfs_walk
 module Bench_ab = Bench_ab
 module Run_meta = Run_meta

@@ -18,4 +18,5 @@ let () =
       ("machcheck", Test_check.suite);
       ("recovery", Test_recovery.suite);
       ("smp", Test_smp.suite);
+      ("vfs", Test_vfs.suite);
     ]
