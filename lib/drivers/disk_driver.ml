@@ -201,6 +201,10 @@ let read_blocks t ~block ~count =
                  ())
           with
           | Ok { msg_payload = DD_r_data data; _ } -> data
+          | Ok { msg_payload = P_error _; _ } ->
+              (* driver refused the request: surface as an empty read,
+                 the same contract a short read gives the block layer *)
+              Bytes.empty
           | Ok _ | Error _ -> Bytes.empty))
 
 let write_blocks t ~block data =
@@ -220,13 +224,19 @@ let write_blocks t ~block data =
       let s = sys t in
       match t.u_port with
       | None -> assert false
-      | Some port ->
-          ignore
-            (Mach.Rpc.call s port
-               (simple_message
-                  ~inline_bytes:(Bytes.length data + 32)
-                  ~payload:(DD_write { block; data })
-                  ())))
+      | Some port -> (
+          match
+            Mach.Rpc.call s port
+              (simple_message
+                 ~inline_bytes:(Bytes.length data + 32)
+                 ~payload:(DD_write { block; data })
+                 ())
+          with
+          | Ok { msg_payload = DD_r_done; _ } -> ()
+          | Ok { msg_payload = P_error _; _ } ->
+              (* lost ack: write-behind semantics, nothing to retry here *)
+              ()
+          | Ok _ | Error _ -> ()))
 
 let requests t = t.reqs
 let interrupts_taken t = t.intrs

@@ -1,0 +1,122 @@
+(* Machlint driver: scan directories, parse every .ml with
+   compiler-libs, build the call graph once, run the five rules.
+
+   The rules and their dynamic Machcheck counterparts:
+
+     port-linearity  use-after-Move of donated pages/rights
+                     (machcheck: rights sanitizer, buffer lifetime)
+     lock-order      cycles in the static lock acquisition graph
+                     (machcheck: wait-for-graph, at runtime)
+     no-block        blocking reachable from IPI/interrupt/txn contexts
+                     (machcheck: wait-for-graph)
+     interface       open-variant message vocabulary and VOP tables
+                     complete (no dynamic counterpart — this is the gap
+                     machlint exists to close)
+     provenance      BENCH_*.json writers carry schema_version+Run_meta
+                     (enforced dynamically by bench ab; here at build) *)
+
+module Report = Lint_report
+module Ast = Lint_ast
+module Graph = Lint_graph
+
+type report = {
+  r_files : int;
+  r_defs : int;  (* top-level bindings seen by the call graph *)
+  r_nodes : int;  (* AST size: deterministic analysis-work counter *)
+  r_cycles : int;  (* modeled analysis cost, see [analysis_passes] *)
+  r_findings : Lint_report.finding list;
+}
+
+(* The deterministic cost model for BENCH_lint.json: every pass walks
+   every AST node at unit cost — one parse pass, one call-graph pass and
+   one per rule.  Host time is noise; this number moves exactly when the
+   tree or the analyzer grows. *)
+let analysis_passes = 2 + List.length Lint_report.all_rules
+
+(* lint_fixtures is machlint's own known-bad corpus: it is linted file
+   by file by the fixture tests, never as part of a tree scan. *)
+let skip_dirs = [ "_build"; ".git"; "lint_fixtures" ]
+
+let rec walk_files acc path =
+  if Sys.file_exists path && Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.fold_left
+         (fun acc name ->
+           if List.mem name skip_dirs then acc
+           else walk_files acc (Filename.concat path name))
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+(* [let[@machlint.allow "rule ..."] f = ...] suppresses the named rules
+   (or every rule, with no payload) inside that binding — for code that
+   violates a discipline *on purpose*, like the tests that seed
+   known-bad traffic to prove Machcheck's dynamic checkers catch it. *)
+let allow_spans g =
+  let spans = ref [] in
+  Lint_graph.iter_fns g (fun fn ->
+      List.iter
+        (fun (name, payload) ->
+          if name = "machlint.allow" || name = "allow_lint" then
+            let rules =
+              match payload with
+              | None -> Lint_report.all_rules
+              | Some s ->
+                  String.split_on_char ' ' s
+                  |> List.concat_map (String.split_on_char ',')
+                  |> List.filter (fun r -> r <> "")
+            in
+            let loc = fn.Lint_graph.fn_loc in
+            spans :=
+              ( loc.Location.loc_start.Lexing.pos_fname,
+                loc.Location.loc_start.Lexing.pos_lnum,
+                loc.Location.loc_end.Lexing.pos_lnum,
+                rules )
+              :: !spans)
+        fn.Lint_graph.fn_attrs);
+  !spans
+
+let allowed spans (f : Lint_report.finding) =
+  List.exists
+    (fun (file, l0, l1, rules) ->
+      f.Lint_report.f_file = file
+      && f.Lint_report.f_line >= l0
+      && f.Lint_report.f_line <= l1
+      && List.mem f.Lint_report.f_rule rules)
+    spans
+
+let run ~roots () =
+  let files =
+    List.concat_map (fun r -> List.rev (walk_files [] r)) roots
+    |> List.sort_uniq compare
+  in
+  let sources, syntax_findings =
+    List.fold_left
+      (fun (srcs, errs) path ->
+        match Lint_ast.parse path with
+        | Ok s -> (s :: srcs, errs)
+        | Error f -> (srcs, f :: errs))
+      ([], []) files
+  in
+  let sources = List.rev sources in
+  let g = Lint_graph.build sources in
+  let findings =
+    List.rev syntax_findings
+    @ Lint_linearity.check g
+    @ Lint_lockorder.check g
+    @ Lint_noblock.check g
+    @ Lint_interface.check sources g
+    @ Lint_provenance.check g
+  in
+  let spans = allow_spans g in
+  let findings = List.filter (fun f -> not (allowed spans f)) findings in
+  let nodes =
+    Lint_ast.count_nodes (List.map (fun s -> s.Lint_ast.s_ast) sources)
+  in
+  {
+    r_files = List.length files;
+    r_defs = List.length g.Lint_graph.fn_order;
+    r_nodes = nodes;
+    r_cycles = analysis_passes * nodes;
+    r_findings = List.sort_uniq Lint_report.compare findings;
+  }

@@ -1,0 +1,159 @@
+(* Rule: port-right / page linearity.
+
+   Mach's Move dispositions are linear: once a right or an OOL region is
+   *moved* into a message, the sender's name for it is dead.  In this
+   tree that shows up two ways:
+
+   - [Vm.remap_move sys ~src_task ~addr ...] donates the pages at [addr]
+     (the source range becomes zero-fill);
+   - an OOL descriptor [(buf, len, Move)] in an [~ool]/[~ool_vec]
+     argument donates [buf] when the message is sent.
+
+   After either, any further use of the donated identifier on a
+   syntactic path *after* the transfer is a use-after-donation —
+   except [Vm.deallocate], which is the sanctioned way to drop the dead
+   name (the file server's zero-copy write does exactly that).
+
+   The walk is a small forward dataflow over the syntax: branches fork
+   the donated set and their union flows out, so a Move in one match arm
+   does not poison its *sibling* arms (the Cow arm of Rpc.transfer_ool
+   legitimately reuses [addr]) but does poison everything downstream.
+
+   Machcheck's rights sanitizer and buffer-lifetime checker catch the
+   dynamic residue (double-free via aliases machlint cannot see). *)
+
+open Parsetree
+
+module Smap = Map.Make (String)
+
+let donate_targets = [ "Vm.remap_move"; "remap_move" ]
+let cleanup_targets = [ "Vm.deallocate"; "deallocate" ]
+
+let simple_ident e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident x; _ } -> Some x
+  | _ -> None
+
+let path_matches e targets =
+  match Lint_ast.path_of_expr e with
+  | Some p -> Lint_ast.matches_any ~path:p targets
+  | None -> false
+
+let is_move_construct e =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt; _ }, None) ->
+      (match Lint_ast.flatten_lid txt with
+      | Some p -> Lint_ast.last_of p = "Move"
+      | None -> false)
+  | _ -> false
+
+let check_fn (fn : Lint_graph.fn) findings =
+  (* donated : ident -> location of the transfer *)
+  let env = ref Smap.empty in
+  let report x loc =
+    let donated_at = Smap.find x !env in
+    findings :=
+      Lint_report.make ~rule:Lint_report.rule_linearity ~loc
+        (Printf.sprintf
+           "%s used after its pages were donated by Move at line %d \
+            (machcheck: rights sanitizer); a moved right/region is dead — \
+            only Vm.deallocate may touch it"
+           x donated_at.Location.loc_start.Lexing.pos_lnum)
+      :: !findings
+  in
+  let donate_at x loc = env := Smap.add x loc !env in
+  let shadow vars saved_env inner =
+    (* names rebound inside keep their *outer* donation state from
+       [saved_env]; everything else flows out of [inner]. *)
+    Smap.merge
+      (fun x outer inner_v ->
+        if List.mem x vars then outer
+        else match inner_v with Some _ -> inner_v | None -> outer)
+      saved_env inner
+  in
+  let rec go e =
+    match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident x; _ } when Smap.mem x !env ->
+        report x e.pexp_loc
+    | Pexp_apply (head, args) when path_matches head cleanup_targets ->
+        (* deallocate of a dead name is the sanctioned cleanup: walk the
+           args only for nested donations, not for uses *)
+        List.iter
+          (fun (_, a) -> match simple_ident a with Some _ -> () | None -> go a)
+          args
+    | Pexp_apply (head, args) when path_matches head donate_targets ->
+        let target =
+          List.find_map
+            (fun (lbl, a) ->
+              match (lbl, simple_ident a) with
+              | Asttypes.Labelled "addr", Some x -> Some x
+              | _ -> None)
+            args
+        in
+        List.iter
+          (fun (lbl, a) ->
+            match (lbl, simple_ident a) with
+            | Asttypes.Labelled "addr", Some x when Smap.mem x !env ->
+                (* a second Move of the same region *)
+                report x a.pexp_loc
+            | _ -> go a)
+          args;
+        Option.iter (fun x -> donate_at x e.pexp_loc) target
+    | Pexp_tuple [ fst_e; snd_e; mode_e ] when is_move_construct mode_e -> (
+        go snd_e;
+        match simple_ident fst_e with
+        | Some x ->
+            if Smap.mem x !env then report x fst_e.pexp_loc;
+            donate_at x e.pexp_loc
+        | None -> go fst_e)
+    | Pexp_let (_, vbs, body) ->
+        List.iter (fun vb -> go vb.pvb_expr) vbs;
+        let bound = List.concat_map (fun vb -> Lint_ast.pat_vars vb.pvb_pat) vbs in
+        let saved = !env in
+        env := List.fold_left (fun m x -> Smap.remove x m) !env bound;
+        go body;
+        env := shadow bound saved !env
+    | Pexp_fun (_, default, pat, body) ->
+        Option.iter go default;
+        let bound = Lint_ast.pat_vars pat in
+        let saved = !env in
+        env := List.fold_left (fun m x -> Smap.remove x m) !env bound;
+        go body;
+        env := shadow bound saved !env
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+        go scrut;
+        branch cases
+    | Pexp_function cases -> branch cases
+    | Pexp_ifthenelse (c, t, f) ->
+        go c;
+        let base = !env in
+        go t;
+        let after_t = !env in
+        env := base;
+        Option.iter go f;
+        env :=
+          Smap.union (fun _ a _ -> Some a) after_t !env
+    | _ ->
+        let it =
+          { Ast_iterator.default_iterator with expr = (fun _ e -> go e) }
+        in
+        Ast_iterator.default_iterator.expr it e
+  and branch cases =
+    let base = !env in
+    let acc = ref base in
+    List.iter
+      (fun c ->
+        let bound = Lint_ast.pat_vars c.pc_lhs in
+        env := List.fold_left (fun m x -> Smap.remove x m) base bound;
+        Option.iter go c.pc_guard;
+        go c.pc_rhs;
+        acc := Smap.union (fun _ a _ -> Some a) !acc (shadow bound base !env))
+      cases;
+    env := !acc
+  in
+  go fn.Lint_graph.fn_body
+
+let check (g : Lint_graph.t) =
+  let findings = ref [] in
+  Lint_graph.iter_fns g (fun fn -> check_fn fn findings);
+  List.rev !findings

@@ -1,0 +1,286 @@
+(* Rule: static lock order.
+
+   A WITNESS-style check at build time: walk every function body in
+   syntactic order tracking which locks are held ([Sync.mutex_lock] /
+   [Runtime.umutex_lock] push, the matching unlock pops, a [*_with_lock]
+   combinator scopes its closure argument), emit an edge A -> B whenever
+   B is acquired with A held — including transitively, via calls made
+   while holding A to functions that acquire B — and fail on any cycle
+   in the resulting acquisition graph.
+
+   Locks are named by their syntactic key: the field name for [t.lock_x]
+   (one class per field, shared across instances, which is exactly the
+   lock-class granularity WITNESS uses), the identifier otherwise.
+
+   Machcheck's wait-for-graph checker is the runtime complement: it sees
+   actual waiters, this rule sees every syntactic path. *)
+
+open Parsetree
+
+let acquire_targets = [ "Sync.mutex_lock"; "umutex_lock" ]
+let release_targets = [ "Sync.mutex_unlock"; "umutex_unlock" ]
+
+type edge = { e_from : string; e_to : string; e_loc : Location.t }
+
+(* The lock-class token of an acquire's lock argument. *)
+let token_of_expr e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match Lint_ast.flatten_lid txt with
+      | Some p -> Some (Lint_ast.last_of p)
+      | None -> None)
+  | Pexp_field (_, { txt; _ }) -> (
+      match Lint_ast.flatten_lid txt with
+      | Some p -> Some (Lint_ast.last_of p)
+      | None -> None)
+  | _ -> None
+
+(* Last positional (unlabelled) argument — the lock in
+   [Sync.mutex_lock sys m] and [umutex_lock u] alike. *)
+let lock_arg args =
+  let positional =
+    List.filter_map
+      (fun (lbl, a) ->
+        match lbl with Asttypes.Nolabel -> Some a | _ -> None)
+      args
+  in
+  match List.rev positional with a :: _ -> Some a | [] -> None
+
+type acquires = {
+  aq_direct : (string * Location.t) list;  (* tokens this fn acquires *)
+  aq_pending : (string * string * Location.t) list;
+      (* (held token, callee key, loc): edges to expand transitively *)
+}
+
+let path_matches e targets =
+  match Lint_ast.path_of_expr e with
+  | Some p -> Lint_ast.matches_any ~path:p targets
+  | None -> false
+
+let is_with_lock e =
+  match Lint_ast.path_of_expr e with
+  | Some p ->
+      let l = Lint_ast.last_of p in
+      l = "with_lock"
+      || String.length l > 10
+         && String.sub l (String.length l - 10) 10 = "_with_lock"
+  | None -> false
+
+(* Walk a body in syntactic order with a held-lock stack; returns direct
+   acquisitions, first-order edges and pending interprocedural ones. *)
+let scan_fn resolve (fn : Lint_graph.fn) =
+  let held = ref [] in
+  let direct = ref [] and edges = ref [] and pending = ref [] in
+  let acquire tok loc =
+    List.iter
+      (fun (h, _) -> edges := { e_from = h; e_to = tok; e_loc = loc } :: !edges)
+      !held;
+    direct := (tok, loc) :: !direct;
+    held := (tok, loc) :: !held
+  in
+  let release tok = held := List.filter (fun (h, _) -> h <> tok) !held in
+  let rec go e =
+    match e.pexp_desc with
+    | Pexp_apply (head, args) when path_matches head acquire_targets -> (
+        List.iter (fun (_, a) -> go a) args;
+        match Option.bind (lock_arg args) token_of_expr with
+        | Some tok -> acquire tok e.pexp_loc
+        | None -> ())
+    | Pexp_apply (head, args) when path_matches head release_targets -> (
+        List.iter (fun (_, a) -> go a) args;
+        match Option.bind (lock_arg args) token_of_expr with
+        | Some tok -> release tok
+        | None -> ())
+    | Pexp_apply (head, args) when is_with_lock head -> (
+        (* with_lock l (fun () -> body): hold l around the closure *)
+        let tok =
+          match
+            List.find_opt
+              (fun (_, a) ->
+                match a.pexp_desc with
+                | Pexp_fun _ | Pexp_function _ -> false
+                | _ -> token_of_expr a <> None)
+              args
+          with
+          | Some (_, a) -> token_of_expr a
+          | None -> None
+        in
+        match tok with
+        | Some tok ->
+            let saved = !held in
+            acquire tok e.pexp_loc;
+            List.iter
+              (fun (_, a) ->
+                match a.pexp_desc with
+                | Pexp_fun _ | Pexp_function _ -> go a
+                | _ -> ())
+              args;
+            held := saved
+        | None -> List.iter (fun (_, a) -> go a) args)
+    | Pexp_apply (head, args) -> (
+        (match Lint_ast.path_of_expr head with
+        | Some p when !held <> [] -> (
+            match resolve p with
+            | Some key ->
+                List.iter
+                  (fun (h, _) -> pending := (h, key, e.pexp_loc) :: !pending)
+                  !held
+            | None -> ())
+        | _ -> ());
+        go head;
+        let sink =
+          match Lint_ast.path_of_expr head with
+          | Some p -> Lint_graph.sink_of p
+          | None -> None
+        in
+        List.iter
+          (fun (_, a) ->
+            match (sink, a.pexp_desc) with
+            | Some _, (Pexp_fun _ | Pexp_function _) ->
+                (* spawned threads / deferred callbacks start with no
+                   locks held — walking them inline would invent
+                   self-deadlocks between sibling closures *)
+                let saved = !held in
+                held := [];
+                go a;
+                held := saved
+            | _ -> go a)
+          args)
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+        go scrut;
+        let saved = !held in
+        List.iter
+          (fun c ->
+            held := saved;
+            Option.iter go c.pc_guard;
+            go c.pc_rhs)
+          cases;
+        held := saved
+    | Pexp_ifthenelse (c, t, f) ->
+        go c;
+        let saved = !held in
+        go t;
+        held := saved;
+        Option.iter go f;
+        held := saved
+    | _ ->
+        let it =
+          { Ast_iterator.default_iterator with expr = (fun _ e -> go e) } in
+        Ast_iterator.default_iterator.expr it e
+  in
+  go fn.Lint_graph.fn_body;
+  (List.rev !direct, List.rev !edges, List.rev !pending)
+
+let check (g : Lint_graph.t) =
+  (* Per-function scan. *)
+  let per_fn = Hashtbl.create 64 in
+  let all_edges = ref [] in
+  Lint_graph.iter_fns g (fun fn ->
+      let fc_resolve p =
+        (* calls were already resolved during graph build; reuse them by
+           position-independent lookup on the textual path *)
+        List.find_map
+          (fun c ->
+            if c.Lint_graph.c_path = p then c.Lint_graph.c_key else None)
+          fn.Lint_graph.fn_calls
+      in
+      let direct, edges, pending = scan_fn fc_resolve fn in
+      Hashtbl.replace per_fn fn.Lint_graph.fn_key (direct, pending);
+      all_edges := edges @ !all_edges);
+  (* Transitive acquisitions: tokens a function may take, directly or via
+     callees. *)
+  let acq = Hashtbl.create 64 in
+  Lint_graph.iter_fns g (fun fn ->
+      let direct, _ =
+        try Hashtbl.find per_fn fn.Lint_graph.fn_key with Not_found -> ([], [])
+      in
+      Hashtbl.replace acq fn.Lint_graph.fn_key
+        (List.map fst direct |> List.sort_uniq compare));
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Lint_graph.iter_fns g (fun fn ->
+        let mine =
+          try Hashtbl.find acq fn.Lint_graph.fn_key with Not_found -> []
+        in
+        let extra =
+          List.concat_map
+            (fun c ->
+              match c.Lint_graph.c_key with
+              | Some k -> ( try Hashtbl.find acq k with Not_found -> [])
+              | None -> [])
+            fn.Lint_graph.fn_calls
+        in
+        let merged = List.sort_uniq compare (mine @ extra) in
+        if merged <> mine then (
+          Hashtbl.replace acq fn.Lint_graph.fn_key merged;
+          changed := true))
+  done;
+  (* Expand pending (held, callee) pairs into edges. *)
+  Hashtbl.iter
+    (fun _ (_, pending) ->
+      List.iter
+        (fun (h, callee, loc) ->
+          let toks = try Hashtbl.find acq callee with Not_found -> [] in
+          List.iter
+            (fun t ->
+              all_edges := { e_from = h; e_to = t; e_loc = loc } :: !all_edges)
+            toks)
+        pending)
+    per_fn;
+  (* Cycle detection over the acquisition graph.  Edges are deduped per
+     (from, to, file) and cycles reported per closing file, so a
+     deliberately-seeded (and [@machlint.allow]ed) cycle in one file
+     cannot mask the same-shaped cycle somewhere real. *)
+  let file_of e = e.e_loc.Location.loc_start.Lexing.pos_fname in
+  let edges =
+    List.sort_uniq
+      (fun a b ->
+        compare (a.e_from, a.e_to, file_of a) (b.e_from, b.e_to, file_of b))
+      !all_edges
+  in
+  let succs tok =
+    List.filter (fun e -> e.e_from = tok && e.e_to <> e.e_from) edges
+  in
+  let findings = ref [] in
+  let reported = ref [] in
+  let report cycle loc =
+    let canon =
+      (List.sort_uniq compare cycle, loc.Location.loc_start.Lexing.pos_fname)
+    in
+    if not (List.mem canon !reported) then (
+      reported := canon :: !reported;
+      findings :=
+        Lint_report.make ~rule:Lint_report.rule_lockorder ~loc
+          (Printf.sprintf
+             "lock acquisition cycle: %s (machcheck: wait-for-graph); pick \
+              one order and stick to it"
+             (String.concat " -> " (cycle @ [ List.hd cycle ])))
+        :: !findings)
+  in
+  let nodes =
+    List.sort_uniq compare
+      (List.concat_map (fun e -> [ e.e_from; e.e_to ]) edges)
+  in
+  List.iter
+    (fun start ->
+      let rec dfs path e =
+        if e.e_to = start then report (List.rev path) e.e_loc
+        else if not (List.mem e.e_to path) then
+          List.iter (dfs (e.e_to :: path)) (succs e.e_to)
+      in
+      List.iter (dfs [ start ]) (succs start))
+    nodes;
+  (* Self-cycles (re-acquiring a held lock) read better as their own
+     message. *)
+  List.iter
+    (fun e ->
+      if e.e_from = e.e_to then
+        findings :=
+          Lint_report.make ~rule:Lint_report.rule_lockorder ~loc:e.e_loc
+            (Printf.sprintf
+               "lock %s re-acquired while already held (self-deadlock)"
+               e.e_from)
+          :: !findings)
+    edges;
+  List.rev !findings

@@ -369,8 +369,9 @@ let step t i th =
 
 (* Deliver every pending message to CPU [i]: one interrupt entry per
    batch, a short decode per message, and the receiver's clock can never
-   observe a message before its send time. *)
-let drain_ipiq t i =
+   observe a message before its send time.  Runs at interrupt level: it
+   must never call anything that can put the current thread to sleep. *)
+let[@machlint.no_block] drain_ipiq t i =
   let pc = t.percpu.(i) in
   if not (Queue.is_empty pc.pc_ipiq) then begin
     let cpu = Machine.nth_cpu t.machine i in

@@ -189,8 +189,14 @@ let dos_sleep t p ~cycles =
 
 let dos_exit t p =
   charge_doscall t ~bytes:96 ();
-  ignore
-    (Mach.Rpc.call t.kernel.Mach.Kernel.sys t.os2_port
-       (simple_message ~inline_bytes:8 ~payload:(OS2_exit p.p_pid) ()))
+  match
+    Mach.Rpc.call t.kernel.Mach.Kernel.sys t.os2_port
+      (simple_message ~inline_bytes:8 ~payload:(OS2_exit p.p_pid) ())
+  with
+  | Ok { msg_payload = OS2_r_ok; _ } -> ()
+  | Ok { msg_payload = P_error _; _ } ->
+      (* exit is best-effort: the server may already have torn us down *)
+      ()
+  | Ok _ | Error _ -> ()
 
 let doscalls_region t = t.doscalls

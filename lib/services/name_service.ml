@@ -135,11 +135,13 @@ let bind t ~path ?(attributes = []) ?target () =
       (NS_bind { ns_path = path; ns_attributes = attributes; ns_target = target })
   with
   | NS_r_ok ok -> ok
+  | P_error _ -> false  (* transport or server failure, surfaced explicitly *)
   | _ -> false
 
 let resolve t ~path =
   match rpc t ~op:op_resolve ~path ~extra:0 (NS_resolve path) with
   | NS_r_entry e -> e
+  | P_error _ -> None
   | _ -> None
 
 let resolve_port t ~path =
@@ -148,6 +150,7 @@ let resolve_port t ~path =
 let unbind t ~path =
   match rpc t ~op:op_unbind ~path ~extra:0 (NS_unbind path) with
   | NS_r_ok ok -> ok
+  | P_error _ -> false
   | _ -> false
 
 let list_children t ~path =

@@ -1,0 +1,17 @@
+(* Known-bad fixture: port-linearity.
+   Fixtures only need to PARSE — they are never compiled; machlint's
+   fixture tests lint them file by file and expect the named rule. *)
+
+let use_after_remap sys buf =
+  ignore (Vm.remap_move sys ~src_task:t ~dst_task:t ~addr:buf ~bytes:4096);
+  (* [buf]'s pages are zero-fill now: this read is a use-after-donation *)
+  Bytes.get buf 0
+
+let use_after_ool_move port buf =
+  ignore (Ipc.send port ~ool:(buf, 64, Move));
+  (* the Move descriptor donated [buf] with the message *)
+  Bytes.length buf
+
+let double_move sys buf =
+  ignore (Vm.remap_move sys ~src_task:t ~dst_task:t ~addr:buf ~bytes:4096);
+  ignore (Vm.remap_move sys ~src_task:t ~dst_task:t ~addr:buf ~bytes:4096)

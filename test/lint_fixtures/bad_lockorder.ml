@@ -1,0 +1,20 @@
+(* Known-bad fixture: lock-order.
+   Two functions acquire the same pair of locks in opposite orders —
+   the classic ABBA cycle — and one re-acquires a lock it still holds. *)
+
+let ab sys a b =
+  ignore (Sync.mutex_lock sys a);
+  ignore (Sync.mutex_lock sys b);
+  Sync.mutex_unlock sys b;
+  Sync.mutex_unlock sys a
+
+let ba sys a b =
+  ignore (Sync.mutex_lock sys b);
+  ignore (Sync.mutex_lock sys a);
+  Sync.mutex_unlock sys a;
+  Sync.mutex_unlock sys b
+
+let self_deadlock sys a =
+  ignore (Sync.mutex_lock sys a);
+  ignore (Sync.mutex_lock sys a);
+  Sync.mutex_unlock sys a

@@ -1,0 +1,12 @@
+(* Known-bad fixture: bench provenance.
+   A BENCH writer that emits the experiment header with no
+   schema_version and no Run_meta block, and a raw open_out of a
+   BENCH_*.json that routes through no builder. *)
+
+let bare_header oc name =
+  Printf.fprintf oc "{ \"experiment\": %S }\n" name
+
+let raw_writer rows =
+  let oc = open_out "BENCH_fixture.json" in
+  List.iter (fun r -> Printf.fprintf oc "%d\n" r) rows;
+  close_out oc

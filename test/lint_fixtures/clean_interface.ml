@@ -1,0 +1,22 @@
+(* Known-clean fixture: interface completeness.
+   Every sendable constructor has a handler, the payload match carries a
+   catch-all, and the txn-registering format also registers recovery. *)
+
+type payload += Fx_ping of int | Fx_pong of int
+
+let client port =
+  ignore (Ipc.send port (Fx_ping 1));
+  ignore (Ipc.send port (Fx_pong 2))
+
+let server port =
+  match Ipc.receive port ~timeout:None with
+  | Fx_ping n -> n
+  | Fx_pong n -> n
+  | _ ->
+      (* unknown vocabulary bounces as a generic error *)
+      0
+
+let format_table =
+  { vp_lookup = None;
+    vp_txn = Some run_in_txn;
+    vp_recover = Some replay_journal }

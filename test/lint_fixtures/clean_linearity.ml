@@ -1,0 +1,22 @@
+(* Known-clean fixture: port-linearity.
+   Donations followed only by the sanctioned cleanup, branch-local
+   moves, and shadowing — none of these may fire. *)
+
+let donate_then_drop sys buf =
+  ignore (Vm.remap_move sys ~src_task:t ~dst_task:t ~addr:buf ~bytes:4096);
+  (* deallocate is the one sanctioned touch of a dead name *)
+  Vm.deallocate sys buf
+
+let branch_local_move sys mode buf =
+  match mode with
+  | Move_mode ->
+      ignore (Vm.remap_move sys ~src_task:t ~dst_task:t ~addr:buf ~bytes:4096)
+  | Cow_mode ->
+      (* sibling arm: [buf] was not donated on this path *)
+      Bytes.get buf 0
+
+let shadowed sys buf =
+  ignore (Vm.remap_move sys ~src_task:t ~dst_task:t ~addr:buf ~bytes:4096);
+  let buf = Bytes.create 64 in
+  (* a fresh [buf]: the donation applied to the outer binding *)
+  Bytes.get buf 0

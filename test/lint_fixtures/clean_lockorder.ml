@@ -1,0 +1,29 @@
+(* Known-clean fixture: lock-order.
+   The same lock pairs, always in one global order; scoped combinators
+   and spawned-thread closures do not leak held state to siblings. *)
+
+let ab sys a b =
+  ignore (Sync.mutex_lock sys a);
+  ignore (Sync.mutex_lock sys b);
+  Sync.mutex_unlock sys b;
+  Sync.mutex_unlock sys a
+
+let also_ab sys a b =
+  ignore (Sync.mutex_lock sys a);
+  ignore (Sync.mutex_lock sys b);
+  Sync.mutex_unlock sys b;
+  Sync.mutex_unlock sys a
+
+let scoped sys a b =
+  cache_with_lock a (fun () -> work ());
+  cache_with_lock b (fun () -> work ())
+
+let sibling_threads k t sys a =
+  (* two spawned bodies each take [a]; neither holds it while the other
+     starts, so this is not a self-deadlock *)
+  Test_util.spawn k t "t1" (fun () ->
+      ignore (Sync.mutex_lock sys a);
+      Sync.mutex_unlock sys a);
+  Test_util.spawn k t "t2" (fun () ->
+      ignore (Sync.mutex_lock sys a);
+      Sync.mutex_unlock sys a)

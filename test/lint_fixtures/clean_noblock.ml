@@ -1,0 +1,20 @@
+(* Known-clean fixture: no-block.
+   The same contexts doing only legal work: queue math in the ISR,
+   non-blocking sends from the callback, and a txn body that waits on
+   the disk (a journal barrier) but never on IPC. *)
+
+let[@machlint.no_block] isr pc =
+  Queue.add Wake pc.pc_ipiq;
+  pc.pc_xmsgs <- pc.pc_xmsgs + 1
+
+let completion_posts eq sem =
+  Event_queue.schedule eq 5 (fun () ->
+      (* posting a semaphore never sleeps *)
+      Sync.semaphore_post sem)
+
+let txn_waits_on_disk d =
+  { txn_run = (fun () -> Disk.barrier d (fun () -> ())) }
+
+let thread_body_may_block sys port =
+  (* thread-spawn closures are ordinary thread bodies: free to block *)
+  thread_spawn sys (fun () -> ignore (Ipc.receive port ~timeout:None))

@@ -95,7 +95,7 @@ let test_downgrade () =
 
 (* --- deadlock detector: seeded known-bads ------------------------------- *)
 
-let test_mutex_abba_cycle () =
+let[@machlint.allow "lock-order"] test_mutex_abba_cycle () =
   let k, sys, chk = checked_kernel () in
   let t = Mach.Sched.task_create sys ~name:"app" () in
   let m1 = Mach.Sync.mutex_create sys ~name:"m1" in
@@ -279,7 +279,7 @@ let test_buffer_clean_traffic () =
 
 (* --- remap checker: seeded known-bads ------------------------------------ *)
 
-let test_remap_double_move () =
+let[@machlint.allow "port-linearity"] test_remap_double_move () =
   let k, sys, chk = checked_kernel () in
   let src = Mach.Sched.task_create sys ~name:"donor" () in
   let dst = Mach.Sched.task_create sys ~name:"dst" () in
@@ -300,7 +300,7 @@ let test_remap_double_move () =
       Alcotest.failf "expected exactly one double-move finding, got %d"
         (List.length fs)
 
-let test_remap_write_after_move () =
+let[@machlint.allow "port-linearity"] test_remap_write_after_move () =
   let k, sys, chk = checked_kernel () in
   let src = Mach.Sched.task_create sys ~name:"scribbler" () in
   let dst = Mach.Sched.task_create sys ~name:"dst" () in

@@ -299,7 +299,7 @@ let rights_conservation =
    read the stamp the sender wrote, a move must leave the sender with
    zero-fill memory, and post-transfer writes on either side must stay
    private — page remapping is an optimization, never a channel. *)
-let remap_transfer_correct =
+let[@machlint.allow "port-linearity"] remap_transfer_correct =
   QCheck.Test.make ~name:"remap transfers deliver stamps and never alias"
     ~count:30
     QCheck.(

@@ -139,7 +139,7 @@ let test_ipi_wakes_remote_cpu () =
 
 (* --- Machcheck: cross-CPU deadlock --------------------------------------- *)
 
-let test_cross_cpu_deadlock_annotated () =
+let[@machlint.allow "lock-order"] test_cross_cpu_deadlock_annotated () =
   (* the classic AB-BA cycle, except the two threads live on different
      CPUs: the wait-cycle finding must name the CPUs involved *)
   let k = Test_util.kernel_on ~config:(smp_config 2) () in
