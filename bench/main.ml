@@ -282,6 +282,56 @@ let vfs_walk () =
     || findings > 0
   then exit 1
 
+(* --- net-storm: the C1M workload against the netisr-sharded netserver --------- *)
+
+let net_storm () =
+  hr "net-storm: sharded netserver under firehose, skew, churn and floods";
+  let r = Workloads.Net_storm.run ~checks:true () in
+  let open Workloads.Net_storm in
+  Printf.printf
+    "%d endpoints, %d simulated clients, %d packets/point of %d bytes; %d \
+     sessions/CPU; %d flood SYNs\n\n"
+    r.nr_endpoints r.nr_clients r.nr_packets r.nr_bytes r.nr_sessions
+    r.nr_flood_syns;
+  Printf.printf "%-10s %5s %9s %12s %12s %8s %9s %9s %9s %6s %6s %6s %7s %6s %5s %7s\n"
+    "phase" "ncpus" "ops" "wall cycles" "ops/Mcycle" "speedup" "p50" "p99"
+    "fairness" "syn" "wire" "reap" "peak" "retry" "lost" "xshard";
+  List.iter
+    (fun p ->
+      Printf.printf
+        "%-10s %5d %9d %12d %12.1f %7.2fx %9d %9d %9.2f %6d %6d %6d %7d %6d %5d %7d\n"
+        p.np_phase p.np_ncpus p.np_ops p.np_wall_cycles p.np_throughput
+        p.np_speedup p.np_p50_cycles p.np_p99_cycles p.np_fairness
+        p.np_syn_drops p.np_wire_drops p.np_reaped p.np_half_open_peak
+        p.np_retries p.np_lost_acked p.np_xshard_msgs)
+    r.nr_points;
+  (match r.nr_check with
+  | Some rep ->
+      Printf.printf "\nmachcheck:\n%s\n"
+        (Format.asprintf "%a" Check.pp_report rep)
+  | None -> ());
+  let speedup = steady_speedup r ~ncpus:4 in
+  let tail = skew_tail_ratio r in
+  let lost = total_lost r in
+  let findings =
+    match r.nr_check with Some rep -> Check.total_findings rep | None -> 0
+  in
+  Printf.printf
+    "\nsteady packets/sec at 4 CPUs: %.2fx of 1 CPU (acceptance: >= 2.50x)\n\
+     worst skewed p99/p50: %.2f (acceptance: <= 3.00)\n\
+     lost acknowledged operations: %d (acceptance: 0)\n\
+     machcheck findings: %d (acceptance: 0)\n"
+    speedup tail lost findings;
+  let json = to_json r in
+  let oc = open_out "BENCH_net.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_net.json\n";
+  if
+    (List.mem 4 r.nr_cpus && speedup < 2.5)
+    || tail > 3.0 || lost > 0 || findings > 0
+  then exit 1
+
 (* --- ab: regression diff between two BENCH_*.json runs ------------------------ *)
 
 let bench_ab ~a ~b ~threshold =
@@ -302,6 +352,10 @@ let machcheck () =
   let flt = Workloads.Fault_sweep.run ~checks:true () in
   let rcv = Workloads.Recovery_sweep.run ~ops:8 ~max_points:32 ~checks:true () in
   let vfw = Workloads.Vfs_walk.run ~checks:true () in
+  let net =
+    Workloads.Net_storm.run ~cpus:[ 1; 4 ] ~endpoints:8 ~clients:400
+      ~packets:1_200 ~sessions:4 ~flood_syns:48 ~victim_ops:3 ~checks:true ()
+  in
   let print name = function
     | Some rep ->
         Printf.printf "%s:\n%s\n" name
@@ -312,6 +366,7 @@ let machcheck () =
   print "fault-sweep" flt.Workloads.Fault_sweep.r_check;
   print "recovery-sweep" rcv.Workloads.Recovery_sweep.r_check;
   print "vfs-walk" vfw.Workloads.Vfs_walk.r_check;
+  print "net-storm" net.Workloads.Net_storm.nr_check;
   let total =
     List.fold_left
       (fun acc -> function
@@ -323,6 +378,7 @@ let machcheck () =
         flt.Workloads.Fault_sweep.r_check;
         rcv.Workloads.Recovery_sweep.r_check;
         vfw.Workloads.Vfs_walk.r_check;
+        net.Workloads.Net_storm.nr_check;
       ]
   in
   let b = Buffer.create 512 in
@@ -343,7 +399,10 @@ let machcheck () =
       Printf.bprintf b "    \"recovery-sweep\": %s,\n" (Check.to_json rep)
   | None -> ());
   (match vfw.Workloads.Vfs_walk.r_check with
-  | Some rep -> Printf.bprintf b "    \"vfs-walk\": %s\n" (Check.to_json rep)
+  | Some rep -> Printf.bprintf b "    \"vfs-walk\": %s,\n" (Check.to_json rep)
+  | None -> ());
+  (match net.Workloads.Net_storm.nr_check with
+  | Some rep -> Printf.bprintf b "    \"net-storm\": %s\n" (Check.to_json rep)
   | None -> ());
   Buffer.add_string b "  }\n}\n";
   let oc = open_out "BENCH_check.json" in
@@ -627,6 +686,7 @@ let experiments =
     ("recovery-sweep", recovery_sweep);
     ("smp-scaling", smp_scaling);
     ("vfs-walk", vfs_walk);
+    ("net-storm", net_storm);
     ("machcheck", machcheck);
     ("figure1", figure1);
     ("fileserver-factor", fileserver_factor);
@@ -677,6 +737,15 @@ let smoke () =
     Workloads.Vfs_walk.run ~depth:5 ~files:6 ~repeats:2 ~cpus:2 ~checks:true ()
   in
   write "BENCH_vfs.json" (Workloads.Vfs_walk.to_json vfw);
+  let net =
+    Workloads.Net_storm.run ~cpus:[ 1; 2 ] ~endpoints:6 ~clients:50
+      ~packets:400 ~sessions:2 ~flood_syns:30 ~victim_ops:2 ~checks:true ()
+  in
+  write "BENCH_net.json" (Workloads.Net_storm.to_json net);
+  if Workloads.Net_storm.total_lost net > 0 then begin
+    Printf.printf "net smoke lost acknowledged operations\n";
+    exit 1
+  end;
   if
     rcv.Workloads.Recovery_sweep.r_lost_writes > 0
     || rcv.Workloads.Recovery_sweep.r_torn_states > 0
@@ -696,6 +765,7 @@ let smoke () =
         rcv.Workloads.Recovery_sweep.r_check;
         smp.Workloads.Smp_scaling.r_check;
         vfw.Workloads.Vfs_walk.r_check;
+        net.Workloads.Net_storm.nr_check;
       ]
   in
   Printf.printf "machcheck findings across smoke runs: %d (expected 0)\n"

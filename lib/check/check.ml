@@ -41,6 +41,9 @@ type report = {
   rep_vnode_leaks : int;
   rep_ncache_shadowed : int;
   rep_ncache_stale : int;
+  rep_net_sockets : int;
+  rep_net_touches : int;
+  rep_net_crossings : int;
   rep_findings : finding list;
 }
 
@@ -112,6 +115,11 @@ type t = {
   mutable n_vn_uar : int;
   mutable n_vn_leak : int;
   mutable n_nc_stale : int;
+  (* netisr shard discipline: (space, socket uid) -> home shard *)
+  net_homes : (int * int, int) Hashtbl.t;
+  mutable net_sockets : int;
+  mutable net_touches : int;
+  mutable n_net_crossings : int;
 }
 
 let create () =
@@ -152,6 +160,10 @@ let create () =
     n_vn_uar = 0;
     n_vn_leak = 0;
     n_nc_stale = 0;
+    net_homes = Hashtbl.create 64;
+    net_sockets = 0;
+    net_touches = 0;
+    n_net_crossings = 0;
   }
 
 let new_space t =
@@ -614,6 +626,29 @@ let ncache_cleared t ~space =
   in
   List.iter (Hashtbl.remove t.nc_entries) keys
 
+(* --- netisr shard checker ------------------------------------------------- *)
+
+let net_socket_home t ~space ~sock ~shard =
+  t.net_sockets <- t.net_sockets + 1;
+  Hashtbl.replace t.net_homes (space, sock) shard
+
+let net_touched t ~space ~sock ~home ~shard =
+  t.net_touches <- t.net_touches + 1;
+  (* trust the registered home over the caller's claim, if we saw it *)
+  let home =
+    match Hashtbl.find_opt t.net_homes (space, sock) with
+    | Some h -> h
+    | None -> home
+  in
+  if shard <> home then begin
+    t.n_net_crossings <- t.n_net_crossings + 1;
+    record t ~checker:"net" ~kind:"shard-crossing"
+      (Printf.sprintf
+         "socket u%d (home shard %d) was touched by shard %d's protocol \
+          thread"
+         sock home shard)
+  end
+
 (* --- reporting ---------------------------------------------------------- *)
 
 let findings t = List.rev t.recorded
@@ -668,6 +703,9 @@ let report t =
     rep_vnode_leaks = t.n_vn_leak;
     rep_ncache_shadowed = t.ncache_shadowed;
     rep_ncache_stale = t.n_nc_stale;
+    rep_net_sockets = t.net_sockets;
+    rep_net_touches = t.net_touches;
+    rep_net_crossings = t.n_net_crossings;
     rep_findings = findings t @ leaks;
   }
 
@@ -677,6 +715,7 @@ let total_findings r =
   + r.rep_double_moves + r.rep_write_after_move + r.rep_mapout_evictions
   + r.rep_lost_writes + r.rep_torn_states + r.rep_vnode_ref_underflows
   + r.rep_vnode_use_after_reclaim + r.rep_vnode_leaks + r.rep_ncache_stale
+  + r.rep_net_crossings
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -721,6 +760,9 @@ let to_json r =
   field "vnode_leaks" r.rep_vnode_leaks;
   field "ncache_shadowed" r.rep_ncache_shadowed;
   field "ncache_stale" r.rep_ncache_stale;
+  field "net_sockets" r.rep_net_sockets;
+  field "net_touches" r.rep_net_touches;
+  field "net_shard_crossings" r.rep_net_crossings;
   field "total_findings" (total_findings r);
   Buffer.add_string b "\"findings\": [";
   List.iteri
@@ -745,7 +787,8 @@ let pp_report ppf r =
      mapout-eviction@,\
      crash    : %d point(s) checked, %d lost-write, %d torn-state@,\
      vnode    : %d shadowed, %d ref-underflow, %d use-after-reclaim, %d \
-     leaked-refs; ncache %d stored, %d stale@]"
+     leaked-refs; ncache %d stored, %d stale@,\
+     net      : %d socket(s), %d touches, %d shard-crossing@]"
     r.rep_spaces (total_findings r) r.rep_right_transitions r.rep_live_rights
     r.rep_leaked_rights r.rep_right_double_frees r.rep_right_downgrades
     r.rep_teardown_residual r.rep_blocks_tracked r.rep_wait_cycles
@@ -754,7 +797,7 @@ let pp_report ppf r =
     r.rep_mapout_evictions r.rep_crash_points r.rep_lost_writes
     r.rep_torn_states r.rep_vnodes_shadowed r.rep_vnode_ref_underflows
     r.rep_vnode_use_after_reclaim r.rep_vnode_leaks r.rep_ncache_shadowed
-    r.rep_ncache_stale;
+    r.rep_ncache_stale r.rep_net_sockets r.rep_net_touches r.rep_net_crossings;
   if r.rep_findings <> [] then begin
     Format.fprintf ppf "@.";
     List.iter

@@ -76,6 +76,10 @@ type report = {
   rep_vnode_leaks : int;  (* refs still held when a mount recovered *)
   rep_ncache_shadowed : int;  (* positive name-cache stores observed *)
   rep_ncache_stale : int;  (* cache hits that named a reclaimed vnode *)
+  (* netisr shard checker *)
+  rep_net_sockets : int;  (* socket home registrations observed *)
+  rep_net_touches : int;  (* per-packet socket touches observed *)
+  rep_net_crossings : int;  (* touches from a shard that is not home *)
   rep_findings : finding list;  (* oldest first; includes leak findings *)
 }
 
@@ -300,6 +304,20 @@ val ncache_invalidated :
 
 val ncache_cleared : t -> space:int -> unit
 (** The whole cache was dropped (recovery): purge the shadow store. *)
+
+(* --- netisr shard checker ------------------------------------------------- *)
+
+val net_socket_home : t -> space:int -> sock:int -> shard:int -> unit
+(** Socket [sock] (a lifetime-unique uid, not its reusable port number)
+    was created with its state homed on [shard]: from now on, only that
+    shard's protocol thread may touch it. *)
+
+val net_touched : t -> space:int -> sock:int -> home:int -> shard:int -> unit
+(** A packet-delivery path running in [shard]'s context touched [sock]
+    (whose home the caller believes is [home]; the registered home from
+    {!net_socket_home} wins if they disagree).  A touch from any shard
+    other than the home is a "shard-crossing" finding — the lock-free
+    discipline of the netisr model was violated. *)
 
 (* --- reporting ---------------------------------------------------------- *)
 

@@ -436,12 +436,42 @@ let steal_from pc =
     Some arr.(!idx)
   end
 
+(* Dispatch the highest-priority runnable thread; FIFO among equals, so
+   a queue of default-priority threads pops in exactly the old order.
+   Elevated priorities exist for protocol threads (netisrs): a server's
+   drain loop must not sit behind the user thread that just woke on the
+   same CPU, or rings back up behind the co-located producer. *)
 let rec pop_runnable q =
   match Queue.take_opt q with
   | None -> None
   | Some th -> (
       match th.state with
-      | Th_runnable -> Some th
+      | Th_runnable ->
+          let hi =
+            Queue.fold
+              (fun m t ->
+                if t.state = Th_runnable && t.priority > m then t.priority
+                else m)
+              th.priority q
+          in
+          if hi <= th.priority then Some th
+          else begin
+            (* pull the first runnable at priority [hi] out of the
+               queue; everything else keeps its relative order *)
+            let out = Queue.create () in
+            let chosen = ref None in
+            Queue.add th out;
+            Queue.iter
+              (fun t ->
+                match !chosen with
+                | None when t.state = Th_runnable && t.priority = hi ->
+                    chosen := Some t
+                | None | Some _ -> Queue.add t out)
+              q;
+            Queue.clear q;
+            Queue.transfer out q;
+            !chosen
+          end
       | Th_running | Th_blocked _ | Th_terminated -> pop_runnable q)
 
 (* Choose the next CPU to dispatch: the conservative sequential

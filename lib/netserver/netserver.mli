@@ -7,13 +7,27 @@
     like the system the paper shipped; with [style:Coarse] it is the
     MK++-disciplined comparator (experiment E6).
 
+    Internally the server is sharded after DragonFly's netisr model:
+    packets hash by destination port (binds, SYNs) or connection id
+    (established traffic) to a fixed per-CPU protocol thread, so each
+    socket's state is touched by exactly one shard — lock-free by
+    construction, and checked at runtime by Machcheck's shard-crossing
+    assertion.  With one shard (any uniprocessor boot) the machinery is
+    inert and the server is cycle-identical to the original single-loop
+    implementation.
+
     The network itself is a loopback wire with fixed latency on the
     machine's event queue; endpoints are ports on the local stack. *)
 
 type t
 type socket
 
-val create : Mach.Kernel.t -> style:Finegrain.style -> t
+val create :
+  ?shards:int -> ?backlog:int -> Mach.Kernel.t -> style:Finegrain.style -> t
+(** [shards] defaults to the machine's CPU count; with more than one
+    shard a netisr thread is spawned per shard, affinity-bound to CPU
+    [shard mod ncpus].  [backlog] (default 64) bounds each listener's
+    pending-SYN queue: SYNs beyond it are refused ({!syn_drops}). *)
 
 val objects : t -> Finegrain.t
 (** The underlying object runtime (for footprint/dispatch statistics). *)
@@ -46,16 +60,28 @@ val udp_send_vec : t -> socket -> dst_port:int -> iov:int list -> unit
 val udp_recv : t -> socket -> int * int
 (** Blocks for the next datagram; returns [(source port, bytes)]. *)
 
+val try_recv : t -> socket -> (int * int) option
+(** Non-blocking {!udp_recv} / {!tcp_recv}: [None] when the socket's
+    receive queue is empty. *)
+
 val pending : socket -> int
 
 (** {1 TCP (minimal: handshake, in-order data)} *)
 
 val tcp_listen : t -> port:int -> (socket, string) result
 val tcp_accept : t -> socket -> socket
-(** Blocks for an incoming connection. *)
+(** Blocks for an incoming connection.  The child socket homes on the
+    hash of its connection id — often a different shard than the
+    listener's; the install travels over the cross-shard registry
+    protocol ({!cross_shard_accepts}). *)
 
 val tcp_connect : t -> dst_port:int -> (socket, string) result
 (** Blocks through the three-way handshake. *)
+
+val tcp_connect_start : t -> dst_port:int -> (socket, string) result
+(** Non-blocking connect: sends the SYN and returns immediately; poll
+    {!established}.  Storm drivers use this so a flooded (dropped) SYN
+    never wedges the calling thread. *)
 
 val tcp_send : t -> socket -> bytes:int -> unit
 val tcp_send_vec : t -> socket -> iov:int list -> unit
@@ -65,4 +91,72 @@ val tcp_recv : t -> socket -> int
 (** Blocks for the next in-order segment; returns its size. *)
 
 val established : socket -> bool
+
+val local_port : socket -> int
+(** The socket's bound local port (ephemeral ones are reused after
+    {!close} via the per-shard free lists). *)
+
 val close : t -> socket -> unit
+
+(** {1 Storm / attack harness} *)
+
+val inject_udp : t -> src_port:int -> dst_port:int -> bytes:int -> unit
+(** Inject a datagram as if a remote client sent it: the packet enters
+    at the wire edge — no transmit-side stack walk is charged, because
+    an external sender's stack runs on the client's hardware — and
+    delivery steers by the normal hash.  [src_port] is free-form, so
+    one generator can impersonate thousands of clients. *)
+
+val inject_syn : t -> src_port:int -> dst_port:int -> conn:int -> unit
+(** Inject a bare SYN no local socket backs: the accepting listener will
+    SYNACK into the void and the child sits half-open — the load of a
+    SYN storm or a slowloris client.  The caller owns conn-id
+    uniqueness; use ids far above the strided allocator (>= 1_000_000). *)
+
+val reap_half_open : t -> older_than:int -> int
+(** Close half-open (embryonic) connections older than [older_than]
+    cycles — the slowloris defence.  Returns the number reaped. *)
+
+val half_open : t -> int
+(** Connections currently mid-handshake (across all shards). *)
+
+val set_delivery_probe : t -> (int -> int -> unit) -> unit
+(** Call [f shard latency] for every packet processed, where [latency]
+    is home-shard CPU cycles from rx-ring entry (wire exit) to socket
+    delivery — the ring wait plus protocol processing the netserver
+    owns, excluding simulated wire travel and cross-CPU clock drift.
+    [shard] lets callers keep per-shard distributions. *)
+
+val clear_delivery_probe : t -> unit
+
+(** {1 Shard observability} *)
+
+val shard_count : t -> int
+val shard_delivered : t -> int array
+(** Packets each shard processed — the occupancy-fairness numerator. *)
+
+val shard_batches : t -> int array
+(** Netisr drain activations per shard (delivered/batches = batching). *)
+
+val shard_backlog : t -> int array
+(** Current rx-ring occupancy per shard — what a NIC driver would read
+    to apply ring-full backpressure.  All zeros when [shard_count] is 1
+    (the single-loop path delivers synchronously, no ring). *)
+
+val port_shard : t -> port:int -> int
+(** Which shard the steering hash assigns [port]'s traffic to — the
+    flow-to-netisr mapping a smart NIC or traffic generator would use
+    for per-queue accounting. *)
+
+val syn_drops : t -> int
+(** SYNs refused because the listener's backlog was full. *)
+
+val wire_drops : t -> int
+(** Packets lost to injected wire faults ({!Mach.Fault}). *)
+
+val reaped_half_open : t -> int
+val registry_messages : t -> int
+(** Cross-shard port-registry messages (bind/unbind/accept installs). *)
+
+val cross_shard_accepts : t -> int
+(** Accepted children whose home shard differs from the listener's. *)

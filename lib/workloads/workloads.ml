@@ -11,5 +11,6 @@ module Fault_sweep = Fault_sweep
 module Recovery_sweep = Recovery_sweep
 module Smp_scaling = Smp_scaling
 module Vfs_walk = Vfs_walk
+module Net_storm = Net_storm
 module Bench_ab = Bench_ab
 module Run_meta = Run_meta

@@ -19,4 +19,5 @@ let () =
       ("recovery", Test_recovery.suite);
       ("smp", Test_smp.suite);
       ("vfs", Test_vfs.suite);
+      ("net", Test_net.suite);
     ]

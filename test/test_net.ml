@@ -1,0 +1,316 @@
+(* The netisr-sharded netserver: single-loop golden identity, shard
+   equivalence (qcheck), SYN-flood backpressure, slowloris reaping,
+   O(1) ephemeral-port reuse, cross-shard accept steering, and the
+   Machcheck shard-crossing assertion. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let qtest = QCheck_alcotest.to_alcotest
+
+let smp_config n = Machine.Config.with_ncpus Machine.Config.pentium_133 ~n
+
+(* --- golden: ncpus=1 is byte-identical to the pre-shard server ----------- *)
+
+(* The exact script the pre-netisr single-loop implementation was run
+   under before the refactor; the expected numbers below are captures
+   from that build.  Any cycle-level deviation at one shard fails. *)
+let golden_script style =
+  let m = Machine.create Machine.Config.pentium_133 in
+  let k = Mach.Kernel.boot m in
+  let net = Netserver.create k ~style in
+  let task = Mach.Kernel.task_create k ~name:"app" () in
+  Test_util.spawn k task "udp-echo" (fun () ->
+      match Netserver.udp_socket net ~port:7 with
+      | Error e -> failwith e
+      | Ok s ->
+          for _ = 1 to 20 do
+            let src, bytes = Netserver.udp_recv net s in
+            Netserver.udp_send net s ~dst_port:src ~bytes
+          done);
+  Test_util.spawn k task "udp-client" (fun () ->
+      match Netserver.udp_socket net ~port:2000 with
+      | Error e -> failwith e
+      | Ok s ->
+          for i = 1 to 20 do
+            Netserver.udp_send net s ~dst_port:7 ~bytes:(64 + (i * 13));
+            ignore (Netserver.udp_recv net s)
+          done;
+          (* vectored + zero-copy datagrams *)
+          Netserver.udp_send_vec net s ~dst_port:7 ~iov:[ 100; 200; 44 ];
+          Netserver.udp_send net s ~dst_port:9999 ~bytes:512 (* dropped *);
+          Netserver.udp_send net s ~dst_port:7 ~bytes:8192;
+          Netserver.udp_send_vec net s ~dst_port:7 ~iov:[ 4096; 4096; 512 ]);
+  Test_util.spawn k task "tcp-server" (fun () ->
+      match Netserver.tcp_listen net ~port:80 with
+      | Error e -> failwith e
+      | Ok l ->
+          for _ = 1 to 4 do
+            let c = Netserver.tcp_accept net l in
+            let n = Netserver.tcp_recv net c in
+            Netserver.tcp_send net c ~bytes:n;
+            ignore (Netserver.tcp_recv net c);
+            Netserver.close net c
+          done);
+  Test_util.spawn k task "tcp-client" (fun () ->
+      for i = 1 to 4 do
+        match Netserver.tcp_connect net ~dst_port:80 with
+        | Error e -> failwith e
+        | Ok c ->
+            Netserver.tcp_send net c ~bytes:(256 * i);
+            ignore (Netserver.tcp_recv net c);
+            Netserver.tcp_send_vec net c ~iov:[ 4096; 1024 ];
+            Netserver.close net c
+      done);
+  Mach.Kernel.run k;
+  ( Netserver.packets_processed net,
+    Netserver.checksum_bytes net,
+    Netserver.zero_copy_sends net,
+    Machine.now m,
+    Finegrain.vcalls (Netserver.objects net),
+    Finegrain.memory_footprint_bytes (Netserver.objects net) )
+
+let test_golden_coarse () =
+  let packets, checksummed, zc, now, vcalls, footprint =
+    golden_script Finegrain.Coarse
+  in
+  checki "packets" 136 packets;
+  checki "checksummed" 35336 checksummed;
+  checki "zc sends" 6 zc;
+  checki "cycles" 394308 now;
+  checki "vcalls" 616 vcalls;
+  checki "footprint" 49632 footprint
+
+let test_golden_fine () =
+  let packets, checksummed, zc, now, vcalls, footprint =
+    golden_script Finegrain.Fine_grained
+  in
+  checki "packets" 136 packets;
+  checki "checksummed" 35336 checksummed;
+  checki "zc sends" 6 zc;
+  checki "cycles" 1401958 now;
+  checki "vcalls" 2960 vcalls;
+  checki "footprint" 266240 footprint
+
+(* --- shard equivalence (qcheck) ------------------------------------------ *)
+
+(* A random packet script delivered through the 4-shard netisr path must
+   produce exactly the per-socket (src, bytes) sequences the one-shard
+   direct path produces: steering may reorder *across* sockets but a
+   socket's own arrival order is the wire order, shards or not. *)
+let run_script ~shards script =
+  let m = Machine.create (smp_config 4) in
+  let k = Mach.Kernel.boot m in
+  let net = Netserver.create ~shards k ~style:Finegrain.Coarse in
+  let nsocks = 6 in
+  let socks = Array.make nsocks None in
+  let task = Mach.Kernel.task_create k ~name:"script" () in
+  Test_util.spawn k task "driver" (fun () ->
+      for i = 0 to nsocks - 1 do
+        match Netserver.udp_socket net ~port:(100 + i) with
+        | Error e -> failwith e
+        | Ok s -> socks.(i) <- Some s
+      done;
+      List.iter
+        (fun (src, dst, bytes) ->
+          Netserver.inject_udp net ~src_port:(10_000 + src)
+            ~dst_port:(100 + (dst mod nsocks))
+            ~bytes:(1 + bytes))
+        script);
+  Mach.Kernel.run k;
+  Array.map
+    (fun s ->
+      match s with
+      | None -> []
+      | Some s ->
+          let rec drain acc =
+            match Netserver.try_recv net s with
+            | Some hit -> drain (hit :: acc)
+            | None -> List.rev acc
+          in
+          drain [])
+    socks
+
+let prop_shard_equivalence =
+  QCheck.Test.make ~name:"sharded delivery == single-loop delivery" ~count:30
+    QCheck.(
+      list_of_size Gen.(1 -- 120)
+        (triple (int_bound 500) (int_bound 31) (int_bound 9000)))
+    (fun script ->
+      let single = run_script ~shards:1 script in
+      let sharded = run_script ~shards:4 script in
+      single = sharded)
+
+(* --- SYN-flood backpressure ---------------------------------------------- *)
+
+let test_syn_flood_backpressure () =
+  let m = Machine.create Machine.Config.pentium_133 in
+  let k = Mach.Kernel.boot m in
+  let net = Netserver.create ~backlog:8 k ~style:Finegrain.Coarse in
+  let task = Mach.Kernel.task_create k ~name:"flood" () in
+  Test_util.spawn k task "listener" (fun () ->
+      match Netserver.tcp_listen net ~port:443 with
+      | Error e -> failwith e
+      | Ok _ -> ());
+  Test_util.spawn k task "attacker" (fun () ->
+      for i = 1 to 40 do
+        Netserver.inject_syn net ~src_port:(50_000 + i) ~dst_port:443
+          ~conn:(1_000_000 + i)
+      done);
+  Mach.Kernel.run k;
+  (* nobody accepts: the backlog holds 8 SYNs, the other 32 are refused
+     instead of growing server state without bound *)
+  checki "refused beyond the backlog" 32 (Netserver.syn_drops net);
+  checki "no half-open children (never accepted)" 0 (Netserver.half_open net)
+
+(* --- slowloris half-open reaping ----------------------------------------- *)
+
+let test_slowloris_reaping () =
+  let m = Machine.create Machine.Config.pentium_133 in
+  let k = Mach.Kernel.boot m in
+  let net = Netserver.create k ~style:Finegrain.Coarse in
+  let task = Mach.Kernel.task_create k ~name:"loris" () in
+  Test_util.spawn k task "server" (fun () ->
+      match Netserver.tcp_listen net ~port:80 with
+      | Error e -> failwith e
+      | Ok l ->
+          for _ = 1 to 6 do
+            (* the accepted children SYNACK into the void: the clients
+               never complete the handshake *)
+            ignore (Netserver.tcp_accept net l : Netserver.socket)
+          done);
+  Test_util.spawn k task "slowloris" (fun () ->
+      for i = 1 to 6 do
+        Netserver.inject_syn net ~src_port:(60_000 + i) ~dst_port:80
+          ~conn:(2_000_000 + i)
+      done);
+  Mach.Kernel.run k;
+  checki "six connections wedged half-open" 6 (Netserver.half_open net);
+  (* young connections survive a generous cutoff... *)
+  checki "nothing young reaped" 0
+    (Netserver.reap_half_open net ~older_than:100_000_000);
+  (* ...and the reaper claims every stale one *)
+  checki "all six reaped" 6 (Netserver.reap_half_open net ~older_than:0);
+  checki "table clean" 0 (Netserver.half_open net);
+  checki "reap counter" 6 (Netserver.reaped_half_open net)
+
+(* --- O(1) ephemeral ports under churn ------------------------------------ *)
+
+let test_port_reuse_under_churn () =
+  let m = Machine.create Machine.Config.pentium_133 in
+  let k = Mach.Kernel.boot m in
+  let net = Netserver.create k ~style:Finegrain.Coarse in
+  let task = Mach.Kernel.task_create k ~name:"churn" () in
+  let max_port = ref 0 in
+  Test_util.spawn k task "server" (fun () ->
+      match Netserver.tcp_listen net ~port:80 with
+      | Error e -> failwith e
+      | Ok l ->
+          for _ = 1 to 50 do
+            let c = Netserver.tcp_accept net l in
+            ignore (Netserver.tcp_recv net c);
+            Netserver.close net c
+          done);
+  Test_util.spawn k task "client" (fun () ->
+      for _ = 1 to 50 do
+        match Netserver.tcp_connect net ~dst_port:80 with
+        | Error e -> failwith e
+        | Ok c ->
+            max_port := max !max_port (Netserver.local_port c);
+            Netserver.tcp_send net c ~bytes:32;
+            Netserver.close net c
+      done);
+  Mach.Kernel.run k;
+  (* 50 open/close cycles, at most one connection live at a time: the
+     free lists recycle the same handful of ports instead of marching
+     through the ephemeral range *)
+  checkb "ports recycled, not burned"
+    true
+    (!max_port < 32768 + 8)
+
+(* --- cross-shard accept steering + shard-crossing checker ---------------- *)
+
+let test_sharded_tcp_and_checker_clean () =
+  let chk = Check.create () in
+  Check.install chk;
+  Fun.protect ~finally:Check.uninstall (fun () ->
+      let m = Machine.create (smp_config 4) in
+      let k = Mach.Kernel.boot m in
+      let net = Netserver.create k ~style:Finegrain.Coarse in
+      checki "one shard per cpu" 4 (Netserver.shard_count net);
+      let task = Mach.Kernel.task_create k ~name:"web" () in
+      let served = ref 0 in
+      Test_util.spawn k task "server" (fun () ->
+          match Netserver.tcp_listen net ~port:80 with
+          | Error e -> failwith e
+          | Ok l ->
+              for _ = 1 to 8 do
+                let c = Netserver.tcp_accept net l in
+                let n = Netserver.tcp_recv net c in
+                Netserver.tcp_send net c ~bytes:n;
+                Netserver.close net c
+              done);
+      Test_util.spawn k task "client" (fun () ->
+          for i = 1 to 8 do
+            match Netserver.tcp_connect net ~dst_port:80 with
+            | Error e -> failwith e
+            | Ok c ->
+                Netserver.tcp_send net c ~bytes:(64 * i);
+                ignore (Netserver.tcp_recv net c);
+                incr served;
+                Netserver.close net c
+          done);
+      Mach.Kernel.run k;
+      checki "all sessions served" 8 !served;
+      (* with 8 connections hashed over 4 shards some children must land
+         off the listener's shard, exercising the accept protocol *)
+      checkb "cross-shard accepts occurred" true
+        (Netserver.cross_shard_accepts net > 0);
+      checkb "registry protocol exercised" true
+        (Netserver.registry_messages net > 0);
+      let sum = Array.fold_left ( + ) 0 (Netserver.shard_delivered net) in
+      checkb "work spread over more than one shard" true
+        (Array.fold_left
+           (fun n d -> if d > 0 then n + 1 else n)
+           0 (Netserver.shard_delivered net)
+         > 1);
+      checkb "every packet processed by some shard" true (sum > 0);
+      let r = Check.report chk in
+      checkb "touches observed" true (r.Check.rep_net_touches > 0);
+      checki "no shard crossings" 0 r.Check.rep_net_crossings;
+      checki "no findings at all" 0 (Check.total_findings r))
+
+let test_seeded_shard_crossing_fires () =
+  (* known-bad: a socket homed on shard 0 touched from shard 2 must be a
+     finding — proves the assertion actually bites *)
+  let chk = Check.create () in
+  let sp = Check.new_space chk in
+  Check.net_socket_home chk ~space:sp ~sock:1 ~shard:0;
+  Check.net_touched chk ~space:sp ~sock:1 ~home:0 ~shard:0;
+  Check.net_touched chk ~space:sp ~sock:1 ~home:0 ~shard:2;
+  let r = Check.report chk in
+  checki "one crossing" 1 r.Check.rep_net_crossings;
+  checki "one finding" 1 (Check.total_findings r);
+  match r.Check.rep_findings with
+  | [ f ] ->
+      Alcotest.(check string) "checker" "net" f.Check.f_checker;
+      Alcotest.(check string) "kind" "shard-crossing" f.Check.f_kind
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+let suite =
+  [
+    Alcotest.test_case "golden: single-loop identity (coarse)" `Quick
+      test_golden_coarse;
+    Alcotest.test_case "golden: single-loop identity (fine)" `Quick
+      test_golden_fine;
+    qtest prop_shard_equivalence;
+    Alcotest.test_case "syn flood hits backlog backpressure" `Quick
+      test_syn_flood_backpressure;
+    Alcotest.test_case "slowloris half-opens are reaped" `Quick
+      test_slowloris_reaping;
+    Alcotest.test_case "ephemeral ports recycle O(1) under churn" `Quick
+      test_port_reuse_under_churn;
+    Alcotest.test_case "sharded tcp: cross-shard accepts, checker clean" `Quick
+      test_sharded_tcp_and_checker_clean;
+    Alcotest.test_case "seeded shard crossing is a finding" `Quick
+      test_seeded_shard_crossing_fires;
+  ]
