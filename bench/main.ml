@@ -332,6 +332,57 @@ let net_storm () =
     || tail > 3.0 || lost > 0 || findings > 0
   then exit 1
 
+(* --- fault-storm: availability under live kills, wedges and crash loops ------- *)
+
+let fault_storm () =
+  hr "fault-storm: shard micro-reboots, supervised crashes and wedges under load";
+  let r = Workloads.Fault_storm.run ~checks:true () in
+  let open Workloads.Fault_storm in
+  Printf.printf "seed %d\n\n" r.fr_seed;
+  Printf.printf
+    "%-12s %6s %6s %5s %9s %9s %8s %8s %4s %12s %9s %6s %4s %6s %6s %7s %9s\n"
+    "scenario" "ops" "done" "lost" "avail_in" "avail_out" "in" "out" "win"
+    "mttr_cyc" "restarts" "wkill" "deg" "drops" "reinc" "golden" "fastfail";
+  List.iter
+    (fun p ->
+      Printf.printf
+        "%-12s %6d %6d %5d %9.3f %9.3f %4d/%-3d %4d/%-3d %4d %12.0f %9d %6d \
+         %4d %6d %6d %7b %9d\n"
+        p.fp_scenario p.fp_ops p.fp_completed p.fp_lost p.fp_avail_in
+        p.fp_avail_out p.fp_in_ok p.fp_in_ops p.fp_out_ok p.fp_out_ops
+        p.fp_windows p.fp_mttr p.fp_restarts p.fp_wedge_kills p.fp_degraded
+        p.fp_reboot_drops p.fp_reincarnations p.fp_golden_ok
+        p.fp_fastfail_cycles)
+    r.fr_points;
+  (match r.fr_check with
+  | Some rep ->
+      Printf.printf "\nmachcheck:\n%s\n"
+        (Format.asprintf "%a" Check.pp_report rep)
+  | None -> ());
+  let lost = total_lost r in
+  let avail = min_availability r in
+  let golden = golden_ok r in
+  let fastfail = degraded_fastfail r in
+  let findings =
+    match r.fr_check with Some rep -> Check.total_findings rep | None -> 0
+  in
+  Printf.printf
+    "\nacked operations lost: %d (acceptance: 0)\n\
+     worst availability: %.3f (acceptance: >= 0.90)\n\
+     untouched shards golden: %b (acceptance: true)\n\
+     degraded fast-fail: %d cycles (acceptance: 0 <= x <= 100000)\n\
+     machcheck findings: %d (acceptance: 0)\n"
+    lost avail golden fastfail findings;
+  let json = to_json r in
+  let oc = open_out "BENCH_storm.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_storm.json\n";
+  if
+    lost > 0 || avail < 0.9 || (not golden) || fastfail < 0
+    || fastfail > 100_000 || findings > 0
+  then exit 1
+
 (* --- ab: regression diff between two BENCH_*.json runs ------------------------ *)
 
 let bench_ab ~a ~b ~threshold =
@@ -356,6 +407,10 @@ let machcheck () =
     Workloads.Net_storm.run ~cpus:[ 1; 4 ] ~endpoints:8 ~clients:400
       ~packets:1_200 ~sessions:4 ~flood_syns:48 ~victim_ops:3 ~checks:true ()
   in
+  let stm =
+    Workloads.Fault_storm.run ~endpoints:6 ~rounds:16 ~victim_ops:4 ~clients:2
+      ~sessions:2 ~checks:true ()
+  in
   let print name = function
     | Some rep ->
         Printf.printf "%s:\n%s\n" name
@@ -367,6 +422,7 @@ let machcheck () =
   print "recovery-sweep" rcv.Workloads.Recovery_sweep.r_check;
   print "vfs-walk" vfw.Workloads.Vfs_walk.r_check;
   print "net-storm" net.Workloads.Net_storm.nr_check;
+  print "fault-storm" stm.Workloads.Fault_storm.fr_check;
   let total =
     List.fold_left
       (fun acc -> function
@@ -379,6 +435,7 @@ let machcheck () =
         rcv.Workloads.Recovery_sweep.r_check;
         vfw.Workloads.Vfs_walk.r_check;
         net.Workloads.Net_storm.nr_check;
+        stm.Workloads.Fault_storm.fr_check;
       ]
   in
   let b = Buffer.create 512 in
@@ -402,7 +459,10 @@ let machcheck () =
   | Some rep -> Printf.bprintf b "    \"vfs-walk\": %s,\n" (Check.to_json rep)
   | None -> ());
   (match net.Workloads.Net_storm.nr_check with
-  | Some rep -> Printf.bprintf b "    \"net-storm\": %s\n" (Check.to_json rep)
+  | Some rep -> Printf.bprintf b "    \"net-storm\": %s,\n" (Check.to_json rep)
+  | None -> ());
+  (match stm.Workloads.Fault_storm.fr_check with
+  | Some rep -> Printf.bprintf b "    \"fault-storm\": %s\n" (Check.to_json rep)
   | None -> ());
   Buffer.add_string b "  }\n}\n";
   let oc = open_out "BENCH_check.json" in
@@ -687,6 +747,7 @@ let experiments =
     ("smp-scaling", smp_scaling);
     ("vfs-walk", vfs_walk);
     ("net-storm", net_storm);
+    ("fault-storm", fault_storm);
     ("machcheck", machcheck);
     ("figure1", figure1);
     ("fileserver-factor", fileserver_factor);
@@ -746,6 +807,19 @@ let smoke () =
     Printf.printf "net smoke lost acknowledged operations\n";
     exit 1
   end;
+  let stm =
+    Workloads.Fault_storm.run ~endpoints:6 ~rounds:16 ~victim_ops:3 ~clients:1
+      ~sessions:2 ~checks:true ()
+  in
+  write "BENCH_storm.json" (Workloads.Fault_storm.to_json stm);
+  if Workloads.Fault_storm.total_lost stm > 0 then begin
+    Printf.printf "fault storm smoke lost acked operations\n";
+    exit 1
+  end;
+  if not (Workloads.Fault_storm.golden_ok stm) then begin
+    Printf.printf "fault storm smoke: untouched shards diverged\n";
+    exit 1
+  end;
   if
     rcv.Workloads.Recovery_sweep.r_lost_writes > 0
     || rcv.Workloads.Recovery_sweep.r_torn_states > 0
@@ -766,6 +840,7 @@ let smoke () =
         smp.Workloads.Smp_scaling.r_check;
         vfw.Workloads.Vfs_walk.r_check;
         net.Workloads.Net_storm.nr_check;
+        stm.Workloads.Fault_storm.fr_check;
       ]
   in
   Printf.printf "machcheck findings across smoke runs: %d (expected 0)\n"

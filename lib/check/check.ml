@@ -44,6 +44,12 @@ type report = {
   rep_net_sockets : int;
   rep_net_touches : int;
   rep_net_crossings : int;
+  rep_reinc_kills : int;
+  rep_reinc_reboots : int;
+  rep_reinc_orphans : int;
+  rep_reinc_stale : int;
+  rep_reinc_residue : int;
+  rep_reinc_budget_exhausted : int;
   rep_findings : finding list;
 }
 
@@ -120,6 +126,17 @@ type t = {
   mutable net_sockets : int;
   mutable net_touches : int;
   mutable n_net_crossings : int;
+  (* reincarnation: (space, shard) dead set; (space, socket uid) -> home
+     shard for state that a killed shard held and its rebirth must
+     restore *)
+  reinc_dead : (int * int, unit) Hashtbl.t;
+  reinc_expected : (int * int, int) Hashtbl.t;
+  mutable reinc_kills : int;
+  mutable reinc_reboots : int;
+  mutable n_reinc_orphans : int;
+  mutable n_reinc_stale : int;
+  mutable n_reinc_residue : int;
+  mutable n_reinc_budget : int;
 }
 
 let create () =
@@ -164,6 +181,14 @@ let create () =
     net_sockets = 0;
     net_touches = 0;
     n_net_crossings = 0;
+    reinc_dead = Hashtbl.create 8;
+    reinc_expected = Hashtbl.create 64;
+    reinc_kills = 0;
+    reinc_reboots = 0;
+    n_reinc_orphans = 0;
+    n_reinc_stale = 0;
+    n_reinc_residue = 0;
+    n_reinc_budget = 0;
   }
 
 let new_space t =
@@ -649,6 +674,67 @@ let net_touched t ~space ~sock ~home ~shard =
          sock home shard)
   end
 
+(* --- reincarnation checker ------------------------------------------------ *)
+
+let reinc_shard_killed t ~space ~shard =
+  t.reinc_kills <- t.reinc_kills + 1;
+  Hashtbl.replace t.reinc_dead (space, shard) ()
+
+let reinc_expect t ~space ~shard ~sock =
+  Hashtbl.replace t.reinc_expected (space, sock) shard
+
+let reinc_restored t ~space ~shard ~sock =
+  match Hashtbl.find_opt t.reinc_expected (space, sock) with
+  | Some _ -> Hashtbl.remove t.reinc_expected (space, sock)
+  | None ->
+      t.n_reinc_stale <- t.n_reinc_stale + 1;
+      record t ~checker:"reinc" ~kind:"stale-registry"
+        (Printf.sprintf
+           "shard %d rebuilt socket u%d from a registry entry that matched \
+            nothing the dead shard held"
+           shard sock)
+
+let reinc_shard_reborn t ~space ~shard =
+  t.reinc_reboots <- t.reinc_reboots + 1;
+  Hashtbl.remove t.reinc_dead (space, shard);
+  let orphans =
+    Hashtbl.fold
+      (fun ((sp, sock) as k) home acc ->
+        if sp = space && home = shard then (k, sock) :: acc else acc)
+      t.reinc_expected []
+  in
+  List.iter
+    (fun (k, sock) ->
+      Hashtbl.remove t.reinc_expected k;
+      t.n_reinc_orphans <- t.n_reinc_orphans + 1;
+      record t ~checker:"reinc" ~kind:"orphaned-state"
+        (Printf.sprintf
+           "socket u%d was live in shard %d at its death and reincarnation \
+            did not restore it"
+           sock shard))
+    (List.sort compare orphans)
+
+let reinc_rights_residue t ~space:_ ~shard ~port ~pname =
+  t.n_reinc_residue <- t.n_reinc_residue + 1;
+  record t ~checker:"reinc" ~kind:"rights-residue"
+    (Printf.sprintf
+       "after shard %d's reboot the netserver still holds rights to %s(p%d) \
+        backing no live socket"
+       shard pname port)
+
+let reinc_budget_exhausted t ~space:_ ~path ~restarts =
+  t.n_reinc_budget <- t.n_reinc_budget + 1;
+  record t ~checker:"reinc" ~kind:"budget-exhausted"
+    (Printf.sprintf
+       "%s exhausted its restart budget after %d restart(s) and was demoted \
+        to degraded mode"
+       path restarts)
+
+let reinc_pending t ~space =
+  Hashtbl.fold
+    (fun (sp, _) _ acc -> if sp = space then acc + 1 else acc)
+    t.reinc_expected 0
+
 (* --- reporting ---------------------------------------------------------- *)
 
 let findings t = List.rev t.recorded
@@ -706,6 +792,12 @@ let report t =
     rep_net_sockets = t.net_sockets;
     rep_net_touches = t.net_touches;
     rep_net_crossings = t.n_net_crossings;
+    rep_reinc_kills = t.reinc_kills;
+    rep_reinc_reboots = t.reinc_reboots;
+    rep_reinc_orphans = t.n_reinc_orphans;
+    rep_reinc_stale = t.n_reinc_stale;
+    rep_reinc_residue = t.n_reinc_residue;
+    rep_reinc_budget_exhausted = t.n_reinc_budget;
     rep_findings = findings t @ leaks;
   }
 
@@ -715,7 +807,8 @@ let total_findings r =
   + r.rep_double_moves + r.rep_write_after_move + r.rep_mapout_evictions
   + r.rep_lost_writes + r.rep_torn_states + r.rep_vnode_ref_underflows
   + r.rep_vnode_use_after_reclaim + r.rep_vnode_leaks + r.rep_ncache_stale
-  + r.rep_net_crossings
+  + r.rep_net_crossings + r.rep_reinc_orphans + r.rep_reinc_stale
+  + r.rep_reinc_residue
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -763,6 +856,12 @@ let to_json r =
   field "net_sockets" r.rep_net_sockets;
   field "net_touches" r.rep_net_touches;
   field "net_shard_crossings" r.rep_net_crossings;
+  field "reinc_kills" r.rep_reinc_kills;
+  field "reinc_reboots" r.rep_reinc_reboots;
+  field "reinc_orphans" r.rep_reinc_orphans;
+  field "reinc_stale_registry" r.rep_reinc_stale;
+  field "reinc_rights_residue" r.rep_reinc_residue;
+  field "reinc_budget_exhausted" r.rep_reinc_budget_exhausted;
   field "total_findings" (total_findings r);
   Buffer.add_string b "\"findings\": [";
   List.iteri
@@ -788,7 +887,9 @@ let pp_report ppf r =
      crash    : %d point(s) checked, %d lost-write, %d torn-state@,\
      vnode    : %d shadowed, %d ref-underflow, %d use-after-reclaim, %d \
      leaked-refs; ncache %d stored, %d stale@,\
-     net      : %d socket(s), %d touches, %d shard-crossing@]"
+     net      : %d socket(s), %d touches, %d shard-crossing@,\
+     reinc    : %d kill(s), %d reboot(s), %d orphaned, %d stale-registry, %d \
+     rights-residue, %d budget-exhausted@]"
     r.rep_spaces (total_findings r) r.rep_right_transitions r.rep_live_rights
     r.rep_leaked_rights r.rep_right_double_frees r.rep_right_downgrades
     r.rep_teardown_residual r.rep_blocks_tracked r.rep_wait_cycles
@@ -797,7 +898,9 @@ let pp_report ppf r =
     r.rep_mapout_evictions r.rep_crash_points r.rep_lost_writes
     r.rep_torn_states r.rep_vnodes_shadowed r.rep_vnode_ref_underflows
     r.rep_vnode_use_after_reclaim r.rep_vnode_leaks r.rep_ncache_shadowed
-    r.rep_ncache_stale r.rep_net_sockets r.rep_net_touches r.rep_net_crossings;
+    r.rep_ncache_stale r.rep_net_sockets r.rep_net_touches r.rep_net_crossings
+    r.rep_reinc_kills r.rep_reinc_reboots r.rep_reinc_orphans r.rep_reinc_stale
+    r.rep_reinc_residue r.rep_reinc_budget_exhausted;
   if r.rep_findings <> [] then begin
     Format.fprintf ppf "@.";
     List.iter

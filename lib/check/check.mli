@@ -80,6 +80,16 @@ type report = {
   rep_net_sockets : int;  (* socket home registrations observed *)
   rep_net_touches : int;  (* per-packet socket touches observed *)
   rep_net_crossings : int;  (* touches from a shard that is not home *)
+  (* reincarnation checker *)
+  rep_reinc_kills : int;  (* shard kills observed *)
+  rep_reinc_reboots : int;  (* shard rebirths observed *)
+  rep_reinc_orphans : int;  (* dead-shard state a rebirth failed to restore *)
+  rep_reinc_stale : int;  (* registry entries restoring nothing real *)
+  rep_reinc_residue : int;  (* rights left behind after a shard reboot *)
+  rep_reinc_budget_exhausted : int;
+      (* supervised servers demoted to degraded mode (informational — a
+         policy outcome, not a safety violation, so it is excluded from
+         {!total_findings}) *)
   rep_findings : finding list;  (* oldest first; includes leak findings *)
 }
 
@@ -318,6 +328,39 @@ val net_touched : t -> space:int -> sock:int -> home:int -> shard:int -> unit
     {!net_socket_home} wins if they disagree).  A touch from any shard
     other than the home is a "shard-crossing" finding — the lock-free
     discipline of the netisr model was violated. *)
+
+(* --- reincarnation checker ------------------------------------------------ *)
+
+val reinc_shard_killed : t -> space:int -> shard:int -> unit
+(** A protocol shard was killed for micro-reboot. *)
+
+val reinc_expect : t -> space:int -> shard:int -> sock:int -> unit
+(** Socket [sock] (lifetime uid) was live in the killed shard: its
+    reincarnation must rebuild it, or it is orphaned state. *)
+
+val reinc_restored : t -> space:int -> shard:int -> sock:int -> unit
+(** The reborn shard rebuilt [sock] from the cross-shard registry.  If
+    nothing expected matches, the registry held a "stale-registry"
+    entry — state for a socket the dead shard no longer had. *)
+
+val reinc_shard_reborn : t -> space:int -> shard:int -> unit
+(** The shard finished reincarnating.  Every expected socket not
+    restored by now is an "orphaned-state" finding. *)
+
+val reinc_rights_residue :
+  t -> space:int -> shard:int -> port:int -> pname:string -> unit
+(** After the reboot the netserver still holds rights to a port backing
+    no live socket — a "rights-residue" finding. *)
+
+val reinc_budget_exhausted :
+  t -> space:int -> path:string -> restarts:int -> unit
+(** A supervised server burned through its windowed restart budget and
+    was demoted to degraded mode.  Recorded as a "budget-exhausted"
+    finding (visible in the finding list) but counted outside
+    {!total_findings}: demotion is the policy working as designed. *)
+
+val reinc_pending : t -> space:int -> int
+(** Expected-but-unrestored sockets outstanding (test hook). *)
 
 (* --- reporting ---------------------------------------------------------- *)
 

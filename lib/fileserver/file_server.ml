@@ -36,6 +36,8 @@ type t = {
   mutable m_pageouts : int;
   mutable fs_retry : retry option;
   mutable fs_last_recovery : recover_report option;  (* set per restart *)
+  mutable fs_beat : Mach.Health.beat;  (* fresh per incarnation *)
+  mutable fs_health : port;  (* heartbeat port, reallocated per restart *)
 }
 
 type payload +=
@@ -316,16 +318,29 @@ let start (kernel : Mach.Kernel.t) runtime fs_vfs ?(server_threads = 1) () =
           m_pageouts = 0;
           fs_retry = None;
           fs_last_recovery = None;
+          fs_beat = Mach.Health.beat ();
+          fs_health =
+            Mach.Port.allocate sys ~receiver:fs_task ~name:"file-health";
         }
       in
       for i = 1 to server_threads do
         let serving = t.fs_port in
+        let beat = t.fs_beat in
         ignore
           (Mach.Kernel.thread_spawn kernel fs_task
              ~name:(Printf.sprintf "fs-serve-%d" i) (fun () ->
-               Mach.Rpc.serve sys serving (handle t))
+               Mach.Rpc.serve sys ~beat serving (handle t))
             : thread)
       done;
+      (* the health thread answers pings off the beat alone: it stays
+         responsive while the serve threads are wedged, which is exactly
+         what lets the supervisor's watchdog see the wedge *)
+      let hp = t.fs_health in
+      let beat = t.fs_beat in
+      ignore
+        (Mach.Kernel.thread_spawn kernel fs_task ~name:"fs-health" (fun () ->
+             Mach.Rpc.serve sys hp (Mach.Health.handler beat))
+          : thread);
       t)
 
 (* Bring a crashed instance back: volatile state (the open-file table)
@@ -351,13 +366,27 @@ let restart t =
         Mach.Port.allocate sys ~receiver:t.fs_task ~name:"file-service"
       in
       t.fs_port <- fs_port;
+      (* a fresh beat per incarnation: a wedged old serve thread's stale
+         busy-since stamp must not get the replacement killed on its
+         first heartbeat *)
+      t.fs_beat <- Mach.Health.beat ();
+      if not t.fs_health.dead then Mach.Port.destroy sys t.fs_health;
+      t.fs_health <-
+        Mach.Port.allocate sys ~receiver:t.fs_task ~name:"file-health";
+      let beat = t.fs_beat in
       for i = 1 to t.fs_server_threads do
         ignore
           (Mach.Kernel.thread_spawn t.kernel t.fs_task
              ~name:(Printf.sprintf "fs-serve-%d.%d" t.fs_generation i)
-             (fun () -> Mach.Rpc.serve sys fs_port (handle t))
+             (fun () -> Mach.Rpc.serve sys ~beat fs_port (handle t))
             : thread)
       done;
+      let hp = t.fs_health in
+      ignore
+        (Mach.Kernel.thread_spawn t.kernel t.fs_task
+           ~name:(Printf.sprintf "fs-health.%d" t.fs_generation) (fun () ->
+             Mach.Rpc.serve sys hp (Mach.Health.handler beat))
+          : thread);
       fs_port)
 
 let set_retry t ?(attempts = 4) ?(deadline = 100_000) ?(backoff = 1_000)
@@ -374,6 +403,7 @@ let set_retry t ?(attempts = 4) ?(deadline = 100_000) ?(backoff = 1_000)
 let clear_retry t = t.fs_retry <- None
 
 let port t = t.fs_port
+let health_port t = t.fs_health
 let task t = t.fs_task
 let vfs t = t.fs_vfs
 let open_files t = Hashtbl.length t.opens

@@ -41,6 +41,12 @@ val set_retry :
 val clear_retry : t -> unit
 
 val port : t -> Mach.Ktypes.port
+
+(** The current incarnation's heartbeat port: a dedicated thread answers
+    {!Mach.Health.H_ping} from the serve loops' beat, so the
+    supervisor's watchdog can tell a wedged server from a busy one.
+    Reallocated (with a fresh beat) on every {!restart}. *)
+val health_port : t -> Mach.Ktypes.port
 val task : t -> Mach.Ktypes.task
 val vfs : t -> Vfs.t
 val open_files : t -> int

@@ -1,0 +1,44 @@
+(* Shared retry-backoff schedule.
+
+   Both [Ipc.call_retry] and [Rpc.call_retry] — and the supervisor's
+   restart pacing — used to grow their wait by unbounded doubling, and
+   every retrier doubled in lockstep: when a server died under load, all
+   of its clients slept the same schedule and stampeded it the instant
+   it came back.  A policy here caps the exponential and perturbs each
+   waiter's schedule with deterministic jitter from the same drand48
+   generator the fault planner uses, keyed on a caller-supplied seed
+   (thread id, entry index), so replays stay bit-exact while distinct
+   waiters spread out. *)
+
+type policy = { bo_base : int; bo_cap : int; bo_seed : int }
+
+let default_cap_factor = 64
+
+let policy ?cap ?(seed = 0) ~base () =
+  let base = max 1 base in
+  (* the cap scales with the base — six doublings — so a caller sizing
+     its base to span a known outage keeps its reach, while the old
+     unbounded doubling (which could sleep past any recovery) is gone *)
+  let cap =
+    match cap with Some c -> max 1 c | None -> base * default_cap_factor
+  in
+  { bo_base = base; bo_cap = cap; bo_seed = seed }
+
+(* drand48 step, as in [Fault]: bit-exact, process-independent. *)
+let lcg state = (state * 0x5DEECE66D + 0xB) land 0xFFFF_FFFF_FFFF
+
+(* Capped exponential: base * 2^(attempt-1), saturating at the cap
+   without ever overflowing on large attempt numbers. *)
+let raw_delay p ~attempt =
+  let rec go n acc =
+    if n <= 1 || acc >= p.bo_cap then acc else go (n - 1) (acc * 2)
+  in
+  min p.bo_cap (go (max 1 attempt) p.bo_base)
+
+let delay p ~attempt =
+  let wait = raw_delay p ~attempt in
+  (* jitter in [0, wait/4): two generator steps mix seed and attempt so
+     consecutive attempts of one waiter decorrelate too *)
+  let span = max 1 (wait / 4) in
+  let s = lcg (lcg ((p.bo_seed * 31) + attempt) land 0xFFFF_FFFF_FFFF) in
+  wait + (s lsr 17) mod span

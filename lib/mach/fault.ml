@@ -12,6 +12,7 @@
 type action =
   | Kill_port          (* destroy the service port after answering *)
   | Crash_server       (* destroy the port and abandon the in-flight request *)
+  | Wedge_server of int  (* live-but-stuck: hold this request for N cycles *)
   | Drop_message       (* lose the message in transit *)
   | Delay_message of int  (* hold the message for this many cycles *)
   | Power_cut          (* disk: freeze the media at this write *)
@@ -20,7 +21,7 @@ type action =
   | Reorder            (* disk: hold this write past later ones *)
 
 type message_decision = M_pass | M_drop | M_delay of int
-type server_decision = S_continue | S_kill | S_crash
+type server_decision = S_continue | S_kill | S_crash | S_wedge of int
 
 (* Disk decisions carry raw PRNG entropy; the device maps it into range
    (torn length, bit index, hold window) so the plan stays device-agnostic. *)
@@ -46,6 +47,8 @@ type t = {
   mutable f_disk_rules : rule list;  (* keyed on the per-disk write counter *)
   mutable f_port_filter : string option;  (* rates apply only to this port *)
   mutable f_crash_ppm : int;
+  mutable f_wedge_ppm : int;
+  mutable f_wedge_cycles : int;
   mutable f_drop_ppm : int;
   mutable f_delay_ppm : int;
   mutable f_delay_cycles : int;
@@ -59,6 +62,7 @@ type t = {
   f_disk_seen : (string, int) Hashtbl.t;
   mutable f_crashes : int;
   mutable f_kills : int;
+  mutable f_wedges : int;
   mutable f_drops : int;
   mutable f_delays : int;
   mutable f_power_cuts : int;
@@ -78,6 +82,8 @@ let create ?(seed = 1) () =
     f_disk_rules = [];
     f_port_filter = None;
     f_crash_ppm = 0;
+    f_wedge_ppm = 0;
+    f_wedge_cycles = 2_000_000;
     f_drop_ppm = 0;
     f_delay_ppm = 0;
     f_delay_cycles = 5_000;
@@ -91,6 +97,7 @@ let create ?(seed = 1) () =
     f_disk_seen = Hashtbl.create 8;
     f_crashes = 0;
     f_kills = 0;
+    f_wedges = 0;
     f_drops = 0;
     f_delays = 0;
     f_power_cuts = 0;
@@ -114,7 +121,7 @@ let draw_ppm t = next t lsr 17 mod 1_000_000
 
 let at_request t ~port ~n action =
   (match action with
-  | Kill_port | Crash_server -> ()
+  | Kill_port | Crash_server | Wedge_server _ -> ()
   | Drop_message | Delay_message _ ->
       invalid_arg "Fault.at_request: message actions belong to at_send"
   | Power_cut | Torn_write | Bit_rot | Reorder ->
@@ -126,7 +133,7 @@ let at_request t ~port ~n action =
 let at_send t ~port ~n action =
   (match action with
   | Drop_message | Delay_message _ -> ()
-  | Kill_port | Crash_server ->
+  | Kill_port | Crash_server | Wedge_server _ ->
       invalid_arg "Fault.at_send: server actions belong to at_request"
   | Power_cut | Torn_write | Bit_rot | Reorder ->
       invalid_arg "Fault.at_send: disk actions belong to at_disk_write");
@@ -137,15 +144,19 @@ let at_send t ~port ~n action =
 let at_disk_write t ~disk ~n action =
   (match action with
   | Power_cut | Torn_write | Bit_rot | Reorder -> ()
-  | Kill_port | Crash_server | Drop_message | Delay_message _ ->
+  | Kill_port | Crash_server | Wedge_server _ | Drop_message
+  | Delay_message _ ->
       invalid_arg "Fault.at_disk_write: only disk actions apply here");
   t.f_disk_rules <-
     { ru_port = disk; ru_at = n; ru_action = action; ru_fired = false }
     :: t.f_disk_rules
 
-let set_rates t ?port ?crash_ppm ?drop_ppm ?delay_ppm ?delay_cycles () =
+let set_rates t ?port ?crash_ppm ?wedge_ppm ?wedge_cycles ?drop_ppm ?delay_ppm
+    ?delay_cycles () =
   t.f_port_filter <- port;
   Option.iter (fun v -> t.f_crash_ppm <- v) crash_ppm;
+  Option.iter (fun v -> t.f_wedge_ppm <- v) wedge_ppm;
+  Option.iter (fun v -> t.f_wedge_cycles <- v) wedge_cycles;
   Option.iter (fun v -> t.f_drop_ppm <- v) drop_ppm;
   Option.iter (fun v -> t.f_delay_ppm <- v) delay_ppm;
   Option.iter (fun v -> t.f_delay_cycles <- v) delay_cycles
@@ -188,6 +199,11 @@ let on_request t ~port =
       t.f_crashes <- t.f_crashes + 1;
       record t ~port "crash";
       S_crash
+  | Some ({ ru_action = Wedge_server cycles; _ } as r) ->
+      r.ru_fired <- true;
+      t.f_wedges <- t.f_wedges + 1;
+      record t ~port "wedge";
+      S_wedge cycles
   | Some _ | None ->
       if
         t.f_crash_ppm > 0 && rates_apply t ~port
@@ -196,6 +212,14 @@ let on_request t ~port =
         t.f_crashes <- t.f_crashes + 1;
         record t ~port "crash";
         S_crash
+      end
+      else if
+        t.f_wedge_ppm > 0 && rates_apply t ~port
+        && draw_ppm t < t.f_wedge_ppm
+      then begin
+        t.f_wedges <- t.f_wedges + 1;
+        record t ~port "wedge";
+        S_wedge t.f_wedge_cycles
       end
       else S_continue
 
@@ -282,6 +306,7 @@ let on_disk_write t ~disk =
 
 let injected_crashes t = t.f_crashes
 let injected_kills t = t.f_kills
+let injected_wedges t = t.f_wedges
 let injected_drops t = t.f_drops
 let injected_delays t = t.f_delays
 let injected_power_cuts t = t.f_power_cuts

@@ -16,6 +16,10 @@ type action =
   | Crash_server
       (** destroy the service port and abandon the in-flight request
           (the client never gets a reply and must time out) *)
+  | Wedge_server of int
+      (** live-but-stuck: the server holds this request for the given
+          number of cycles before continuing.  The port stays alive, so
+          only a watchdog — not a dead-name notification — sees it *)
   | Drop_message  (** lose the message in transit *)
   | Delay_message of int  (** hold the message for this many cycles *)
   | Power_cut  (** disk: freeze the media at this write *)
@@ -24,7 +28,7 @@ type action =
   | Reorder  (** disk: hold this write past later ones *)
 
 type message_decision = M_pass | M_drop | M_delay of int
-type server_decision = S_continue | S_kill | S_crash
+type server_decision = S_continue | S_kill | S_crash | S_wedge of int
 
 (** Disk decisions carry raw entropy from the plan's generator; the
     device maps it into range (torn length, bit index, hold window). *)
@@ -42,8 +46,8 @@ val seed : t -> int
 
 val at_request : t -> port:string -> n:int -> action -> unit
 (** Script a server fault on the [n]th request (1-based) observed on the
-    named port.  Only {!Kill_port} and {!Crash_server} are valid here.
-    @raise Invalid_argument for message actions. *)
+    named port.  Only {!Kill_port}, {!Crash_server} and {!Wedge_server}
+    are valid here.  @raise Invalid_argument for message actions. *)
 
 val at_send : t -> port:string -> n:int -> action -> unit
 (** Script a message fault on the [n]th send (1-based) observed towards
@@ -57,7 +61,8 @@ val at_disk_write : t -> disk:string -> n:int -> action -> unit
     here.  @raise Invalid_argument for IPC actions. *)
 
 val set_rates :
-  t -> ?port:string -> ?crash_ppm:int -> ?drop_ppm:int -> ?delay_ppm:int ->
+  t -> ?port:string -> ?crash_ppm:int -> ?wedge_ppm:int ->
+  ?wedge_cycles:int -> ?drop_ppm:int -> ?delay_ppm:int ->
   ?delay_cycles:int -> unit -> unit
 (** Random injection rates in parts per million per event, drawn from
     the seeded generator.  [port] restricts the rates to one port name
@@ -81,6 +86,7 @@ val on_disk_write : t -> disk:string -> disk_decision
 
 val injected_crashes : t -> int
 val injected_kills : t -> int
+val injected_wedges : t -> int
 val injected_drops : t -> int
 val injected_delays : t -> int
 val injected_power_cuts : t -> int

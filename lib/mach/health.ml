@@ -1,0 +1,42 @@
+(* Health traps: the per-server progress state a reincarnation service
+   pings.
+
+   A [beat] is two words the server's RPC loop stamps for free:
+   requests completed, and when the request in hand began (-1 when
+   idle).  A dedicated health thread serves pings off a separate health
+   port and answers from the beat alone, so it stays responsive while
+   the main loop is wedged — and the pong's [busy_since] is exactly what
+   a per-request watchdog needs to see the wedge.  A dead health port
+   (or a ping timeout) means the whole task is gone, which the
+   supervisor's dead-name watch already covers. *)
+
+open Ktypes
+
+type beat = {
+  mutable hb_served : int;  (* requests completed by the main loop *)
+  mutable hb_busy_since : int;  (* global-cycle stamp of the request in
+                                   hand; -1 when the loop is idle *)
+}
+
+let beat () = { hb_served = 0; hb_busy_since = -1 }
+
+type payload +=
+  | H_ping
+  | H_pong of { hp_served : int; hp_busy_since : int }
+
+let op_ping = 0x6a
+
+let ping_msg () = simple_message ~op:op_ping ~inline_bytes:16 ~payload:H_ping ()
+
+(* The heartbeat handler: reads the beat, builds the pong.  It runs on
+   the health thread between a dequeue and a reply and must never park
+   that thread — a blocking health handler is indistinguishable from the
+   wedge it exists to detect. *)
+let[@machlint.no_block] handler (b : beat) (req : message) =
+  match req.msg_payload with
+  | H_ping ->
+      simple_message ~op:op_ping ~inline_bytes:16
+        ~payload:
+          (H_pong { hp_served = b.hb_served; hp_busy_since = b.hb_busy_since })
+        ()
+  | _ -> simple_message ~payload:(P_error Kern_invalid_argument) ()

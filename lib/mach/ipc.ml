@@ -272,29 +272,30 @@ let call (sys : Sched.t) ?deadline port mb =
 let call_retry (sys : Sched.t) ?(attempts = 4) ?(deadline = 100_000)
     ?(backoff = 1_000) ~resolve mb =
   let th = Sched.self () in
+  let policy = Backoff.policy ~seed:th.tid ~base:backoff () in
   let retryable = function
     | Kern_port_dead | Kern_timed_out | Kern_aborted -> true
     | _ -> false
   in
-  let rec go n wait last_err =
+  let rec go n last_err =
     if n > attempts then Error last_err
     else begin
       if n > 1 then begin
         sys.retry_attempts <- sys.retry_attempts + 1;
         (* user-level retry stub: back off, then re-resolve the name *)
         Ktext.exec_in sys.ktext th.t_task.text ~offset:0x1c0 ~bytes:96;
-        ignore (Clock.sleep_for sys ~cycles:wait)
+        ignore (Clock.sleep_for sys ~cycles:(Backoff.delay policy ~attempt:(n - 1)))
       end;
       match resolve () with
-      | None -> go (n + 1) (wait * 2) Kern_invalid_name
+      | None -> go (n + 1) Kern_invalid_name
       | Some port -> (
           match call sys ~deadline port mb with
           | Ok reply -> Ok reply
-          | Error err when retryable err -> go (n + 1) (wait * 2) err
+          | Error err when retryable err -> go (n + 1) err
           | Error err -> Error err)
     end
   in
-  go 1 backoff Kern_port_dead
+  go 1 Kern_port_dead
 
 let reply_cache_hits (sys : Sched.t) = sys.reply_cache_hits
 let reply_cache_misses (sys : Sched.t) = sys.reply_cache_misses
@@ -338,7 +339,12 @@ let serve (sys : Sched.t) port handler =
               | Some rp -> ignore (send sys rp (run_handler handler msg))
               | None -> ());
               Port.destroy sys port
-          | Fault.S_continue ->
+          | (Fault.S_continue | Fault.S_wedge _) as d ->
+              (match d with
+              | Fault.S_wedge cycles ->
+                  (* live-but-stuck: hold the request, stay receivable *)
+                  ignore (Clock.sleep_for sys ~cycles)
+              | _ -> ());
               let reply = run_handler handler msg in
               (match msg.msg_reply_to with
               | Some rp -> ignore (send sys rp reply)

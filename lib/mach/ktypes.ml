@@ -20,6 +20,9 @@ type kern_return =
   | Kern_not_receiver
   | Kern_resource_shortage
   | Kern_aborted
+  | Kern_unavailable
+      (* the service exists but is degraded (crash-looping, demoted by
+         the supervisor): fail fast instead of letting clients hang *)
 
 let kern_return_to_string = function
   | Kern_success -> "KERN_SUCCESS"
@@ -33,6 +36,7 @@ let kern_return_to_string = function
   | Kern_not_receiver -> "KERN_NOT_RECEIVER"
   | Kern_resource_shortage -> "KERN_RESOURCE_SHORTAGE"
   | Kern_aborted -> "KERN_ABORTED"
+  | Kern_unavailable -> "KERN_UNAVAILABLE"
 
 exception Kern_error of kern_return
 

@@ -4,7 +4,9 @@
 
 module Ktypes = Ktypes
 module Ktext = Ktext
+module Backoff = Backoff
 module Fault = Fault
+module Health = Health
 module Check = Check
 module Mcheck = Mcheck
 module Sched = Sched

@@ -180,29 +180,30 @@ let call (sys : Sched.t) port ?reply_bytes:_ ?deadline (mb : message_builder) =
 let call_retry (sys : Sched.t) ?(attempts = 4) ?(deadline = 100_000)
     ?(backoff = 1_000) ~resolve mb =
   let th = Sched.self () in
+  let policy = Backoff.policy ~seed:th.tid ~base:backoff () in
   let retryable = function
     | Kern_port_dead | Kern_timed_out | Kern_aborted -> true
     | _ -> false
   in
-  let rec go n wait last_err =
+  let rec go n last_err =
     if n > attempts then Error last_err
     else begin
       if n > 1 then begin
         sys.retry_attempts <- sys.retry_attempts + 1;
         (* user-level retry stub: back off, then re-resolve the name *)
         Ktext.exec_in sys.ktext th.t_task.text ~offset:0x1c0 ~bytes:96;
-        ignore (Clock.sleep_for sys ~cycles:wait)
+        ignore (Clock.sleep_for sys ~cycles:(Backoff.delay policy ~attempt:(n - 1)))
       end;
       match resolve () with
-      | None -> go (n + 1) (wait * 2) Kern_invalid_name
+      | None -> go (n + 1) Kern_invalid_name
       | Some port -> (
           match call sys port ~deadline mb with
           | Ok reply -> Ok reply
-          | Error err when retryable err -> go (n + 1) (wait * 2) err
+          | Error err when retryable err -> go (n + 1) err
           | Error err -> Error err)
     end
   in
-  go 1 backoff Kern_port_dead
+  go 1 Kern_port_dead
 
 (* Dequeue a call, blocking while none is pending; charges the dequeue
    handoff, the return to user and the demultiplexing stub. *)
@@ -319,7 +320,20 @@ let run_handler handler msg =
 (* The server loop exits only when the *service* port dies.  One client
    aborting its call (or any other per-exchange failure) must not take
    the server down for everyone else. *)
-let serve (sys : Sched.t) port handler =
+let serve (sys : Sched.t) ?beat port handler =
+  let busy () =
+    Option.iter
+      (fun (b : Health.beat) ->
+        b.Health.hb_busy_since <- Machine.global_now sys.machine)
+      beat
+  in
+  let idle () =
+    Option.iter
+      (fun (b : Health.beat) ->
+        b.Health.hb_served <- b.Health.hb_served + 1;
+        b.Health.hb_busy_since <- -1)
+      beat
+  in
   let rec next () =
     if port.dead then ()
     else
@@ -328,6 +342,7 @@ let serve (sys : Sched.t) port handler =
       | Error _ -> next ()
       | Ok rx -> step rx
   and step rx =
+    busy ();
     match fault_on_request sys port with
     | Fault.S_crash ->
         (* simulated crash mid-request: the exchange is abandoned (the
@@ -338,12 +353,22 @@ let serve (sys : Sched.t) port handler =
            service port is torn down *)
         reply sys rx (run_handler handler rx.rx_request);
         Port.destroy sys port
-    | Fault.S_continue -> (
-        let mb = run_handler handler rx.rx_request in
-        match reply_receive sys rx mb port with
-        | Ok nxt -> step nxt
-        | Error Kern_port_dead -> ()
-        | Error _ -> next ())
+    | (Fault.S_continue | Fault.S_wedge _) as d ->
+        (match d with
+        | Fault.S_wedge cycles ->
+            (* live-but-stuck: the request is held, the beat's busy
+               stamp ages, and only a watchdog can tell *)
+            ignore (Clock.sleep_for sys ~cycles)
+        | _ -> ());
+        if port.dead then ()
+        else begin
+          let mb = run_handler handler rx.rx_request in
+          idle ();
+          match reply_receive sys rx mb port with
+          | Ok nxt -> step nxt
+          | Error Kern_port_dead -> ()
+          | Error _ -> next ()
+        end
   in
   next ()
 

@@ -32,10 +32,11 @@ val call_retry :
     the destination via [resolve] (a name-service lookup) before every
     attempt, call with [deadline] cycles (default 100k), and on a
     retryable failure ([Kern_port_dead], [Kern_timed_out],
-    [Kern_aborted]) back off — [backoff] cycles (default 1k), doubling
-    each round — and try again, up to [attempts] total tries (default
-    4).  Gives up with the last error.  Re-issues are counted in
-    [sys.retry_attempts] and charged as a user-level retry stub. *)
+    [Kern_aborted]) back off on the shared {!Backoff} schedule — base
+    [backoff] cycles (default 1k), doubling to [64 * backoff]
+    with per-thread jitter — and try again, up to [attempts] total tries
+    (default 4).  Gives up with the last error.  Re-issues are counted
+    in [sys.retry_attempts] and charged as a user-level retry stub. *)
 
 val receive : Sched.t -> port -> (rpc_exchange, kern_return) result
 (** Server side: block until a call arrives. *)
@@ -49,13 +50,17 @@ val reply_receive :
 (** Reply to one exchange and receive the next in a single kernel entry —
     the primitive a synchronous-handoff server loop runs on. *)
 
-val serve : Sched.t -> port -> (message -> message_builder) -> unit
+val serve :
+  Sched.t -> ?beat:Health.beat -> port -> (message -> message_builder) -> unit
 (** Simple server loop: receive, handle, reply, forever — exiting only
     when the *service* port dies.  A single client's failure (abort,
     timeout) is absorbed and the loop keeps going; a handler raising
     [Kern_error] produces a [P_error] reply.  Honours the system's
     fault plan: an injected crash abandons the exchange in hand and
-    destroys the service port. *)
+    destroys the service port; an injected wedge holds the request in
+    hand for the scripted cycles before continuing.  With [beat] the
+    loop stamps the server's {!Health.beat} — busy-since on dequeue,
+    served count on reply — feeding the supervisor's watchdog. *)
 
 val waiting_servers : port -> int
 val pending_calls : port -> int

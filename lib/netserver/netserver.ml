@@ -55,6 +55,9 @@ type shard = {
   mutable sh_free_ports : int list;  (* closed ephemerals, O(1) reuse *)
   mutable sh_delivered : int;  (* packets this shard processed (occupancy) *)
   mutable sh_batches : int;  (* netisr drain activations *)
+  mutable sh_dead : bool;  (* mid micro-reboot: tables gone, ring drops *)
+  mutable sh_generation : int;  (* bumped per reincarnation *)
+  mutable sh_reboot_drops : int;  (* in-flight packets lost to a reboot *)
 }
 
 type t = {
@@ -62,6 +65,12 @@ type t = {
   objrt : Finegrain.t;
   shards : shard array;
   port_owner : (int, int) Hashtbl.t;  (* registry: bound port -> shard *)
+  port_sock : (int, socket) Hashtbl.t;
+      (* the registry's socket records, carried by the bind messages: a
+         reincarnating shard rebuilds its tables from these.  Socket
+         buffers (the rx queues) live on the endpoint records the user
+         tasks hold, not in the shard's tables — which is why data the
+         protocol already acked survives a micro-reboot. *)
   backlog : int;  (* per-listener SYN backlog bound (backpressure) *)
   mutable next_uid : int;
   mutable packets : int;
@@ -74,6 +83,8 @@ type t = {
   mutable xshard_accepts : int;  (* accepts whose child lives elsewhere *)
   mutable probe : (int -> int -> unit) option;
       (* delivery probe: wire->socket latency of each packet, in cycles *)
+  mutable netisr_task : Mach.Ktypes.task option;  (* home of netisr threads *)
+  mutable reincarnations : int;  (* shard micro-reboots completed *)
 }
 
 let wire_latency = 2_000  (* cycles on the simulated segment *)
@@ -120,7 +131,7 @@ let cpu_shard t =
    counted and charged a message-sized cost so the protocol's price is
    visible in measurements. *)
 type Mach.Ktypes.payload +=
-  | Net_bind of { nb_port : int; nb_shard : int }
+  | Net_bind of { nb_port : int; nb_shard : int; nb_sock : socket }
   | Net_unbind of { nu_port : int }
   | Net_accept_install of { na_conn : int; na_port : int }
 
@@ -128,8 +139,12 @@ let xshard_cost = 120  (* cycles: one cache-to-cache message handoff *)
 
 let registry_handle t (msg : Mach.Ktypes.payload) =
   match msg with
-  | Net_bind { nb_port; nb_shard } -> Hashtbl.replace t.port_owner nb_port nb_shard
-  | Net_unbind { nu_port } -> Hashtbl.remove t.port_owner nu_port
+  | Net_bind { nb_port; nb_shard; nb_sock } ->
+      Hashtbl.replace t.port_owner nb_port nb_shard;
+      Hashtbl.replace t.port_sock nb_port nb_sock
+  | Net_unbind { nu_port } ->
+      Hashtbl.remove t.port_owner nu_port;
+      Hashtbl.remove t.port_sock nu_port
   | Net_accept_install _ -> ()  (* install is performed by the target shard *)
   | _ -> ()  (* not a registry message; ignore *)
 
@@ -317,15 +332,22 @@ and[@machlint.no_block] drain t (sh : shard) =
    travel. *)
 and deliver t (pkt : packet) =
   let sh = steer t pkt in
-  let pkt = { pkt with p_sent = shard_clock t sh } in
-  if nshards t = 1 then process t sh pkt
+  if sh.sh_dead then
+    (* mid micro-reboot: the wire keeps arriving, the shard isn't there.
+       Count the loss — closed-loop clients re-drive via their retry
+       paths, so only unacked in-flight data is affected. *)
+    sh.sh_reboot_drops <- sh.sh_reboot_drops + 1
   else begin
-    Queue.add pkt sh.sh_rx;
-    if not sh.sh_wake_pending then begin
-      sh.sh_wake_pending <- true;
-      match sh.sh_thread with
-      | Some th -> Mach.Sched.wake (sys t) th
-      | None -> ()
+    let pkt = { pkt with p_sent = shard_clock t sh } in
+    if nshards t = 1 then process t sh pkt
+    else begin
+      Queue.add pkt sh.sh_rx;
+      if not sh.sh_wake_pending then begin
+        sh.sh_wake_pending <- true;
+        match sh.sh_thread with
+        | Some th -> Mach.Sched.wake (sys t) th
+        | None -> ()
+      end
     end
   end
 
@@ -374,30 +396,34 @@ let rec netisr_loop t sh () =
   else Mach.Sched.yield ();  (* batch boundary: let peers run *)
   netisr_loop t sh ()
 
+let spawn_netisr t task (sh : shard) =
+  let name =
+    if sh.sh_generation = 0 then Printf.sprintf "netisr%d" sh.sh_id
+    else Printf.sprintf "netisr%d.%d" sh.sh_id sh.sh_generation
+  in
+  let th =
+    Mach.Kernel.thread_spawn t.kernel task ~name
+      ~affinity:(sh.sh_id mod Machine.ncpus (machine t))
+      ~bound:true (netisr_loop t sh)
+  in
+  (* protocol threads outrank user threads on their CPU: a woken
+     netisr drains its ring before the co-located producer gets
+     to inject the next burst on top of a still-full ring *)
+  th.Mach.Ktypes.priority <- 10;
+  sh.sh_thread <- Some th
+
 let start_netisr t =
   if nshards t > 1 then begin
-    let k = t.kernel in
-    let task = Mach.Kernel.task_create k ~name:"netisr" () in
-    let ncpus = Machine.ncpus (machine t) in
-    Array.iter
-      (fun sh ->
-        let th =
-          Mach.Kernel.thread_spawn k task
-            ~name:(Printf.sprintf "netisr%d" sh.sh_id)
-            ~affinity:(sh.sh_id mod ncpus) ~bound:true (netisr_loop t sh)
-        in
-        (* protocol threads outrank user threads on their CPU: a woken
-           netisr drains its ring before the co-located producer gets
-           to inject the next burst on top of a still-full ring *)
-        th.Mach.Ktypes.priority <- 10;
-        sh.sh_thread <- Some th)
-      t.shards
+    let task = Mach.Kernel.task_create t.kernel ~name:"netisr" () in
+    t.netisr_task <- Some task;
+    Array.iter (spawn_netisr t task) t.shards
   end
 
 (* --- socket setup (syscall side) ----------------------------------------- *)
 
 let alloc_sock t (home : shard) ~port kind =
-  if Hashtbl.mem t.port_owner port then
+  if home.sh_dead then Error (Printf.sprintf "shard %d down" home.sh_id)
+  else if Hashtbl.mem t.port_owner port then
     Error (Printf.sprintf "port %d in use" port)
   else begin
     let s =
@@ -416,7 +442,7 @@ let alloc_sock t (home : shard) ~port kind =
     in
     t.next_uid <- t.next_uid + 1;
     xshard_post t ~from:(cpu_shard t) ~target:home.sh_id
-      (Net_bind { nb_port = port; nb_shard = home.sh_id });
+      (Net_bind { nb_port = port; nb_shard = home.sh_id; nb_sock = s });
     Hashtbl.replace home.sh_sockets port s;
     (match kind with S_tcp conn -> conn_incr home conn | _ -> ());
     chk t (fun c sp ->
@@ -610,6 +636,111 @@ let reap_half_open t ~older_than =
   t.reaped <- t.reaped + !n;
   !n
 
+(* --- shard micro-reboot --------------------------------------------------- *)
+
+(* Kill one protocol shard: terminate its netisr thread, drop whatever
+   the rx ring held (counted — closed-loop clients re-drive it), and
+   wipe every table.  The socket records themselves are NOT freed: the
+   endpoints hold them, and the cross-shard registry kept its own copy
+   with each bind — which is what [reincarnate_shard] rebuilds from.
+   Data already delivered into socket rx queues (acked data) is on the
+   endpoint records and survives untouched. *)
+let kill_shard t ~shard =
+  let sh = t.shards.(shard) in
+  if sh.sh_dead then invalid_arg "Netserver.kill_shard: shard already dead";
+  chk t (fun c sp -> Check.reinc_shard_killed c ~space:sp ~shard);
+  (* mark what a faithful rebirth must restore *)
+  Hashtbl.iter
+    (fun _port (s : socket) ->
+      chk t (fun c sp -> Check.reinc_expect c ~space:sp ~shard ~sock:s.s_uid))
+    sh.sh_sockets;
+  (match sh.sh_thread with
+  | Some th ->
+      Mach.Sched.terminate (sys t) th;
+      sh.sh_thread <- None
+  | None -> ());
+  sh.sh_reboot_drops <- sh.sh_reboot_drops + Queue.length sh.sh_rx;
+  Queue.clear sh.sh_rx;
+  Hashtbl.reset sh.sh_sockets;
+  Hashtbl.reset sh.sh_conns;
+  Hashtbl.reset sh.sh_embryonic;
+  sh.sh_free_ports <- [];
+  sh.sh_wake_pending <- false;
+  sh.sh_dead <- true
+
+(* Reincarnate a killed shard.  The socket table is rebuilt from the
+   registry's bind records (each reinstall charged one cross-shard
+   message, as the real protocol would cost); connection refcounts and
+   the embryonic table follow from the sockets themselves — both ends of
+   a connection home here, and a not-yet-established TCP socket is by
+   definition still mid-handshake, so the reaper keeps working across a
+   reboot.  The ephemeral free list is reconstructed from the registry:
+   every port of our residue class below the high-water mark that nobody
+   holds is free.  Registry entries claiming this shard with no socket
+   behind them are leaked rights — reported, then reclaimed. *)
+let reincarnate_shard t ~shard =
+  let sh = t.shards.(shard) in
+  if not sh.sh_dead then
+    invalid_arg "Netserver.reincarnate_shard: shard is not dead";
+  let stride = nshards t in
+  let mine p = p >= ephemeral_base && (p - ephemeral_base) mod stride = shard in
+  (* rebuild the socket/conn/embryonic tables from the registry copy *)
+  Hashtbl.iter
+    (fun port (s : socket) ->
+      if s.s_home = shard && s.s_open then begin
+        t.registry_msgs <- t.registry_msgs + 1;
+        Machine.execute (machine t) [ Machine.Footprint.Stall xshard_cost ];
+        Hashtbl.replace sh.sh_sockets port s;
+        (match s.s_kind with
+        | S_tcp conn ->
+            conn_incr sh conn;
+            if not s.s_established then Hashtbl.replace sh.sh_embryonic conn s
+        | S_udp | S_listen _ -> ());
+        chk t (fun c sp ->
+            Check.reinc_restored c ~space:sp ~shard ~sock:s.s_uid)
+      end)
+    t.port_sock;
+  (* ephemeral allocator: high-water hint from the registry, free list =
+     unheld residue-class ports below it *)
+  let hint =
+    Hashtbl.fold
+      (fun p _ acc -> if mine p then max acc (p + stride) else acc)
+      t.port_owner
+      (ephemeral_base + shard)
+  in
+  sh.sh_port_hint <- hint;
+  let free = ref [] in
+  let p = ref (ephemeral_base + shard) in
+  while !p < hint do
+    if not (Hashtbl.mem t.port_owner !p) then free := !p :: !free;
+    p := !p + stride
+  done;
+  sh.sh_free_ports <- !free;
+  (* rights residue: registry claims with no socket rebuilt behind them *)
+  Hashtbl.iter
+    (fun port owner ->
+      if owner = shard && not (Hashtbl.mem sh.sh_sockets port) then
+        chk t (fun c sp ->
+            Check.reinc_rights_residue c ~space:sp ~shard ~port
+              ~pname:(Printf.sprintf "net:%d" port)))
+    t.port_owner;
+  chk t (fun c sp -> Check.reinc_shard_reborn c ~space:sp ~shard);
+  sh.sh_generation <- sh.sh_generation + 1;
+  sh.sh_dead <- false;
+  t.reincarnations <- t.reincarnations + 1;
+  (match t.netisr_task with
+  | Some task when nshards t > 1 -> spawn_netisr t task sh
+  | _ -> ());
+  (* anything that arrived for rebuilt sockets while we were down is
+     gone; wake blocked receivers so closed-loop clients re-drive *)
+  Hashtbl.iter (fun _ s -> wake_sock t s) sh.sh_sockets
+
+let shard_dead t ~shard = t.shards.(shard).sh_dead
+let shard_generation t ~shard = t.shards.(shard).sh_generation
+let reboot_drops t =
+  Array.fold_left (fun acc sh -> acc + sh.sh_reboot_drops) 0 t.shards
+let shard_reincarnations t = t.reincarnations
+
 (* --- raw wire injection (attack/storm harness) --------------------------- *)
 
 (* Inject a datagram as if a remote client sent it: the packet enters
@@ -670,6 +801,9 @@ let create ?shards ?(backlog = default_backlog) kernel ~style =
       sh_free_ports = [];
       sh_delivered = 0;
       sh_batches = 0;
+      sh_dead = false;
+      sh_generation = 0;
+      sh_reboot_drops = 0;
     }
   in
   let t =
@@ -678,6 +812,7 @@ let create ?shards ?(backlog = default_backlog) kernel ~style =
       objrt;
       shards = Array.init n shard;
       port_owner = Hashtbl.create 64;
+      port_sock = Hashtbl.create 64;
       backlog;
       next_uid = 1;
       packets = 0;
@@ -689,6 +824,8 @@ let create ?shards ?(backlog = default_backlog) kernel ~style =
       registry_msgs = 0;
       xshard_accepts = 0;
       probe = None;
+      netisr_task = None;
+      reincarnations = 0;
     }
   in
   start_netisr t;

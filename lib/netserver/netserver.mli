@@ -117,6 +117,50 @@ val reap_half_open : t -> older_than:int -> int
 (** Close half-open (embryonic) connections older than [older_than]
     cycles — the slowloris defence.  Returns the number reaped. *)
 
+(** {1 Shard micro-reboot}
+
+    A single protocol shard can be killed and reincarnated while the
+    rest of the server keeps serving.  The kill terminates the shard's
+    netisr thread and wipes its tables; the rebirth rebuilds them from
+    the cross-shard port registry, which kept a copy of every bound
+    socket record with its bind message.  Acked data is never lost —
+    socket rx queues live on the endpoint records, not in shard tables —
+    and only in-flight packets (the rx ring plus wire arrivals during
+    the outage) are dropped and counted; closed-loop clients re-drive
+    them through their retry paths.  Untouched shards are unaffected,
+    cycle for cycle.  Machcheck's reincarnation checker audits the
+    round trip: every socket marked at kill time must be restored, no
+    stale registry entries, no leaked port rights. *)
+
+val kill_shard : t -> shard:int -> unit
+(** Terminate [shard]'s netisr thread and wipe its socket/conn/embryonic
+    tables, free lists and rx ring (ring contents counted in
+    {!reboot_drops}).  While dead, packets steered to the shard are
+    dropped and counted, and socket allocation on it fails fast.
+    @raise Invalid_argument if the shard is already dead. *)
+
+val reincarnate_shard : t -> shard:int -> unit
+(** Rebuild the shard from the registry: sockets reinstalled (one
+    cross-shard message charged each), connection refcounts and the
+    embryonic table rederived from the sockets themselves (so the
+    half-open reaper keeps working), the ephemeral free list and
+    high-water hint reconstructed from the registry's residue-class
+    holdings, leaked registry claims reported as rights residue, and a
+    fresh generation-named netisr thread spawned.  Blocked receivers are
+    woken so closed-loop clients re-drive anything lost in flight.
+    @raise Invalid_argument if the shard is not dead. *)
+
+val shard_dead : t -> shard:int -> bool
+val shard_generation : t -> shard:int -> int
+(** Micro-reboots this shard has completed. *)
+
+val reboot_drops : t -> int
+(** In-flight packets lost to shard reboots (rx-ring contents at kill
+    plus wire arrivals while dead) — never acked data. *)
+
+val shard_reincarnations : t -> int
+(** Total shard micro-reboots completed serverwide. *)
+
 val half_open : t -> int
 (** Connections currently mid-handshake (across all shards). *)
 

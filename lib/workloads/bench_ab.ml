@@ -72,8 +72,8 @@ let flatten json =
     in
     let parts =
       List.filter_map pick
-        [ "system"; "workload"; "phase"; "placement"; "ncpus"; "bytes";
-          "crash_ppm"; "write"; "ops" ]
+        [ "system"; "workload"; "phase"; "scenario"; "placement"; "ncpus";
+          "bytes"; "crash_ppm"; "write"; "ops" ]
     in
     if parts = [] then None else Some (String.concat "/" parts)
   in

@@ -135,8 +135,10 @@ let run_point ~seed ~clients ~sessions ~crash_ppm =
   ignore
     (Mach.Kernel.thread_spawn k driver ~name:"sweep-main" (fun () ->
          (* registration first, so a crash at any point finds a watcher *)
+         (* the old flat 64-restart cap, expressed as a budget whose
+            window never expires — a sweep point is one long burst *)
          Mk_services.Supervisor.supervise sup ~path:service_path
-           ~max_restarts:64 ~port:(F.File_server.port fs)
+           ~budget:64 ~window:max_int ~port:(F.File_server.port fs)
            ~restart:(fun () -> F.File_server.restart fs)
            ();
          t0 := Machine.now m;

@@ -12,5 +12,6 @@ module Recovery_sweep = Recovery_sweep
 module Smp_scaling = Smp_scaling
 module Vfs_walk = Vfs_walk
 module Net_storm = Net_storm
+module Fault_storm = Fault_storm
 module Bench_ab = Bench_ab
 module Run_meta = Run_meta

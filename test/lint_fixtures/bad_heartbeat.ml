@@ -1,0 +1,22 @@
+(* Known-bad fixture: heartbeat/watchdog handlers.
+   A health handler answers pings while the main loop may be wedged; it
+   runs between a dequeue and a reply on the dedicated health thread and
+   is annotated [@machlint.no_block].  This twin blocks three ways: a
+   direct RPC out of the handler, a sleep in the watchdog probe, and a
+   transitive wait through a helper that parks on the beat mutex. *)
+
+let read_beat_locked b =
+  (* helper that parks: taints every annotated caller *)
+  Sync.mutex_lock b.hb_lock;
+  b.hb_served
+
+let[@machlint.no_block] handler b req =
+  (* pinging the supervisor back from inside the pong path deadlocks
+     the very watchdog that is waiting on us *)
+  ignore (Rpc.call b.hb_sup_port (H_pong { hp_served = b.hb_served }));
+  pong (read_beat_locked b)
+
+let[@machlint.no_block] watchdog_probe sys beat =
+  (* a watchdog that sleeps cannot tell a wedge from its own nap *)
+  ignore (Clock.sleep_for sys ~cycles:10_000);
+  beat.hb_busy_since

@@ -1,0 +1,21 @@
+(* Known-clean fixture: heartbeat/watchdog handlers.
+   The legal shape: the annotated handler reads the two beat words and
+   builds the pong — no waits, no locks, nothing that could make the
+   health thread as unresponsive as the wedge it exists to detect.  The
+   serve loops themselves block, but they are ordinary thread bodies. *)
+
+let read_beat b =
+  (* two mutable words stamped by the main loop: safe to read racily *)
+  (b.hb_served, b.hb_busy_since)
+
+let[@machlint.no_block] handler b _req =
+  let served, busy_since = read_beat b in
+  pong ~hp_served:served ~hp_busy_since:busy_since
+
+let[@machlint.no_block] watchdog_probe now beat =
+  (* age of the request in hand, from stamps already taken: pure math *)
+  if beat.hb_busy_since < 0 then 0 else now - beat.hb_busy_since
+
+let health_thread sys hp beat =
+  (* the health loop itself parks in receive: a plain thread body *)
+  thread_spawn sys (fun () -> Rpc.serve sys hp (handler beat))

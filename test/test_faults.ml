@@ -271,7 +271,8 @@ let drive_plan plan =
     (match Mach.Fault.on_request plan ~port:"svc" with
     | Mach.Fault.S_continue -> Buffer.add_char log '.'
     | Mach.Fault.S_kill -> Buffer.add_char log 'K'
-    | Mach.Fault.S_crash -> Buffer.add_char log 'C');
+    | Mach.Fault.S_crash -> Buffer.add_char log 'C'
+    | Mach.Fault.S_wedge _ -> Buffer.add_char log 'W');
     match Mach.Fault.on_send plan ~port:"svc" with
     | Mach.Fault.M_pass -> Buffer.add_char log '-'
     | Mach.Fault.M_drop -> Buffer.add_char log 'D'

@@ -50,6 +50,7 @@ let pairs =
     ("bad_linearity.ml", "clean_linearity.ml", Lint.Report.rule_linearity);
     ("bad_lockorder.ml", "clean_lockorder.ml", Lint.Report.rule_lockorder);
     ("bad_noblock.ml", "clean_noblock.ml", Lint.Report.rule_noblock);
+    ("bad_heartbeat.ml", "clean_heartbeat.ml", Lint.Report.rule_noblock);
     ("bad_interface.ml", "clean_interface.ml", Lint.Report.rule_interface);
     ("bad_provenance.ml", "clean_provenance.ml", Lint.Report.rule_provenance);
   ]
@@ -67,6 +68,7 @@ let test_bad_counts () =
       ("bad_linearity.ml", 3);
       ("bad_lockorder.ml", 2);
       ("bad_noblock.ml", 3);
+      ("bad_heartbeat.ml", 3);
       ("bad_interface.ml", 3);
       ("bad_provenance.ml", 3);
     ]

@@ -296,6 +296,189 @@ let test_seeded_shard_crossing_fires () =
       Alcotest.(check string) "kind" "shard-crossing" f.Check.f_kind
   | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
 
+(* --- shard micro-reboot --------------------------------------------------- *)
+
+(* Kill and reincarnate the listener's shard in the middle of a SYN
+   flood.  The listener must come back from the registry with its
+   backlog intact — the second wave is refused entirely, not absorbed —
+   and acked data (datagrams already delivered to a socket's rx queue
+   on the same shard) survives the reboot byte for byte. *)
+let test_reboot_during_syn_flood () =
+  let m = Machine.create (smp_config 4) in
+  let k = Mach.Kernel.boot m in
+  let sys = k.Mach.Kernel.sys in
+  let net = Netserver.create ~backlog:8 k ~style:Finegrain.Coarse in
+  let victim = Netserver.port_shard net ~port:443 in
+  (* a udp port steered to the same shard as the listener *)
+  let udp_port =
+    let rec find p =
+      if Netserver.port_shard net ~port:p = victim then p else find (p + 1)
+    in
+    find 100
+  in
+  let task = Mach.Kernel.task_create k ~name:"flood" () in
+  let acked = ref None in
+  Test_util.spawn k task "driver" (fun () ->
+      (match Netserver.tcp_listen net ~port:443 with
+      | Error e -> failwith e
+      | Ok _ -> ());
+      let s =
+        match Netserver.udp_socket net ~port:udp_port with
+        | Error e -> failwith e
+        | Ok s -> s
+      in
+      acked := Some s;
+      for i = 1 to 5 do
+        Netserver.inject_udp net ~src_port:(40_000 + i) ~dst_port:udp_port
+          ~bytes:(100 + i)
+      done;
+      for i = 1 to 20 do
+        Netserver.inject_syn net ~src_port:(50_000 + i) ~dst_port:443
+          ~conn:(1_000_000 + i)
+      done;
+      (* quiesce so the rings drain: everything below is table state *)
+      ignore (Mach.Clock.sleep_for sys ~cycles:300_000 : Mach.Ktypes.kern_return);
+      checki "first wave refused beyond the backlog" 12 (Netserver.syn_drops net);
+      Netserver.kill_shard net ~shard:victim;
+      checkb "shard down" true (Netserver.shard_dead net ~shard:victim);
+      Netserver.reincarnate_shard net ~shard:victim;
+      for i = 21 to 40 do
+        Netserver.inject_syn net ~src_port:(50_000 + i) ~dst_port:443
+          ~conn:(1_000_000 + i)
+      done;
+      ignore (Mach.Clock.sleep_for sys ~cycles:300_000 : Mach.Ktypes.kern_return));
+  Mach.Kernel.run k;
+  (* the rebuilt listener still holds its 8 backlogged SYNs: the whole
+     second wave bounces — backpressure is preserved across the reboot *)
+  checki "second wave refused entirely" 32 (Netserver.syn_drops net);
+  checki "no half-open children (never accepted)" 0 (Netserver.half_open net);
+  checki "one micro-reboot" 1 (Netserver.shard_reincarnations net);
+  checki "generation bumped" 1 (Netserver.shard_generation net ~shard:victim);
+  checkb "shard back up" true (not (Netserver.shard_dead net ~shard:victim));
+  (* acked data: the five delivered datagrams are on the endpoint record,
+     not in shard tables, and survive the reboot *)
+  let drained =
+    match !acked with
+    | None -> []
+    | Some s ->
+        let rec drain acc =
+          match Netserver.try_recv net s with
+          | Some hit -> drain (hit :: acc)
+          | None -> List.rev acc
+        in
+        drain []
+  in
+  Alcotest.(check (list (pair int int)))
+    "acked datagrams survive the reboot"
+    [ (40_001, 101); (40_002, 102); (40_003, 103); (40_004, 104); (40_005, 105) ]
+    drained
+
+(* Slowloris half-opens must survive micro-reboots of every shard in
+   turn: the embryonic table is rederived from the rebuilt sockets, so
+   the reaper keeps its prey.  Cycle every shard to hit whichever ones
+   the children actually homed on. *)
+let test_reboot_preserves_embryonic () =
+  let m = Machine.create (smp_config 4) in
+  let k = Mach.Kernel.boot m in
+  let sys = k.Mach.Kernel.sys in
+  let net = Netserver.create k ~style:Finegrain.Coarse in
+  let task = Mach.Kernel.task_create k ~name:"loris" () in
+  let accepted = ref 0 in
+  Test_util.spawn k task "server" (fun () ->
+      match Netserver.tcp_listen net ~port:80 with
+      | Error e -> failwith e
+      | Ok l ->
+          for _ = 1 to 6 do
+            ignore (Netserver.tcp_accept net l : Netserver.socket);
+            incr accepted
+          done);
+  Test_util.spawn k task "driver" (fun () ->
+      for i = 1 to 6 do
+        Netserver.inject_syn net ~src_port:(60_000 + i) ~dst_port:80
+          ~conn:(2_000_000 + i)
+      done;
+      while !accepted < 6 do
+        ignore (Mach.Clock.sleep_for sys ~cycles:50_000 : Mach.Ktypes.kern_return)
+      done;
+      checki "six wedged half-open" 6 (Netserver.half_open net);
+      for s = 0 to Netserver.shard_count net - 1 do
+        Netserver.kill_shard net ~shard:s;
+        Netserver.reincarnate_shard net ~shard:s;
+        checki "embryonic table rebuilt" 6 (Netserver.half_open net)
+      done;
+      (* the reaper still sees every half-open across all the reboots *)
+      checki "nothing young reaped" 0
+        (Netserver.reap_half_open net ~older_than:100_000_000);
+      checki "all six reaped after rebuild" 6
+        (Netserver.reap_half_open net ~older_than:0);
+      checki "table clean" 0 (Netserver.half_open net));
+  Mach.Kernel.run k;
+  checki "one reboot per shard" (Netserver.shard_count net)
+    (Netserver.shard_reincarnations net)
+
+(* A second kill/reincarnate immediately after the first must be a
+   no-op on server state: rebirth is idempotent.  Deliveries after one
+   reboot cycle and after two are compared socket by socket. *)
+let run_reboot_script ~cycles script =
+  let m = Machine.create (smp_config 4) in
+  let k = Mach.Kernel.boot m in
+  let sys = k.Mach.Kernel.sys in
+  let net = Netserver.create k ~style:Finegrain.Coarse in
+  let nsocks = 6 in
+  let socks = Array.make nsocks None in
+  let task = Mach.Kernel.task_create k ~name:"script" () in
+  let inject (src, dst, bytes) =
+    Netserver.inject_udp net ~src_port:(10_000 + src)
+      ~dst_port:(100 + (dst mod nsocks))
+      ~bytes:(1 + bytes)
+  in
+  Test_util.spawn k task "driver" (fun () ->
+      for i = 0 to nsocks - 1 do
+        match Netserver.udp_socket net ~port:(100 + i) with
+        | Error e -> failwith e
+        | Ok s -> socks.(i) <- Some s
+      done;
+      let first, second =
+        let rec split n acc = function
+          | rest when n = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | x :: rest -> split (n - 1) (x :: acc) rest
+        in
+        split (List.length script / 2) [] script
+      in
+      List.iter inject first;
+      ignore (Mach.Clock.sleep_for sys ~cycles:500_000 : Mach.Ktypes.kern_return);
+      let victim = Netserver.port_shard net ~port:100 in
+      for _ = 1 to cycles do
+        Netserver.kill_shard net ~shard:victim;
+        Netserver.reincarnate_shard net ~shard:victim
+      done;
+      List.iter inject second;
+      ignore (Mach.Clock.sleep_for sys ~cycles:500_000 : Mach.Ktypes.kern_return));
+  Mach.Kernel.run k;
+  ( Array.map
+      (fun s ->
+        match s with
+        | None -> []
+        | Some s ->
+            let rec drain acc =
+              match Netserver.try_recv net s with
+              | Some hit -> drain (hit :: acc)
+              | None -> List.rev acc
+            in
+            drain [])
+      socks,
+    Netserver.reboot_drops net,
+    Netserver.half_open net )
+
+let prop_reboot_idempotent =
+  QCheck.Test.make ~name:"kill/reincarnate twice == once" ~count:15
+    QCheck.(
+      list_of_size Gen.(2 -- 60)
+        (triple (int_bound 500) (int_bound 31) (int_bound 9000)))
+    (fun script ->
+      run_reboot_script ~cycles:1 script = run_reboot_script ~cycles:2 script)
+
 let suite =
   [
     Alcotest.test_case "golden: single-loop identity (coarse)" `Quick
@@ -313,4 +496,9 @@ let suite =
       test_sharded_tcp_and_checker_clean;
     Alcotest.test_case "seeded shard crossing is a finding" `Quick
       test_seeded_shard_crossing_fires;
+    Alcotest.test_case "micro-reboot during syn flood" `Quick
+      test_reboot_during_syn_flood;
+    Alcotest.test_case "micro-reboot preserves embryonic table" `Quick
+      test_reboot_preserves_embryonic;
+    qtest prop_reboot_idempotent;
   ]

@@ -231,6 +231,247 @@ let test_paging_under_pressure () =
   Alcotest.(check bool) "residency bounded" true
     (Mach.Vm.resident_pages sys <= sys.Mach.Sched.page_limit + 1)
 
+(* --- reincarnation service ---------------------------------------------------- *)
+
+(* A minimal supervised server: an echo loop with a heartbeat, plus a
+   restart closure that brings up a fresh incarnation (fresh port, fresh
+   health port, fresh beat — a stale wedged thread must not be able to
+   stamp the new incarnation's beat). *)
+let spawn_echo_server b ~name =
+  let k = b.S.Bootstrap.kernel in
+  let sys = k.Mach.Kernel.sys in
+  let task = Mach.Kernel.task_create k ~name () in
+  let port = ref (Mach.Port.allocate sys ~receiver:task ~name:(name ^ "-port")) in
+  let health =
+    ref (Mach.Port.allocate sys ~receiver:task ~name:(name ^ "-health"))
+  in
+  let spawn_threads () =
+    let p = !port and hp = !health in
+    let beat = Mach.Health.beat () in
+    Test_util.spawn k task (name ^ "-serve") (fun () ->
+        Mach.Rpc.serve sys ~beat p (fun _req ->
+            simple_message ~payload:P_unit ()));
+    Test_util.spawn k task (name ^ "-beat") (fun () ->
+        Mach.Rpc.serve sys hp (Mach.Health.handler beat))
+  in
+  spawn_threads ();
+  let restart () =
+    port := Mach.Port.allocate sys ~receiver:task ~name:(name ^ "-port");
+    health := Mach.Port.allocate sys ~receiver:task ~name:(name ^ "-health");
+    spawn_threads ();
+    !port
+  in
+  (port, health, restart)
+
+(* The per-request watchdog: a scripted wedge holds the serve loop far
+   past the watchdog with the service port still alive.  Only the
+   heartbeat can see it; the supervisor must kill and reincarnate while
+   the client completes every operation.  This also pins the missed-arm
+   regression: the health config is registered against a supervisor that
+   is already parked in its idle wait, and with no ordinary death to
+   wake it the heartbeat timer is only ever armed because [supervise]
+   pokes the loop — without that poke this test times out with zero
+   wedge kills. *)
+let test_sup_wedge_watchdog () =
+  let b = boot () in
+  let k = b.S.Bootstrap.kernel in
+  let sys = k.Mach.Kernel.sys in
+  let ns = S.Bootstrap.name_service_exn b in
+  let sup = S.Supervisor.create k b.S.Bootstrap.runtime ns in
+  let port, health, restart = spawn_echo_server b ~name:"svc" in
+  let plan = Mach.Fault.create ~seed:7 () in
+  Mach.Fault.at_request plan ~port:"svc-port" ~n:3
+    (Mach.Fault.Wedge_server 500_000);
+  sys.Mach.Sched.faults <- Some plan;
+  let done_ops = ref 0 in
+  let driver = Mach.Kernel.task_create k ~name:"drv" () in
+  Test_util.spawn k driver "main" (fun () ->
+      S.Supervisor.supervise sup ~path:"/services/svc"
+        ~health:
+          {
+            S.Supervisor.hc_interval = 20_000;
+            hc_deadline = 10_000;
+            hc_watchdog = 100_000;
+            hc_port = (fun () -> Some !health);
+          }
+        ~port:!port ~restart ();
+      Test_util.spawn k driver "client" (fun () ->
+          for _ = 1 to 6 do
+            let rec attempt n =
+              if n = 0 then Alcotest.fail "client could not reach the service";
+              let retry () =
+                ignore (Mach.Clock.sleep_for sys ~cycles:20_000 : kern_return);
+                attempt (n - 1)
+              in
+              match S.Name_service.resolve_port ns ~path:"/services/svc" with
+              | None -> retry ()
+              | Some p -> (
+                  match
+                    Mach.Rpc.call sys p ~deadline:50_000
+                      (simple_message ~payload:P_unit ())
+                  with
+                  | Ok _ -> incr done_ops
+                  | Error _ -> retry ())
+            in
+            attempt 30
+          done);
+      (* the heartbeat timer keeps the machine awake: stand the
+         supervisor down once the client is through *)
+      while !done_ops < 6 do
+        ignore (Mach.Clock.sleep_for sys ~cycles:20_000 : kern_return)
+      done;
+      S.Supervisor.stop sup);
+  Mach.Kernel.run k;
+  sys.Mach.Sched.faults <- None;
+  Alcotest.(check int) "one wedge injected" 1 (Mach.Fault.injected_wedges plan);
+  Alcotest.(check int) "one wedge kill" 1 (S.Supervisor.wedge_kills sup);
+  Alcotest.(check int) "per-path wedge kill" 1
+    (S.Supervisor.path_wedge_kills sup ~path:"/services/svc");
+  Alcotest.(check int) "one restart" 1 (S.Supervisor.restarts sup);
+  Alcotest.(check int) "every op completed" 6 !done_ops;
+  Alcotest.(check bool) "mttr recorded" true
+    (S.Supervisor.mttr sup ~path:"/services/svc" <> None)
+
+(* Budget exhaustion: a crash-looping server burns its windowed restart
+   budget, is demoted to degraded mode (surfaced to Machcheck as a
+   budget-exhausted finding that does NOT count as a failure), and
+   clients get [Kern_unavailable] back fast instead of hanging. *)
+let test_sup_budget_degraded () =
+  let chk = Check.create () in
+  Check.install chk;
+  Fun.protect ~finally:Check.uninstall @@ fun () ->
+  let b = boot () in
+  let k = b.S.Bootstrap.kernel in
+  let sys = k.Mach.Kernel.sys in
+  let m = k.Mach.Kernel.machine in
+  let ns = S.Bootstrap.name_service_exn b in
+  let sup = S.Supervisor.create k b.S.Bootstrap.runtime ns in
+  let path = "/services/flaky" in
+  let task = Mach.Kernel.task_create k ~name:"flaky" () in
+  let make_port () = Mach.Port.allocate sys ~receiver:task ~name:"flaky" in
+  let fastfail = ref (-1) in
+  let driver = Mach.Kernel.task_create k ~name:"drv" () in
+  Test_util.spawn k driver "main" (fun () ->
+      S.Supervisor.supervise sup ~path ~budget:3 ~backoff:2_000
+        ~port:(make_port ()) ~restart:make_port ();
+      Test_util.spawn k driver "crasher" (fun () ->
+          let rec crash () =
+            if not (S.Supervisor.is_degraded sup ~path) then begin
+              (match S.Supervisor.current_port sup ~path with
+              | Some p when not p.dead -> Mach.Port.destroy sys p
+              | Some _ | None -> ());
+              ignore (Mach.Clock.sleep_for sys ~cycles:4_000 : kern_return);
+              crash ()
+            end
+          in
+          crash ());
+      Test_util.spawn k driver "client" (fun () ->
+          while not (S.Supervisor.is_degraded sup ~path) do
+            ignore (Mach.Clock.sleep_for sys ~cycles:3_000 : kern_return)
+          done;
+          ignore (Mach.Clock.sleep_for sys ~cycles:2_000 : kern_return);
+          match S.Name_service.resolve_port ns ~path with
+          | None -> Alcotest.fail "degraded path resolves to nothing"
+          | Some p -> (
+              let t0 = Machine.now m in
+              match Mach.Rpc.call sys p (simple_message ~payload:P_unit ()) with
+              | Ok { msg_payload = P_error Kern_unavailable; _ } ->
+                  fastfail := Machine.now m - t0
+              | Ok _ -> Alcotest.fail "degraded responder answered success"
+              | Error e ->
+                  Alcotest.failf "degraded call failed with %s"
+                    (kern_return_to_string e))));
+  Mach.Kernel.run k;
+  Alcotest.(check int) "restarts capped at the budget" 3
+    (S.Supervisor.restarts sup);
+  Alcotest.(check int) "demoted once" 1 (S.Supervisor.degraded_count sup);
+  Alcotest.(check bool) "path is degraded" true (S.Supervisor.is_degraded sup ~path);
+  Alcotest.(check bool) "gave up" true (S.Supervisor.gave_up sup);
+  Alcotest.(check bool) "degraded port hidden from current_port" true
+    (S.Supervisor.current_port sup ~path = None);
+  Alcotest.(check bool) "fast fail under 100k cycles" true
+    (!fastfail >= 0 && !fastfail < 100_000);
+  let rep = Check.report chk in
+  Alcotest.(check int) "budget-exhausted finding recorded" 1
+    rep.Check.rep_reinc_budget_exhausted;
+  Alcotest.(check int) "demotion by policy is not a failure" 0
+    (Check.total_findings rep)
+
+(* Dependency-ordered drain: when a driver and the server above it die
+   together, the driver must be reincarnated first even though the
+   server's death was queued first. *)
+let test_sup_dependency_order () =
+  let b = boot () in
+  let k = b.S.Bootstrap.kernel in
+  let sys = k.Mach.Kernel.sys in
+  let ns = S.Bootstrap.name_service_exn b in
+  let sup = S.Supervisor.create k b.S.Bootstrap.runtime ns in
+  let task = Mach.Kernel.task_create k ~name:"pair" () in
+  let mk name = Mach.Port.allocate sys ~receiver:task ~name in
+  let order = ref [] in
+  Test_util.run_in_thread k (fun () ->
+      let pa = mk "drv" and pb = mk "srv" in
+      S.Supervisor.supervise sup ~path:"/services/drv" ~port:pa
+        ~restart:(fun () ->
+          order := "drv" :: !order;
+          mk "drv")
+        ();
+      S.Supervisor.supervise sup ~path:"/services/srv"
+        ~deps:[ "/services/drv" ] ~port:pb
+        ~restart:(fun () ->
+          order := "srv" :: !order;
+          mk "srv")
+        ();
+      (* the dependent dies FIRST, so arrival order alone would restart
+         it first; both are pending together when the drain runs *)
+      Mach.Port.destroy sys pb;
+      Mach.Port.destroy sys pa);
+  Mach.Kernel.run k;
+  Alcotest.(check (list string)) "driver reincarnated before its dependent"
+    [ "srv"; "drv" ] !order
+
+(* The missed-wake regression, heartbeat edition: with a huge heartbeat
+   interval armed, a death must still be drained promptly via the
+   dead-name poke — not after the 10M-cycle tick expires. *)
+let test_sup_prompt_restart_under_heartbeat () =
+  let b = boot () in
+  let k = b.S.Bootstrap.kernel in
+  let sys = k.Mach.Kernel.sys in
+  let m = k.Mach.Kernel.machine in
+  let ns = S.Bootstrap.name_service_exn b in
+  let sup = S.Supervisor.create k b.S.Bootstrap.runtime ns in
+  let port, health, restart = spawn_echo_server b ~name:"hb" in
+  let died_at = ref (-1) and rebound_at = ref (-1) in
+  let driver = Mach.Kernel.task_create k ~name:"drv" () in
+  Test_util.spawn k driver "main" (fun () ->
+      S.Supervisor.supervise sup ~path:"/services/hb"
+        ~health:
+          {
+            S.Supervisor.hc_interval = 10_000_000;
+            hc_deadline = 50_000;
+            hc_watchdog = 5_000_000;
+            hc_port = (fun () -> Some !health);
+          }
+        ~port:!port
+        ~restart:(fun () ->
+          let p = restart () in
+          rebound_at := Machine.now m;
+          p)
+        ();
+      Test_util.spawn k driver "killer" (fun () ->
+          ignore (Mach.Clock.sleep_for sys ~cycles:30_000 : kern_return);
+          died_at := Machine.now m;
+          Mach.Port.destroy sys !port);
+      while !rebound_at < 0 do
+        ignore (Mach.Clock.sleep_for sys ~cycles:10_000 : kern_return)
+      done;
+      S.Supervisor.stop sup);
+  Mach.Kernel.run k;
+  Alcotest.(check int) "one restart" 1 (S.Supervisor.restarts sup);
+  Alcotest.(check bool) "death seen" true (!died_at >= 0);
+  Alcotest.(check bool) "restart prompt, not at the heartbeat tick" true
+    (!rebound_at - !died_at < 1_000_000)
+
 let test_components () =
   let b = boot () in
   Alcotest.(check (list string)) "inventory"
@@ -248,4 +489,11 @@ let suite =
     Alcotest.test_case "loader" `Quick test_loader;
     Alcotest.test_case "paging under pressure" `Slow test_paging_under_pressure;
     Alcotest.test_case "bootstrap components" `Quick test_components;
+    Alcotest.test_case "supervisor wedge watchdog" `Quick test_sup_wedge_watchdog;
+    Alcotest.test_case "supervisor budget exhaustion" `Quick
+      test_sup_budget_degraded;
+    Alcotest.test_case "supervisor dependency order" `Quick
+      test_sup_dependency_order;
+    Alcotest.test_case "supervisor prompt restart" `Quick
+      test_sup_prompt_restart_under_heartbeat;
   ]
